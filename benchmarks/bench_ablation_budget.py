@@ -1,0 +1,44 @@
+"""Ablation: coverage vs payment budget (Section IV's stopping rule 𝒲).
+
+Not a paper panel — the evaluation never binds the budget — but the
+mechanism text defines it, so this bench characterizes the trade-off:
+sweeping the payout cap from 10% to 120% of SSAM's unconstrained payment
+and reporting the fraction of demand served at each level.  Coverage must
+be monotone in the budget and reach 1.0 once the cap clears the
+unconstrained payment.
+"""
+
+from repro.analysis.reporting import ResultTable
+from repro.core.budgeted import run_budgeted_ssam
+from repro.core.ssam import run_ssam
+from repro.experiments.runner import build_single_round
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_ablation_budget_coverage(benchmark, sweep_config, show):
+    instance = build_single_round(PAPER_DEFAULTS, sweep_config.seeds[0])
+    unconstrained = run_ssam(instance)
+    full_payment = unconstrained.total_payment
+
+    table = ResultTable(
+        title="Ablation: demand coverage vs payment budget",
+        columns=["budget_fraction", "budget", "spent", "coverage", "winners"],
+    )
+    coverages = []
+    for fraction in (0.1, 0.25, 0.5, 0.75, 1.0, 1.2):
+        result = run_budgeted_ssam(instance, budget=full_payment * fraction)
+        coverages.append(result.coverage_fraction)
+        table.add_row(
+            budget_fraction=fraction,
+            budget=full_payment * fraction,
+            spent=result.budget_spent,
+            coverage=result.coverage_fraction,
+            winners=len(result.outcome.winners),
+        )
+    show(table)
+    assert all(b >= a - 1e-9 for a, b in zip(coverages, coverages[1:])), (
+        "coverage must be monotone in the budget"
+    )
+    assert coverages[-1] == 1.0
+
+    benchmark(run_budgeted_ssam, instance, full_payment * 0.5)

@@ -1,0 +1,60 @@
+"""Cross-mechanism comparison: SSAM vs the baseline band.
+
+Not a paper panel, but the context the paper's introduction argues from:
+the truthful auction against posted prices (the intro's strawman), random
+selection (the floor), pay-as-bid (the payment-rule ablation of DESIGN.md
+decision 2), and VCG (the exact truthful gold standard).
+
+Reported per mechanism: social cost, platform payment, and whether the
+market always cleared.  Expected ordering on social cost:
+VCG = optimum ≤ SSAM ≤ random, with posted-price payments above SSAM's
+when the price is set high enough to clear.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ResultTable
+from repro.baselines.fixed_pricing import run_posted_price
+from repro.baselines.pay_as_bid import run_pay_as_bid
+from repro.baselines.random_mechanism import run_random_selection
+from repro.baselines.vcg import run_vcg
+from repro.core.ssam import run_ssam
+from repro.experiments.runner import build_single_round
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_baseline_comparison(benchmark, sweep_config, show):
+    table = ResultTable(
+        title="Mechanism comparison on the paper-default market",
+        columns=["mechanism", "social_cost", "total_payment", "cleared"],
+        precision=2,
+    )
+    rng = np.random.default_rng(sweep_config.seeds[0])
+    instance = build_single_round(PAPER_DEFAULTS, sweep_config.seeds[0])
+
+    ssam = run_ssam(instance)
+    vcg = run_vcg(instance)
+    pab = run_pay_as_bid(instance)
+    rnd = run_random_selection(instance, rng)
+    # Post the market-clearing price (top of the paper's U[10,35] range).
+    posted = run_posted_price(instance, unit_price=35.0)
+
+    table.add_row(mechanism="VCG (optimal)", social_cost=vcg.social_cost,
+                  total_payment=vcg.total_payment, cleared=True)
+    table.add_row(mechanism="SSAM", social_cost=ssam.social_cost,
+                  total_payment=ssam.total_payment, cleared=True)
+    table.add_row(mechanism="pay-as-bid greedy", social_cost=pab.social_cost,
+                  total_payment=pab.total_payment, cleared=True)
+    table.add_row(mechanism="random cover", social_cost=rnd.social_cost,
+                  total_payment=rnd.total_payment, cleared=True)
+    table.add_row(mechanism="posted price (35)", social_cost=posted.social_cost,
+                  total_payment=posted.total_payment,
+                  cleared=posted.satisfied)
+    show(table)
+
+    assert vcg.social_cost <= ssam.social_cost + 1e-9
+    assert ssam.social_cost <= rnd.social_cost + 1e-9
+    assert pab.social_cost == ssam.social_cost
+    assert pab.total_payment <= ssam.total_payment + 1e-9
+
+    benchmark(run_vcg, instance)

@@ -1,0 +1,80 @@
+"""Theorem-7 empirics: competitive ratio vs the capacity margin β.
+
+Theorem 7 bounds MSOA's competitive ratio by αβ/(β−1): the guarantee
+*improves* as sellers' long-run capacities Θ grow relative to their bid
+sizes.  This bench sweeps the capacity range from tight to generous,
+measures β, the theoretical bound, and the realized online/offline
+ratio, and checks the theorem's direction: the bound is monotone
+decreasing in β and the measured ratio always sits below it.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ResultTable
+from repro.baselines.offline import run_offline_optimal
+from repro.core.msoa import run_msoa
+from repro.core.ssam import PaymentRule
+from repro.errors import InfeasibleInstanceError
+from repro.workload.bidgen import (
+    MarketConfig,
+    ensure_online_feasible,
+    generate_horizon,
+)
+
+
+def _measure(capacity_range, seed):
+    rng = np.random.default_rng(seed)
+    config = MarketConfig(n_sellers=14, n_buyers=5)
+    horizon, capacities = generate_horizon(
+        config, rng, rounds=8, capacity_range=capacity_range
+    )
+    capacities = ensure_online_feasible(horizon, capacities)
+    try:
+        outcome = run_msoa(
+            horizon,
+            capacities,
+            payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+            on_infeasible="raise",
+        )
+    except InfeasibleInstanceError:
+        return None
+    offline = run_offline_optimal(horizon, capacities)
+    if offline.social_cost <= 0:
+        return None
+    return (
+        outcome.beta,
+        outcome.competitive_bound,
+        outcome.social_cost / offline.social_cost,
+    )
+
+
+def test_beta_sensitivity(benchmark, sweep_config, show):
+    table = ResultTable(
+        title="Theorem 7: competitive ratio vs capacity margin beta",
+        columns=["capacity_range", "beta", "bound", "measured_ratio"],
+    )
+    bounds = []
+    for capacity_range in ((4, 8), (8, 16), (16, 32), (32, 64)):
+        rows = []
+        for seed in sweep_config.seeds[:2]:
+            result = _measure(capacity_range, seed)
+            if result is not None:
+                rows.append(result)
+        if not rows:
+            continue
+        beta = float(np.mean([r[0] for r in rows]))
+        bound = float(np.mean([r[1] for r in rows]))
+        ratio = float(np.mean([r[2] for r in rows]))
+        bounds.append(bound)
+        table.add_row(
+            capacity_range=str(capacity_range),
+            beta=beta,
+            bound=bound,
+            measured_ratio=ratio,
+        )
+        assert ratio <= bound + 1e-6, "Theorem 7 violated"
+    show(table)
+    # The theoretical guarantee improves (bound shrinks) as beta grows.
+    assert bounds == sorted(bounds, reverse=True) or len(bounds) < 2
+
+    benchmark(_measure, (16, 32), sweep_config.seeds[0])

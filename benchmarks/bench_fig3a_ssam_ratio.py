@@ -1,0 +1,26 @@
+"""Figure 3(a): SSAM performance ratio vs number of microservices.
+
+Regenerates the panel's series (ratio per microservice count for J ∈
+{1, 2} alongside the W·Ξ bound) and benchmarks the SSAM kernel on the
+paper-default market.
+
+Paper shape targets (EXPERIMENTS.md): the J=1 curve stays ≈ 1; the J=2
+curve sits above it; every measurement respects the Theorem-3 bound.
+"""
+
+from repro.core.ssam import run_ssam
+from repro.experiments.figures import fig3a
+from repro.experiments.runner import build_single_round
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_fig3a_ssam_performance_ratio(benchmark, sweep_config, show):
+    table = fig3a(sweep_config)
+    show(table)
+    # Shape assertions: within bound, J=1 near-optimal.
+    for row in table.rows:
+        assert row["ratio"] <= row["bound_WXi"] + 1e-9
+        if row["bids_per_seller"] == 1:
+            assert row["ratio"] <= 1.5
+    instance = build_single_round(PAPER_DEFAULTS, sweep_config.seeds[0])
+    benchmark(run_ssam, instance)

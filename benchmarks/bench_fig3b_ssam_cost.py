@@ -1,0 +1,31 @@
+"""Figure 3(b): SSAM social cost, total payment, and exact optimum.
+
+Regenerates the panel's three series per request level (100 vs 200 user
+requests) and benchmarks the full SSAM-with-payments round.
+
+Paper shape targets: social cost grows with the number of microservices;
+payment ≥ social cost ≥ optimum; the 200-request series sits above the
+100-request series.
+"""
+
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.experiments.figures import fig3b
+from repro.experiments.runner import build_single_round
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_fig3b_cost_payment_optimum(benchmark, sweep_config, show):
+    table = fig3b(sweep_config)
+    show(table)
+    for row in table.rows:
+        assert row["total_payment"] >= row["social_cost"] - 1e-9
+        assert row["social_cost"] >= row["optimal_cost"] - 1e-9
+    by_count: dict[int, dict[int, float]] = {}
+    for row in table.rows:
+        by_count.setdefault(row["microservices"], {})[row["requests"]] = row[
+            "social_cost"
+        ]
+    for costs in by_count.values():
+        assert costs[200] > costs[100]
+    instance = build_single_round(PAPER_DEFAULTS, sweep_config.seeds[0])
+    benchmark(run_ssam, instance, payment_rule=PaymentRule.CRITICAL_RERUN)

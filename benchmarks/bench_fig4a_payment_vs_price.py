@@ -1,0 +1,29 @@
+"""Figure 4(a): per-winner payment vs actual price (individual rationality).
+
+Regenerates the scatter (one row per winning bid) and benchmarks the
+critical-payment computation in isolation.
+
+Paper shape target: every payment bar sits at or above its price bar.
+"""
+
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.experiments.figures import fig4a
+from repro.experiments.runner import build_single_round
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_fig4a_individual_rationality(benchmark, sweep_config, show):
+    table = fig4a(sweep_config)
+    show(table)
+    assert table.rows, "expected at least one winner"
+    for row in table.rows:
+        assert row["payment"] >= row["price"] - 1e-9
+        assert row["payment_covers_price"] is True
+
+    instance = build_single_round(PAPER_DEFAULTS, sweep_config.seeds[0])
+
+    def payments_only():
+        outcome = run_ssam(instance, payment_rule=PaymentRule.CRITICAL_RERUN)
+        return outcome.total_payment
+
+    benchmark(payments_only)

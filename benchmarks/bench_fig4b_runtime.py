@@ -1,0 +1,32 @@
+"""Figure 4(b): SSAM running time vs market size.
+
+Regenerates the runtime table (per payment rule) and uses
+pytest-benchmark to time the paper-literal mechanism at the largest sweep
+size, asserting the paper's "< 100 ms even with large data size" claim
+for the runner-up payment rule.
+"""
+
+import dataclasses
+
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.experiments.figures import fig4b
+from repro.experiments.runner import build_single_round
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_fig4b_runtime(benchmark, sweep_config, show):
+    table = fig4b(sweep_config, repeats=3)
+    show(table)
+    for row in table.rows:
+        assert row["runner_up_ms"] < 100.0, (
+            "paper claims sub-100ms rounds at evaluation scale"
+        )
+    largest = dataclasses.replace(
+        PAPER_DEFAULTS,
+        n_microservices=max(sweep_config.microservice_counts),
+    )
+    instance = build_single_round(largest, sweep_config.seeds[0])
+    result = benchmark(
+        run_ssam, instance, payment_rule=PaymentRule.ITERATION_RUNNER_UP
+    )
+    result.verify()

@@ -1,0 +1,39 @@
+"""Figure 5(a): MSOA performance ratio and the DA/RC/OA variants.
+
+Regenerates the four variants' ratio-to-offline-optimum series over the
+microservice sweep and benchmarks one full online round (scaled pricing +
+SSAM + ψ update).
+
+Paper shape targets: all variants ≥ 1 (online never beats clairvoyant);
+the demand-aware variant (MSOA-DA) achieves the lowest ratio of the
+single-knob variants; plain MSOA pays for its estimation error.
+"""
+
+from repro.core.msoa import MultiStageOnlineAuction
+from repro.core.ssam import PaymentRule
+from repro.experiments.figures import fig5a
+from repro.experiments.runner import build_horizon_scenario
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_fig5a_online_ratio_variants(benchmark, sweep_config, show):
+    table = fig5a(sweep_config)
+    show(table)
+    for row in table.rows:
+        for name in ("MSOA", "MSOA-DA", "MSOA-RC", "MSOA-OA"):
+            assert row[name] >= 1.0 - 0.05
+        assert row["MSOA-DA"] <= row["MSOA"] + 0.05
+
+    scenario = build_horizon_scenario(
+        PAPER_DEFAULTS, sweep_config.seeds[0], estimation_sigma=0.0
+    )
+
+    def one_online_round():
+        auction = MultiStageOnlineAuction(
+            scenario.capacities,
+            payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+            on_infeasible="best_effort",
+        )
+        return auction.process_round(scenario.rounds_true[0])
+
+    benchmark(one_online_round)

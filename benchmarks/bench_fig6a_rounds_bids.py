@@ -1,0 +1,37 @@
+"""Figure 6(a): MSOA ratio vs number of rounds T and bids-per-user J.
+
+Regenerates the T × J ratio grid and benchmarks the clairvoyant offline
+MILP (the panel's denominator), whose cost dominates this sweep.
+
+Paper shape targets: wider bid menus (larger J) worsen the ratio on
+average; the ratio does not improve as the horizon lengthens.
+"""
+
+import numpy as np
+
+from repro.baselines.offline import run_offline_optimal
+from repro.experiments.figures import fig6a
+from repro.experiments.runner import build_horizon_scenario
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_fig6a_rounds_and_bids(benchmark, sweep_config, show):
+    table = fig6a(sweep_config)
+    show(table)
+    for row in table.rows:
+        assert row["ratio"] >= 1.0 - 0.05
+    # Shape: average ratio with the largest J >= average with J = 1.
+    j_values = sorted({row["bids_J"] for row in table.rows})
+    if len(j_values) > 1:
+        means = {
+            j: np.mean([r["ratio"] for r in table.rows if r["bids_J"] == j])
+            for j in j_values
+        }
+        assert means[j_values[-1]] >= means[j_values[0]] - 0.10
+
+    scenario = build_horizon_scenario(
+        PAPER_DEFAULTS, sweep_config.seeds[0], estimation_sigma=0.0
+    )
+    benchmark(
+        run_offline_optimal, scenario.rounds_true, scenario.capacities
+    )

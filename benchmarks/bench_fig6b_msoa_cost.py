@@ -1,0 +1,39 @@
+"""Figure 6(b): MSOA social cost, total payment, and offline optimum.
+
+Regenerates the online cost anatomy over the microservice sweep per
+request level and benchmarks a full MSOA horizon end to end.
+
+Paper shape targets: payment ≥ online social cost ≥ offline optimum;
+the 200-request series sits above the 100-request series.
+"""
+
+from repro.core.msoa import run_msoa
+from repro.core.ssam import PaymentRule
+from repro.experiments.figures import fig6b
+from repro.experiments.runner import build_horizon_scenario
+from repro.workload.scenarios import PAPER_DEFAULTS
+
+
+def test_fig6b_online_cost_anatomy(benchmark, sweep_config, show):
+    table = fig6b(sweep_config)
+    show(table)
+    by_count: dict[int, dict[int, float]] = {}
+    for row in table.rows:
+        assert row["total_payment"] >= row["social_cost"] - 1e-9
+        assert row["social_cost"] >= row["offline_optimal"] - 1e-6
+        by_count.setdefault(row["microservices"], {})[row["requests"]] = row[
+            "social_cost"
+        ]
+    for costs in by_count.values():
+        assert costs[200] > costs[100]
+
+    scenario = build_horizon_scenario(
+        PAPER_DEFAULTS, sweep_config.seeds[0], estimation_sigma=0.0
+    )
+    benchmark(
+        run_msoa,
+        scenario.rounds_true,
+        scenario.capacities,
+        payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+        on_infeasible="best_effort",
+    )

@@ -1,0 +1,70 @@
+"""Ablation: SSAM's density rule vs simpler greedy ranking keys.
+
+Clears per-unit-priced markets with three selection rules — SSAM's
+price-per-marginal-unit density key, cheapest-whole-price-first, and
+largest-coverage-first — and reports mean social cost against the
+optimum.  Expected shape: density ≤ both simplifications, with
+cheapest-price the worst (it buys coverage retail, one cheap unit at a
+time).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ResultTable
+from repro.baselines.greedy_variants import VARIANT_KEYS, run_greedy_variant
+from repro.core.bids import Bid
+from repro.core.wsp import WSPInstance
+from repro.solvers.milp import solve_wsp_optimal
+from repro.workload.bidgen import MarketConfig, generate_round
+
+
+def _per_unit_priced(base, rng):
+    return WSPInstance(
+        bids=tuple(
+            Bid(
+                seller=b.seller,
+                index=b.index,
+                covered=b.covered,
+                price=float(rng.uniform(10.0, 35.0)) * b.size,
+            )
+            for b in base.bids
+        ),
+        demand=base.demand,
+        price_ceiling=None,
+    )
+
+
+def test_greedy_ranking_ablation(benchmark, sweep_config, show):
+    rng = np.random.default_rng(sweep_config.seeds[0])
+    totals = {name: [] for name in VARIANT_KEYS}
+    optima = []
+    for _ in range(10):
+        instance = _per_unit_priced(
+            generate_round(MarketConfig(n_sellers=20, n_buyers=6), rng), rng
+        )
+        optima.append(solve_wsp_optimal(instance).objective)
+        for name in VARIANT_KEYS:
+            totals[name].append(run_greedy_variant(instance, name).social_cost)
+
+    table = ResultTable(
+        title="Ablation: greedy ranking keys (mean over 10 markets)",
+        columns=["rule", "mean_social_cost", "vs_optimum"],
+    )
+    mean_opt = float(np.mean(optima))
+    for name in ("density", "largest_coverage", "cheapest_price"):
+        mean_cost = float(np.mean(totals[name]))
+        table.add_row(
+            rule=name,
+            mean_social_cost=mean_cost,
+            vs_optimum=mean_cost / mean_opt,
+        )
+    show(table)
+
+    density = float(np.mean(totals["density"]))
+    assert density <= float(np.mean(totals["cheapest_price"])) + 1e-9
+    assert density <= float(np.mean(totals["largest_coverage"])) + 1e-9
+
+    instance = _per_unit_priced(
+        generate_round(MarketConfig(n_sellers=20, n_buyers=6), rng), rng
+    )
+    benchmark(run_greedy_variant, instance, "density")

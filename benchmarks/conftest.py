@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one panel of the paper's evaluation
+(Figures 3–6) and prints the series as a text table, while pytest-benchmark
+times the mechanism kernel that panel exercises.
+
+By default the benches run the QUICK sweep (reduced axes, 2 seeds) so the
+whole harness finishes in minutes; set ``REPRO_FULL_SWEEP=1`` to run the
+paper-scale FULL sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import FULL, QUICK, ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def sweep_config() -> ExperimentConfig:
+    """QUICK by default; FULL when REPRO_FULL_SWEEP=1."""
+    return FULL if os.environ.get("REPRO_FULL_SWEEP") == "1" else QUICK
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a result table to the real terminal (outside capture)."""
+
+    def _show(table):
+        with capsys.disabled():
+            print("\n" + table.render() + "\n")
+
+    return _show

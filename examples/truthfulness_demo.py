@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Why lie? — an empirical demonstration of truthfulness (Theorem 4).
+
+Takes one seller in a random market and sweeps its announced price from
+0.3× to 3× its true cost, re-running the auction each time.  The printed
+utility curve shows the Myerson structure: under-bidding still wins but
+cannot raise the (critical-value) payment; over-bidding eventually loses
+the auction and drops utility to zero.  Truth-telling is on the utility
+plateau — there is never a strictly better announcement.
+
+Also contrasts the pay-as-bid baseline, where the same sweep *does* show
+a profitable lie (the reason naive payments break incentive
+compatibility).
+
+Run with::
+
+    python examples/truthfulness_demo.py
+"""
+
+import numpy as np
+
+from repro import MarketConfig, generate_round, run_ssam
+from repro.baselines.pay_as_bid import run_pay_as_bid
+
+
+def utility_curve(market, bid, factors):
+    """Seller utility under SSAM and pay-as-bid for each price factor."""
+    rows = []
+    for factor in factors:
+        announced = bid.with_price(bid.cost * factor)
+        deviated = market.replace_bid(announced)
+        ssam = run_ssam(deviated)
+        ssam_utility = ssam.utility_of(bid.seller)
+        pab = run_pay_as_bid(deviated)
+        pab_utility = 0.0
+        for winner in pab.winners:
+            if winner.seller == bid.seller:
+                pab_utility = winner.price - bid.cost
+        rows.append((factor, ssam_utility, pab_utility))
+    return rows
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    market = generate_round(
+        MarketConfig(n_sellers=12, n_buyers=4, bids_per_seller=1), rng
+    )
+    truthful = run_ssam(market)
+    # Pick a winning seller so the sweep crosses the win/lose boundary.
+    target = truthful.winners[0].bid
+    print(f"target: seller {target.seller}, covers {sorted(target.covered)}, "
+          f"true cost {target.cost:.2f}\n")
+
+    factors = [0.3, 0.5, 0.7, 0.9, 1.0, 1.1, 1.3, 1.6, 2.0, 2.5, 3.0]
+    rows = utility_curve(market, target, factors)
+
+    print("price-factor  announced  SSAM-utility  pay-as-bid-utility")
+    truthful_utility = dict((f, u) for f, u, _ in rows)[1.0]
+    for factor, ssam_utility, pab_utility in rows:
+        marker = "  <- truth" if factor == 1.0 else ""
+        print(f"{factor:12.1f}  {target.cost * factor:9.2f}  "
+              f"{ssam_utility:12.2f}  {pab_utility:18.2f}{marker}")
+
+    best = max(u for _, u, _ in rows)
+    print(f"\nSSAM: best achievable utility {best:.2f} vs truthful "
+          f"{truthful_utility:.2f} -> lying never helps")
+    best_pab = max(u for _, _, u in rows)
+    pab_truth = dict((f, u) for f, _, u in rows)[1.0]
+    if best_pab > pab_truth + 1e-9:
+        print(f"pay-as-bid: over-asking lifts utility from {pab_truth:.2f} "
+              f"to {best_pab:.2f} -> naive payments invite manipulation")
+    assert best <= truthful_utility + 1e-7
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Embed results/*.txt tables into EXPERIMENTS.md.
+
+EXPERIMENTS.md carries ``<!-- RESULTS:figNN -->`` markers; this script
+replaces each marker (and any previously embedded block following it)
+with the corresponding table from ``results/figNN.txt``, wrapped in a
+fenced code block.  Idempotent: re-running after a new sweep refreshes
+the numbers in place.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+MARKER = re.compile(
+    r"<!-- RESULTS:(?P<panel>fig\w+) -->(?:\n```\n.*?\n```)?",
+    re.DOTALL,
+)
+
+
+def embed(experiments_path="EXPERIMENTS.md", results_dir="results") -> int:
+    path = pathlib.Path(experiments_path)
+    text = path.read_text()
+    results = pathlib.Path(results_dir)
+    replaced = 0
+
+    def replacement(match: re.Match) -> str:
+        nonlocal replaced
+        panel = match.group("panel")
+        table_file = results / f"{panel}.txt"
+        if not table_file.exists():
+            return match.group(0)  # keep the marker; table not produced yet
+        table = table_file.read_text().strip()
+        replaced += 1
+        return f"<!-- RESULTS:{panel} -->\n```\n{table}\n```"
+
+    path.write_text(MARKER.sub(replacement, text))
+    return replaced
+
+
+if __name__ == "__main__":
+    count = embed()
+    print(f"embedded {count} result tables into EXPERIMENTS.md")

@@ -1,0 +1,20 @@
+"""Run the paper-scale figure sweeps and save each table to results/."""
+import time
+
+from repro.experiments import FULL, fig3a, fig3b, fig4a, fig4b, fig5a, fig6a, fig6b
+
+PANELS = [
+    ("fig3a", fig3a), ("fig3b", fig3b), ("fig4a", fig4a), ("fig4b", fig4b),
+    ("fig5a", fig5a), ("fig6a", fig6a), ("fig6b", fig6b),
+]
+
+for name, fn in PANELS:
+    start = time.time()
+    table = fn(FULL)
+    text = table.render()
+    with open(f"results/{name}.txt", "w") as fh:
+        fh.write(text + "\n")
+    print(f"{name} done in {time.time()-start:.1f}s")
+    print(text)
+    print()
+print("ALL DONE")

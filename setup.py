@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` also works on offline machines whose
+setuptools cannot build PEP-517 editable wheels (the legacy
+``setup.py develop`` path needs no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""Economic-property audits: truthfulness, individual rationality, budget.
+
+These functions *empirically verify* the paper's Theorems 4, 5 and
+Definition 5 on concrete instances: they re-run the mechanism under
+counterfactual bids and check the resulting utilities.  The property-based
+test suite drives them over randomized instances; the benchmarks use them
+to produce the Figure-4(a) payment-vs-price data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.outcomes import AuctionOutcome
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import InfeasibleInstanceError
+
+__all__ = [
+    "IRViolation",
+    "audit_individual_rationality",
+    "DeviationResult",
+    "probe_truthfulness",
+    "payment_price_pairs",
+]
+
+
+@dataclass(frozen=True)
+class IRViolation:
+    """A winner paid less than its announced price (should never exist)."""
+
+    bid_key: tuple[int, int]
+    price: float
+    payment: float
+
+
+def audit_individual_rationality(outcome: AuctionOutcome) -> list[IRViolation]:
+    """Return every IR violation in ``outcome`` (Theorem 5: empty list).
+
+    IR here is checked against the *selection* price — the price the bid
+    entered the auction with — which under MSOA is the scaled price and
+    therefore at least the announced price.
+    """
+    violations = []
+    for winner in outcome.winners:
+        if winner.payment < winner.bid.price - 1e-9:
+            violations.append(
+                IRViolation(
+                    bid_key=winner.bid.key,
+                    price=winner.bid.price,
+                    payment=winner.payment,
+                )
+            )
+    return violations
+
+
+@dataclass(frozen=True)
+class DeviationResult:
+    """Outcome of one counterfactual price deviation.
+
+    ``gain`` is the deviating seller's utility change; truthfulness means
+    gain ≤ 0 for every deviation (Theorem 4).
+    """
+
+    bid_key: tuple[int, int]
+    true_price: float
+    deviated_price: float
+    truthful_utility: float
+    deviated_utility: float
+
+    @property
+    def gain(self) -> float:
+        """Utility improvement from lying (≤ 0 under a truthful mechanism)."""
+        return self.deviated_utility - self.truthful_utility
+
+
+def probe_truthfulness(
+    instance: WSPInstance,
+    *,
+    rng: np.random.Generator,
+    deviations_per_bid: int = 3,
+    payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    price_factor_range: tuple[float, float] = (0.3, 3.0),
+) -> list[DeviationResult]:
+    """Test unilateral price deviations on every bid of ``instance``.
+
+    For each bid, samples ``deviations_per_bid`` counterfactual prices
+    (multiplicative factors of the true price), re-runs the auction with
+    only that bid's price changed, and records the seller's utility under
+    truth vs. deviation.  Bids are assumed truthful in ``instance``
+    (``price == true_cost``); utilities use the true cost throughout.
+    """
+    truthful = run_ssam(instance, payment_rule=payment_rule)
+    results: list[DeviationResult] = []
+    low, high = price_factor_range
+    for bid in instance.bids:
+        truthful_utility = truthful.utility_of(bid.seller)
+        for _ in range(deviations_per_bid):
+            factor = float(rng.uniform(low, high))
+            deviated_bid = bid.with_price(bid.cost * factor)
+            deviated_instance = instance.replace_bid(deviated_bid)
+            try:
+                deviated = run_ssam(deviated_instance, payment_rule=payment_rule)
+            except InfeasibleInstanceError:
+                continue
+            results.append(
+                DeviationResult(
+                    bid_key=bid.key,
+                    true_price=bid.cost,
+                    deviated_price=deviated_bid.price,
+                    truthful_utility=truthful_utility,
+                    deviated_utility=deviated.utility_of(bid.seller),
+                )
+            )
+    return results
+
+
+def payment_price_pairs(outcome: AuctionOutcome) -> list[tuple[float, float]]:
+    """Per-winner ``(price, payment)`` pairs — the Figure 4(a) scatter."""
+    return [(w.bid.price, w.payment) for w in outcome.winners]

@@ -1,0 +1,74 @@
+"""Empirical performance- and competitive-ratio computation.
+
+The figures' y-axes: the *performance ratio* of a mechanism's social cost
+to the exact optimum (single round: Figure 3(a); online horizon against
+the clairvoyant optimum: Figures 5(a), 6(a)).  These helpers pair a
+mechanism outcome with the right exact solver and return the ratio plus
+the theoretical bound for cross-checking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.baselines.offline import run_offline_optimal
+from repro.core.outcomes import AuctionOutcome, OnlineOutcome
+from repro.core.wsp import WSPInstance
+from repro.solvers.milp import solve_wsp_optimal
+
+__all__ = ["RatioReport", "ssam_performance_ratio", "msoa_performance_ratio"]
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """A measured ratio next to its theoretical ceiling."""
+
+    mechanism_cost: float
+    optimal_cost: float
+    ratio: float
+    theoretical_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the measurement respects the theorem (tolerance 1e-9)."""
+        return self.ratio <= self.theoretical_bound + 1e-9
+
+
+def _safe_ratio(cost: float, optimum: float) -> float:
+    if optimum <= 0:
+        return 1.0 if cost <= 0 else float("inf")
+    return cost / optimum
+
+
+def ssam_performance_ratio(outcome: AuctionOutcome) -> RatioReport:
+    """Figure 3(a): SSAM's social cost over the exact round optimum."""
+    optimum = solve_wsp_optimal(outcome.instance).objective
+    return RatioReport(
+        mechanism_cost=outcome.social_cost,
+        optimal_cost=optimum,
+        ratio=_safe_ratio(outcome.social_cost, optimum),
+        theoretical_bound=outcome.ratio_bound,
+    )
+
+
+def msoa_performance_ratio(
+    outcome: OnlineOutcome,
+    rounds: Sequence[WSPInstance],
+    capacities: Mapping[int, int] | None = None,
+) -> RatioReport:
+    """Figures 5(a)/6(a): MSOA's horizon cost over the offline optimum.
+
+    ``rounds`` must be the instances the online mechanism actually saw (at
+    announced prices); the offline solver gets the same horizon plus the
+    capacity coupling.
+    """
+    offline = run_offline_optimal(
+        rounds, capacities if capacities is not None else outcome.capacities
+    )
+    return RatioReport(
+        mechanism_cost=outcome.social_cost,
+        optimal_cost=offline.social_cost,
+        ratio=_safe_ratio(outcome.social_cost, offline.social_cost),
+        theoretical_bound=outcome.competitive_bound,
+    )

@@ -1,0 +1,75 @@
+"""Plain-text result tables for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's figures plot; this
+module renders them as aligned text tables so `pytest benchmarks/` output
+is directly comparable to the paper, no plotting dependencies needed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment rows.
+
+    Columns are declared up front; rows are mappings from column name to
+    value.  Numeric values are rendered with a fixed precision; missing
+    cells render as ``-``.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Mapping[str, object]] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, **values: object) -> None:
+        """Append a row (keyword arguments keyed by column name)."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ConfigurationError(
+                f"row has unknown columns {sorted(unknown)}; "
+                f"declared columns are {list(self.columns)}"
+            )
+        self.rows.append(dict(values))
+
+    def _format(self, value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.{self.precision}f}"
+        return str(value)
+
+    def render(self) -> str:
+        """The aligned text rendering (title, header, separator, rows)."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [self._format(row.get(c)) for c in self.columns] for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ConfigurationError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,123 @@
+"""Statistical summaries for experiment sweeps.
+
+The figure tables report seed means; this module adds the machinery a
+careful evaluation wants on top: bootstrap confidence intervals, paired
+comparisons between mechanisms on the same seeds, and a compact
+:class:`SummaryStats` record used by the extended experiment reports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "bootstrap_ci",
+    "paired_delta",
+    "geometric_mean",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, spread, and a bootstrap CI of one measured series."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    def overlaps(self, other: "SummaryStats") -> bool:
+        """Whether the two 95% CIs overlap (a cheap 'not clearly different')."""
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Deterministic for a given ``rng``; with one observation the interval
+    degenerates to that point.
+    """
+    if len(values) == 0:
+        raise ConfigurationError("bootstrap needs at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0,1), got {confidence}")
+    data = np.asarray(list(values), dtype=float)
+    if len(data) == 1:
+        return float(data[0]), float(data[0])
+    rng = rng if rng is not None else np.random.default_rng(0)
+    means = np.mean(
+        rng.choice(data, size=(resamples, len(data)), replace=True), axis=1
+    )
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> SummaryStats:
+    """Full summary (mean/std/min/max/CI) of a measured series."""
+    if len(values) == 0:
+        raise ConfigurationError("cannot summarize an empty series")
+    data = np.asarray(list(values), dtype=float)
+    if np.any(~np.isfinite(data)):
+        raise ConfigurationError("series contains non-finite values")
+    low, high = bootstrap_ci(data, confidence=confidence, rng=rng)
+    return SummaryStats(
+        mean=float(np.mean(data)),
+        std=float(np.std(data, ddof=1)) if len(data) > 1 else 0.0,
+        minimum=float(np.min(data)),
+        maximum=float(np.max(data)),
+        ci_low=low,
+        ci_high=high,
+        n=len(data),
+    )
+
+
+def paired_delta(
+    baseline: Sequence[float], treatment: Sequence[float]
+) -> SummaryStats:
+    """Summary of per-seed differences ``treatment − baseline``.
+
+    Both series must come from the *same seeds in the same order* —
+    pairing removes the between-seed variance that drowns small
+    mechanism-level differences in unpaired comparisons.
+    """
+    if len(baseline) != len(treatment):
+        raise ConfigurationError(
+            f"paired series must have equal length, got {len(baseline)} "
+            f"vs {len(treatment)}"
+        )
+    deltas = [t - b for b, t in zip(baseline, treatment)]
+    return summarize(deltas)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean — the right average for performance *ratios*."""
+    if len(values) == 0:
+        raise ConfigurationError("geometric mean needs at least one value")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric mean needs positive values")
+    return float(math.exp(np.mean(np.log(np.asarray(list(values))))))

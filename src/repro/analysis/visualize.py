@@ -1,0 +1,95 @@
+"""Dependency-free ASCII visualization of experiment series.
+
+The benchmark harness prints tables; sometimes a shape is easier to eyeball
+as a picture.  These helpers render series as unicode spark-lines and
+simple horizontal bar charts — enough to see "who wins and where the
+crossover falls" straight in a terminal, with no plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "bar_chart", "series_panel"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a unicode spark-line.
+
+    Constant series render flat at the lowest tick; empty input is an
+    error (there is nothing to draw).
+    """
+    if not values:
+        raise ConfigurationError("sparkline needs at least one value")
+    lo = min(values)
+    hi = max(values)
+    if hi - lo < 1e-12:
+        return _TICKS[0] * len(values)
+    scale = (len(_TICKS) - 1) / (hi - lo)
+    return "".join(_TICKS[int(round((v - lo) * scale))] for v in values)
+
+
+def bar_chart(
+    items: Mapping[str, float],
+    *,
+    width: int = 40,
+    precision: int = 2,
+) -> str:
+    """Render a label→value mapping as horizontal bars.
+
+    Bars scale to the maximum value; labels are left-aligned, values
+    printed after each bar.
+    """
+    if not items:
+        raise ConfigurationError("bar_chart needs at least one item")
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    top = max(items.values())
+    if top < 0:
+        raise ConfigurationError("bar_chart needs non-negative values")
+    label_width = max(len(str(label)) for label in items)
+    lines = []
+    for label, value in items.items():
+        if value < 0:
+            raise ConfigurationError(
+                f"bar_chart needs non-negative values, got {label}={value}"
+            )
+        bar = "█" * (int(round(value / top * width)) if top > 0 else 0)
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar} {value:.{precision}f}"
+        )
+    return "\n".join(lines)
+
+
+def series_panel(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "",
+) -> str:
+    """Render several aligned series as labelled spark-lines.
+
+    All series must share a length (they sit on the same x-axis).  The
+    value range is annotated per series so the compressed sparks stay
+    interpretable.
+    """
+    if not series:
+        raise ConfigurationError("series_panel needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(
+            f"all series must share a length, got lengths {sorted(lengths)}"
+        )
+    label_width = max(len(str(name)) for name in series)
+    lines = []
+    if x_label:
+        lines.append(f"{' ' * label_width}  ({x_label} →)")
+    for name, values in series.items():
+        lines.append(
+            f"{str(name).ljust(label_width)}  {sparkline(values)}  "
+            f"[{min(values):.3g} .. {max(values):.3g}]"
+        )
+    return "\n".join(lines)

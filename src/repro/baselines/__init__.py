@@ -1,0 +1,39 @@
+"""Baseline mechanisms the paper's design is compared against.
+
+* :mod:`repro.baselines.fixed_pricing` — the introduction's posted-price
+  alternative.
+* :mod:`repro.baselines.random_mechanism` — the sanity-floor random cover.
+* :mod:`repro.baselines.pay_as_bid` — SSAM's allocation with naive
+  payments (isolates the price of truthfulness).
+* :mod:`repro.baselines.vcg` — the exact truthful gold standard.
+* :mod:`repro.baselines.offline` — the clairvoyant horizon optimum
+  (competitive-ratio denominator).
+"""
+
+from repro.baselines.fixed_pricing import PostedPriceResult, run_posted_price
+from repro.baselines.greedy_variants import (
+    VARIANT_KEYS,
+    GreedyVariantResult,
+    run_greedy_variant,
+)
+from repro.baselines.offline import OfflineResult, run_offline_greedy, run_offline_optimal
+from repro.baselines.pay_as_bid import PayAsBidResult, run_pay_as_bid
+from repro.baselines.random_mechanism import RandomSelectionResult, run_random_selection
+from repro.baselines.vcg import VCGResult, run_vcg
+
+__all__ = [
+    "PostedPriceResult",
+    "run_posted_price",
+    "OfflineResult",
+    "VARIANT_KEYS",
+    "GreedyVariantResult",
+    "run_greedy_variant",
+    "run_offline_greedy",
+    "run_offline_optimal",
+    "PayAsBidResult",
+    "run_pay_as_bid",
+    "RandomSelectionResult",
+    "run_random_selection",
+    "VCGResult",
+    "run_vcg",
+]

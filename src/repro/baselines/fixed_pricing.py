@@ -1,0 +1,89 @@
+"""The flat-price repurchasing baseline (the introduction's alternative).
+
+"One approach ... may be 'pricing', i.e., letting the edge cloud operator
+repurchase those resources from the microservices at fixed or flat
+prices."  The operator posts a per-unit price; sellers accept when the
+price covers their own per-unit cost; the platform then takes accepting
+bids (cheapest-per-unit first, to be generous to the baseline) until
+demand is covered, paying each winner the posted price per unit it
+contributes.
+
+The paper's critique — under-pricing starves the market, over-pricing
+overpays — is exactly what the posted-price benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bids import Bid
+from repro.core.wsp import CoverageState, WSPInstance
+from repro.errors import ConfigurationError
+
+__all__ = ["PostedPriceResult", "run_posted_price"]
+
+
+@dataclass(frozen=True)
+class PostedPriceResult:
+    """Outcome of the posted-price baseline on one round.
+
+    ``satisfied`` is False when the posted price attracted too few sellers
+    to cover demand; the remaining units are in ``unmet_units``.  Social
+    cost counts the winners' true costs; payments are posted-price.
+    """
+
+    posted_unit_price: float
+    winners: tuple[Bid, ...]
+    satisfied: bool
+    unmet_units: int
+
+    @property
+    def social_cost(self) -> float:
+        """Σ true costs of accepted offers."""
+        return float(sum(bid.cost for bid in self.winners))
+
+    @property
+    def total_payment(self) -> float:
+        """Posted price × units contributed, summed over winners."""
+        return float(
+            sum(self.posted_unit_price * bid.size for bid in self.winners)
+        )
+
+
+def run_posted_price(
+    instance: WSPInstance, unit_price: float
+) -> PostedPriceResult:
+    """Run the flat-price baseline at the posted per-unit ``unit_price``.
+
+    A seller accepts iff the posted revenue ``unit_price · |covered|``
+    covers its cost; among a seller's accepting alternative bids the one
+    with the best cost-per-unit is used (sellers self-select their most
+    profitable offer).
+    """
+    if unit_price <= 0:
+        raise ConfigurationError(f"unit_price must be positive, got {unit_price}")
+    demand = {b: u for b, u in instance.demand.items() if u > 0}
+    coverage = CoverageState(demand=demand)
+    # Each seller offers its cheapest-per-unit accepting bid.
+    accepting: dict[int, Bid] = {}
+    for bid in instance.bids:
+        if unit_price * bid.size < bid.cost:
+            continue  # posted price does not cover this seller's cost
+        current = accepting.get(bid.seller)
+        if current is None or bid.cost / bid.size < current.cost / current.size:
+            accepting[bid.seller] = bid
+    winners: list[Bid] = []
+    for bid in sorted(
+        accepting.values(), key=lambda b: (b.cost / b.size, b.seller)
+    ):
+        if coverage.satisfied:
+            break
+        if coverage.utility_of(bid) > 0:
+            coverage.apply(bid)
+            winners.append(bid)
+    return PostedPriceResult(
+        posted_unit_price=unit_price,
+        winners=tuple(winners),
+        satisfied=coverage.satisfied,
+        unmet_units=coverage.unmet,
+    )

@@ -1,0 +1,45 @@
+"""Greedy pay-as-bid — the same allocation as SSAM, naive payments.
+
+This baseline isolates the *payment rule*: winners are chosen by exactly
+SSAM's greedy, but each is paid its announced price instead of a critical
+value.  Pay-as-bid is NOT truthful — a seller gains by over-asking — so
+comparing it with SSAM quantifies the "price of truthfulness" (the
+payment overhead visible in Figure 3(b), where total payment sits above
+social cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bids import Bid
+from repro.core.ssam import greedy_selection
+from repro.core.wsp import WSPInstance
+
+__all__ = ["PayAsBidResult", "run_pay_as_bid"]
+
+
+@dataclass(frozen=True)
+class PayAsBidResult:
+    """Outcome of the pay-as-bid baseline on one round."""
+
+    winners: tuple[Bid, ...]
+
+    @property
+    def social_cost(self) -> float:
+        """Σ announced prices (equals the SSAM allocation's social cost)."""
+        return float(sum(bid.price for bid in self.winners))
+
+    @property
+    def total_payment(self) -> float:
+        """Pay-as-bid: payment = announced price."""
+        return self.social_cost
+
+
+def run_pay_as_bid(instance: WSPInstance) -> PayAsBidResult:
+    """Greedy winner selection, pay-as-bid payments."""
+    demand = {b: u for b, u in instance.demand.items() if u > 0}
+    if not demand:
+        return PayAsBidResult(winners=())
+    steps = greedy_selection(instance.bids, demand)
+    return PayAsBidResult(winners=tuple(step.bid for step in steps))

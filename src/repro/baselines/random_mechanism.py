@@ -1,0 +1,69 @@
+"""A random feasible winner selection (sanity-floor baseline).
+
+Selects bids in a uniformly random seller order (one random bid per
+seller) until demand is covered, paying each winner its announced price
+(pay-as-bid).  Any sensible mechanism should beat this on social cost;
+benchmarks use it as the floor of the comparison band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bids import Bid, group_bids_by_seller
+from repro.core.wsp import CoverageState, WSPInstance
+from repro.errors import InfeasibleInstanceError
+
+__all__ = ["RandomSelectionResult", "run_random_selection"]
+
+
+@dataclass(frozen=True)
+class RandomSelectionResult:
+    """Outcome of the random baseline on one round."""
+
+    winners: tuple[Bid, ...]
+
+    @property
+    def social_cost(self) -> float:
+        """Σ announced prices of the selected bids."""
+        return float(sum(bid.price for bid in self.winners))
+
+    @property
+    def total_payment(self) -> float:
+        """Pay-as-bid: payments equal the announced prices."""
+        return self.social_cost
+
+
+def run_random_selection(
+    instance: WSPInstance, rng: np.random.Generator
+) -> RandomSelectionResult:
+    """Cover the demand with randomly ordered sellers' random bids.
+
+    Useful bids (positive marginal utility) are taken as sellers come up
+    in the shuffled order; sellers whose sampled bid is useless are
+    revisited with their other bids before giving up, so the baseline
+    fails only on genuinely infeasible instances.
+    """
+    demand = {b: u for b, u in instance.demand.items() if u > 0}
+    coverage = CoverageState(demand=demand)
+    winners: list[Bid] = []
+    by_seller = group_bids_by_seller(instance.bids)
+    sellers = sorted(by_seller)
+    rng.shuffle(sellers)
+    for seller in sellers:
+        if coverage.satisfied:
+            break
+        bids = list(by_seller[seller])
+        rng.shuffle(bids)
+        for bid in bids:
+            if coverage.utility_of(bid) > 0:
+                coverage.apply(bid)
+                winners.append(bid)
+                break
+    if not coverage.satisfied:
+        raise InfeasibleInstanceError(
+            f"random selection could not cover {coverage.unmet} demand units"
+        )
+    return RandomSelectionResult(winners=tuple(winners))

@@ -1,0 +1,70 @@
+"""VCG over the exact solver — the truthful gold-standard reference.
+
+Vickrey–Clarke–Groves picks the *optimal* winner set (via the MILP) and
+pays each winner its externality: the optimal cost of the market without
+it minus the cost the others incur in the chosen optimum.  VCG is
+truthful and individually rational but needs exact optimization (NP-hard
+here), which is exactly why the paper builds a polynomial mechanism; the
+benchmark comparing SSAM with VCG shows what the approximation costs in
+social cost and what it saves in runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bids import Bid
+from repro.core.wsp import WSPInstance
+from repro.errors import InfeasibleInstanceError
+from repro.solvers.milp import solve_wsp_optimal
+
+__all__ = ["VCGResult", "run_vcg"]
+
+
+@dataclass(frozen=True)
+class VCGResult:
+    """Outcome of the VCG mechanism on one round."""
+
+    winners: tuple[Bid, ...]
+    payments: dict[tuple[int, int], float]
+
+    @property
+    def social_cost(self) -> float:
+        """Σ announced prices of the optimal winner set."""
+        return float(sum(bid.price for bid in self.winners))
+
+    @property
+    def total_payment(self) -> float:
+        """Σ VCG payments."""
+        return float(sum(self.payments.values()))
+
+    def utility_of(self, seller: int) -> float:
+        """Quasi-linear utility of ``seller`` under VCG."""
+        for bid in self.winners:
+            if bid.seller == seller:
+                return self.payments[bid.key] - bid.cost
+        return 0.0
+
+
+def run_vcg(instance: WSPInstance) -> VCGResult:
+    """Run VCG: optimal allocation + Clarke-pivot payments.
+
+    A winner whose removal makes the instance infeasible is pivotal for
+    feasibility itself; its externality is capped with the instance's
+    public price ceiling (one ceiling per unit it supplies), mirroring the
+    monopolist cap used by SSAM's critical payments.
+    """
+    optimum = solve_wsp_optimal(instance)
+    winners = optimum.chosen
+    payments: dict[tuple[int, int], float] = {}
+    others_cost = {
+        bid.key: optimum.objective - bid.price for bid in winners
+    }
+    for bid in winners:
+        reduced = instance.without_seller(bid.seller)
+        try:
+            without = solve_wsp_optimal(reduced).objective
+        except InfeasibleInstanceError:
+            without = others_cost[bid.key] + instance.effective_ceiling * bid.size
+        payments[bid.key] = without - others_cost[bid.key]
+    return VCGResult(winners=winners, payments=payments)

@@ -1,0 +1,200 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    repro-edge-auction list                  # show available experiments
+    repro-edge-auction fig 3a                # regenerate Figure 3(a)
+    repro-edge-auction fig all --quick       # all figures, reduced sweep
+    repro-edge-auction quickstart            # a tiny end-to-end demo
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.experiments import FULL, QUICK, fig3a, fig3b, fig4a, fig4b, fig5a, fig6a, fig6b
+
+FIGURES = {
+    "3a": fig3a,
+    "3b": fig3b,
+    "4a": fig4a,
+    "4b": fig4b,
+    "5a": fig5a,
+    "6a": fig6a,
+    "6b": fig6b,
+}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("Available experiments (paper figure panels):")
+    for key, fn in FIGURES.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  fig {key:3s} {doc}")
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    config = QUICK if args.quick else FULL
+    keys = list(FIGURES) if args.panel == "all" else [args.panel]
+    for key in keys:
+        if key not in FIGURES:
+            print(f"unknown figure panel {key!r}; try 'list'", file=sys.stderr)
+            return 2
+        table = FIGURES[key](config)
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_compare(_: argparse.Namespace) -> int:
+    from repro.analysis.reporting import ResultTable
+    from repro.baselines import (
+        run_pay_as_bid,
+        run_posted_price,
+        run_random_selection,
+        run_vcg,
+    )
+    from repro import MarketConfig, generate_round, run_ssam
+
+    rng = np.random.default_rng(7)
+    instance = generate_round(MarketConfig(), rng)
+    table = ResultTable(
+        title="Mechanism comparison (one paper-default round)",
+        columns=["mechanism", "social_cost", "payment"],
+        precision=2,
+    )
+    ssam = run_ssam(instance)
+    vcg = run_vcg(instance)
+    pab = run_pay_as_bid(instance)
+    rnd = run_random_selection(instance, rng)
+    posted = run_posted_price(instance, unit_price=35.0)
+    table.add_row(mechanism="VCG (optimal)", social_cost=vcg.social_cost,
+                  payment=vcg.total_payment)
+    table.add_row(mechanism="SSAM", social_cost=ssam.social_cost,
+                  payment=ssam.total_payment)
+    table.add_row(mechanism="pay-as-bid", social_cost=pab.social_cost,
+                  payment=pab.total_payment)
+    table.add_row(mechanism="random", social_cost=rnd.social_cost,
+                  payment=rnd.total_payment)
+    table.add_row(mechanism="posted@35", social_cost=posted.social_cost,
+                  payment=posted.total_payment)
+    print(table.render())
+    return 0
+
+
+def _cmd_trace(_: argparse.Namespace) -> int:
+    from repro.analysis.visualize import series_panel
+    from repro.baselines.offline import run_offline_optimal
+    from repro.core.msoa import run_msoa
+    from repro.core.ssam import PaymentRule
+    from repro.workload.trace_driven import (
+        TraceDrivenConfig,
+        generate_trace_driven_horizon,
+    )
+
+    rng = np.random.default_rng(11)
+    rounds, capacities = generate_trace_driven_horizon(
+        TraceDrivenConfig(n_microservices=20, rounds=12), rng
+    )
+    outcome = run_msoa(
+        rounds, capacities,
+        payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+        on_infeasible="best_effort",
+    )
+    offline = run_offline_optimal(rounds, capacities)
+    print("Trace-driven online sharing (12 diurnal rounds)")
+    print(series_panel(
+        {
+            "demand": [float(r.total_demand) for r in rounds],
+            "cost": [r.social_cost for r in outcome.rounds],
+        },
+        x_label="round",
+    ))
+    if offline.social_cost > 0:
+        print(f"online/offline ratio: "
+              f"{outcome.social_cost / offline.social_cost:.3f}")
+    return 0
+
+
+def _cmd_explain(_: argparse.Namespace) -> int:
+    from repro import MarketConfig, generate_round, run_ssam
+    from repro.core.explain import render_explanation
+
+    rng = np.random.default_rng(17)
+    instance = generate_round(
+        MarketConfig(n_sellers=10, n_buyers=4), rng
+    )
+    outcome = run_ssam(instance)
+    print(render_explanation(outcome))
+    return 0
+
+
+def _cmd_quickstart(_: argparse.Namespace) -> int:
+    from repro import MarketConfig, generate_horizon, run_msoa, run_ssam
+    from repro.solvers import solve_wsp_optimal
+
+    rng = np.random.default_rng(7)
+    horizon, capacities = generate_horizon(MarketConfig(), rng, rounds=5)
+    single = horizon[0]
+    outcome = run_ssam(single)
+    optimum = solve_wsp_optimal(single).objective
+    print(f"single round : {len(single.bids)} bids, demand "
+          f"{single.total_demand} units")
+    print(f"  SSAM social cost {outcome.social_cost:.2f} "
+          f"(optimal {optimum:.2f}, bound x{outcome.ratio_bound:.2f})")
+    print(f"  payments {outcome.total_payment:.2f} across "
+          f"{len(outcome.winners)} winners")
+    online = run_msoa(horizon, capacities)
+    print(f"online (5 rounds): social cost {online.social_cost:.2f}, "
+          f"competitive bound x{online.competitive_bound:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-edge-auction",
+        description=(
+            "Reproduction of 'Incentivizing Microservices for Online "
+            "Resource Sharing in Edge Clouds' (ICDCS 2019)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        fn=_cmd_list
+    )
+    fig = sub.add_parser("fig", help="regenerate a figure panel")
+    fig.add_argument("panel", help="figure id (3a, 3b, 4a, 4b, 5a, 6a, 6b, all)")
+    fig.add_argument(
+        "--quick", action="store_true", help="reduced sweep (faster)"
+    )
+    fig.set_defaults(fn=_cmd_fig)
+    sub.add_parser(
+        "quickstart", help="tiny end-to-end demo"
+    ).set_defaults(fn=_cmd_quickstart)
+    sub.add_parser(
+        "compare", help="SSAM vs baseline mechanisms on one round"
+    ).set_defaults(fn=_cmd_compare)
+    sub.add_parser(
+        "trace", help="online sharing under diurnal trace-driven demand"
+    ).set_defaults(fn=_cmd_trace)
+    sub.add_parser(
+        "explain", help="narrate one auction's decisions and payments"
+    ).set_defaults(fn=_cmd_explain)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Human-readable auction explanations.
+
+Mechanism outcomes can be opaque: *why* did this bid win, why was that
+payment so high?  :func:`explain_outcome` reconstructs the greedy's
+decision sequence for a finished auction and renders it as a narrative —
+per iteration: the candidate ranking by average price, the winner, its
+marginal contribution, and (for the default payment rule) the threshold
+that set its payment.  Used by the CLI's ``explain`` command and handy in
+tests when a property fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.outcomes import AuctionOutcome
+from repro.core.ssam import greedy_selection
+from repro.core.wsp import CoverageState
+from repro.errors import MechanismError
+
+__all__ = ["IterationExplanation", "explain_outcome", "render_explanation"]
+
+
+@dataclass(frozen=True)
+class IterationExplanation:
+    """One greedy iteration, reconstructed for presentation."""
+
+    iteration: int
+    winner_key: tuple[int, int]
+    winner_price: float
+    marginal_units: int
+    average_price: float
+    runner_up_ratio: float | None
+    coverage_after: dict[int, int]
+    payment: float
+
+
+def explain_outcome(outcome: AuctionOutcome) -> list[IterationExplanation]:
+    """Reconstruct the winning sequence of a finished auction.
+
+    Replays the greedy on the outcome's instance and cross-checks that
+    the replay matches the recorded winners (a mismatch indicates the
+    instance was mutated after the run — raised as
+    :class:`~repro.errors.MechanismError` rather than silently explaining
+    the wrong auction).
+    """
+    demand = {b: u for b, u in outcome.instance.demand.items() if u > 0}
+    if not demand:
+        return []
+    steps = greedy_selection(outcome.instance.bids, demand)
+    recorded = {w.bid.key: w for w in outcome.winners}
+    if {s.bid.key for s in steps} != set(recorded):
+        raise MechanismError(
+            "replay does not match the recorded winners; was the instance "
+            "modified after the auction ran?"
+        )
+    explanations = []
+    coverage = CoverageState(demand=demand)
+    for step in steps:
+        coverage.apply(step.bid)
+        winner = recorded[step.bid.key]
+        explanations.append(
+            IterationExplanation(
+                iteration=step.iteration,
+                winner_key=step.bid.key,
+                winner_price=step.bid.price,
+                marginal_units=step.utility,
+                average_price=step.ratio,
+                runner_up_ratio=step.runner_up_ratio,
+                coverage_after=dict(coverage.granted),
+                payment=winner.payment,
+            )
+        )
+    return explanations
+
+
+def render_explanation(outcome: AuctionOutcome) -> str:
+    """The narrative text for one auction outcome."""
+    explanations = explain_outcome(outcome)
+    if not explanations:
+        return "no demand: the auction closed without winners"
+    lines = [
+        f"{len(explanations)} winners cover "
+        f"{outcome.instance.total_demand} demand units "
+        f"(social cost {outcome.social_cost:.2f}, "
+        f"payments {outcome.total_payment:.2f}):"
+    ]
+    for item in explanations:
+        seller, index = item.winner_key
+        lines.append(
+            f"  [{item.iteration}] seller {seller} bid {index}: "
+            f"price {item.winner_price:.2f} for {item.marginal_units} "
+            f"new unit(s) -> {item.average_price:.2f}/unit"
+        )
+        if item.runner_up_ratio is not None:
+            lines.append(
+                f"       next-best alternative priced "
+                f"{item.runner_up_ratio:.2f}/unit; paid {item.payment:.2f}"
+            )
+        else:
+            lines.append(
+                f"       no competing alternative; paid {item.payment:.2f} "
+                "(ceiling-capped threshold)"
+            )
+    premium = outcome.total_payment - outcome.social_cost
+    lines.append(
+        f"truthfulness premium (payments − prices): {premium:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""MSOA — the Multi-Stage Online Auction (Algorithm 2).
+
+MSOA decomposes the online winner-selection problem into one SSAM run per
+round, joined by two pieces of per-seller state:
+
+* ``χᵢ`` — coverage units the seller has already committed (line 12);
+* ``ψᵢ`` — a dual "scarcity price" that grows multiplicatively each time
+  the seller wins (line 11), so a seller whose long-run capacity ``Θᵢ`` is
+  nearly depleted looks *more expensive* to the greedy selection.
+
+Each round, bids that would overflow a seller's remaining capacity are
+excluded outright (line 5), and surviving bids enter SSAM at the scaled
+price ``∇ᵗᵢⱼ = Jᵗᵢⱼ + |Sᵗᵢⱼ|·ψᵢᵗ⁻¹`` (line 8).  The multiplicative update
+is what yields the ``αβ/(β−1)`` competitive ratio of Theorem 7, with
+``α`` the single-stage approximation ratio and ``β = min Θᵢ/|Sᵗᵢⱼ|``.
+
+Winners are paid during each round's SSAM execution (on the scaled
+prices), which preserves individual rationality — a scaled price is never
+below the announced price, and the critical payment is never below the
+scaled price.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.bids import Bid
+from repro.core.outcomes import OnlineOutcome, RoundResult
+from repro.core.ratios import (
+    capacity_margin,
+    msoa_competitive_bound,
+    ssam_ratio_bound,
+)
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError, InfeasibleInstanceError
+
+__all__ = ["MultiStageOnlineAuction", "run_msoa"]
+
+
+class MultiStageOnlineAuction:
+    """Stateful online auctioneer processing rounds as they arrive.
+
+    Parameters
+    ----------
+    capacities:
+        ``Θᵢ`` per seller.  Sellers absent from the map are treated as
+        capacity-unconstrained: they are never excluded and their scarcity
+        price stays zero (the ``Θ → ∞`` limit of the update rule).
+    alpha:
+        The single-stage approximation ratio used in the ψ update (the
+        paper's ``π``/``α``).  ``None`` (default) estimates it from the
+        first round's Theorem-3 bound ``W·Ξ``.
+    payment_rule:
+        Forwarded to each round's SSAM run.
+    on_infeasible:
+        ``"raise"`` (default) propagates an infeasible round;
+        ``"skip"`` records the round with an empty winner set instead;
+        ``"best_effort"`` clamps each buyer's demand to what the round's
+        admissible bids can still cover and serves that — the honest
+        accounting for experiment sweeps, where capacity depletion should
+        shrink service, not erase the round's cost.
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[int, int],
+        *,
+        alpha: float | None = None,
+        payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+        on_infeasible: str = "raise",
+    ) -> None:
+        for seller, capacity in capacities.items():
+            if capacity <= 0:
+                raise ConfigurationError(
+                    f"seller {seller} capacity must be positive, got {capacity}"
+                )
+        if on_infeasible not in ("raise", "skip", "best_effort"):
+            raise ConfigurationError(
+                "on_infeasible must be 'raise', 'skip' or 'best_effort', "
+                f"got {on_infeasible!r}"
+            )
+        if alpha is not None and alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {alpha}")
+        self._capacities = dict(capacities)
+        self._alpha = alpha
+        self._payment_rule = payment_rule
+        self._on_infeasible = on_infeasible
+        self._psi: dict[int, float] = {seller: 0.0 for seller in capacities}
+        self._chi: dict[int, int] = {seller: 0 for seller in capacities}
+        self._rounds: list[RoundResult] = []
+        self._beta_observed = math.inf
+
+    # ------------------------------------------------------------------
+    # state views
+    # ------------------------------------------------------------------
+    @property
+    def psi(self) -> dict[int, float]:
+        """Current scarcity prices ``ψᵢ`` (copy)."""
+        return dict(self._psi)
+
+    @property
+    def capacity_used(self) -> dict[int, int]:
+        """Cumulative coverage units committed per seller ``χᵢ`` (copy)."""
+        return dict(self._chi)
+
+    @property
+    def alpha(self) -> float | None:
+        """The ψ-update ratio (``None`` until auto-estimated)."""
+        return self._alpha
+
+    @property
+    def rounds(self) -> tuple[RoundResult, ...]:
+        """Results of all rounds processed so far."""
+        return tuple(self._rounds)
+
+    def remaining_capacity(self, seller: int) -> int | None:
+        """Units seller may still commit; ``None`` if unconstrained."""
+        capacity = self._capacities.get(seller)
+        if capacity is None:
+            return None
+        return capacity - self._chi.get(seller, 0)
+
+    # ------------------------------------------------------------------
+    # the online loop
+    # ------------------------------------------------------------------
+    def _admissible(self, bid: Bid) -> bool:
+        """Line 5: would accepting this bid overflow the seller's Θ?"""
+        remaining = self.remaining_capacity(bid.seller)
+        return remaining is None or bid.size <= remaining
+
+    def _scaled_price(self, bid: Bid) -> float:
+        """Line 8: ``∇ᵗᵢⱼ = Jᵗᵢⱼ + |Sᵗᵢⱼ|·ψᵢᵗ⁻¹``."""
+        return bid.price + bid.size * self._psi.get(bid.seller, 0.0)
+
+    def process_round(self, instance: WSPInstance) -> RoundResult:
+        """Run one auction round online and update ψ/χ for the winners."""
+        round_index = len(self._rounds)
+        admissible = tuple(bid for bid in instance.bids if self._admissible(bid))
+        original_by_key = {bid.key: bid for bid in instance.bids}
+        scaled_bids = tuple(
+            Bid(
+                seller=bid.seller,
+                index=bid.index,
+                covered=bid.covered,
+                price=self._scaled_price(bid),
+                true_cost=bid.cost,
+            )
+            for bid in admissible
+        )
+        scaled_prices = {bid.key: bid.price for bid in scaled_bids}
+        scaled_instance = WSPInstance(
+            bids=scaled_bids,
+            demand=instance.demand,
+            price_ceiling=instance.price_ceiling,
+        )
+        if self._alpha is None:
+            # Auto-estimate α from the first round's Theorem-3 bound,
+            # computed on the announced (unscaled) prices.
+            self._alpha = max(
+                1.0, ssam_ratio_bound(instance.total_demand, admissible)
+            )
+        try:
+            outcome = run_ssam(
+                scaled_instance,
+                payment_rule=self._payment_rule,
+                original_prices={
+                    key: original_by_key[key].price for key in scaled_prices
+                },
+            )
+        except InfeasibleInstanceError:
+            if self._on_infeasible == "raise":
+                raise
+            if self._on_infeasible == "best_effort":
+                outcome = self._best_effort_round(scaled_instance, original_by_key)
+            else:
+                outcome = run_ssam(
+                    WSPInstance(bids=scaled_bids, demand={}, price_ceiling=None),
+                    payment_rule=self._payment_rule,
+                )
+        self._beta_observed = min(
+            self._beta_observed, capacity_margin(self._capacities, admissible)
+        )
+        for winner in outcome.winners:
+            original = original_by_key[winner.bid.key]
+            self._apply_win(original)
+        result = RoundResult(
+            round_index=round_index,
+            outcome=outcome,
+            original_bids=original_by_key,
+            scaled_prices=scaled_prices,
+            psi_after=self.psi,
+            capacity_used=self.capacity_used,
+        )
+        self._rounds.append(result)
+        return result
+
+    def _best_effort_round(
+        self,
+        scaled_instance: WSPInstance,
+        original_by_key: Mapping[tuple[int, int], Bid],
+    ):
+        """Serve the largest demand the admissible bids can still cover.
+
+        Clamps each buyer's requirement to the number of distinct
+        admissible sellers covering it and re-runs SSAM.  If even the
+        clamped round is stuck (pathological seller overlap), falls back
+        to an empty round.
+        """
+        sellers_covering: dict[int, set[int]] = {}
+        for bid in scaled_instance.bids:
+            for buyer in bid.covered:
+                sellers_covering.setdefault(buyer, set()).add(bid.seller)
+        clamped = {
+            buyer: min(units, len(sellers_covering.get(buyer, ())))
+            for buyer, units in scaled_instance.demand.items()
+        }
+        clamped_instance = WSPInstance(
+            bids=scaled_instance.bids,
+            demand=clamped,
+            price_ceiling=scaled_instance.price_ceiling,
+        )
+        try:
+            return run_ssam(
+                clamped_instance,
+                payment_rule=self._payment_rule,
+                original_prices={
+                    key: original_by_key[key].price
+                    for key in (bid.key for bid in scaled_instance.bids)
+                },
+            )
+        except InfeasibleInstanceError:
+            return run_ssam(
+                WSPInstance(
+                    bids=scaled_instance.bids, demand={}, price_ceiling=None
+                ),
+                payment_rule=self._payment_rule,
+            )
+
+    def _apply_win(self, bid: Bid) -> None:
+        """Lines 11–12: multiplicative ψ update and χ accounting."""
+        capacity = self._capacities.get(bid.seller)
+        self._chi[bid.seller] = self._chi.get(bid.seller, 0) + bid.size
+        if capacity is None:
+            return  # unconstrained seller: ψ stays 0 (Θ → ∞ limit)
+        alpha = self._alpha if self._alpha is not None else 1.0
+        psi_prev = self._psi.get(bid.seller, 0.0)
+        self._psi[bid.seller] = psi_prev * (
+            1.0 + bid.size / (alpha * capacity)
+        ) + bid.price * bid.size / (alpha * capacity**2)
+
+    def finalize(self) -> OnlineOutcome:
+        """Package the horizon's rounds into an :class:`OnlineOutcome`."""
+        alpha = self._alpha if self._alpha is not None else 1.0
+        beta = self._beta_observed
+        outcome = OnlineOutcome(
+            rounds=tuple(self._rounds),
+            capacities=dict(self._capacities),
+            alpha=alpha,
+            beta=beta,
+            competitive_bound=msoa_competitive_bound(alpha, beta),
+        )
+        outcome.verify_capacities()
+        return outcome
+
+
+def run_msoa(
+    rounds: Iterable[WSPInstance] | Sequence[WSPInstance],
+    capacities: Mapping[int, int],
+    *,
+    alpha: float | None = None,
+    payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    on_infeasible: str = "raise",
+) -> OnlineOutcome:
+    """Convenience wrapper: feed a whole horizon through MSOA.
+
+    The auctioneer still processes rounds strictly online — each round's
+    decisions depend only on past rounds — this helper merely drives the
+    loop and finalizes the outcome.
+    """
+    auction = MultiStageOnlineAuction(
+        capacities,
+        alpha=alpha,
+        payment_rule=payment_rule,
+        on_infeasible=on_infeasible,
+    )
+    for instance in rounds:
+        auction.process_round(instance)
+    return auction.finalize()

@@ -1,0 +1,205 @@
+"""Result objects returned by the auction mechanisms.
+
+These are deliberately rich: the benchmark harness, the economics audits,
+and the online framework all read from the same outcome types, so every
+quantity the paper plots (social cost, payments, per-winner prices,
+coverage, ratio bounds) is available as a property instead of being
+recomputed ad hoc at call sites.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.bids import Bid
+from repro.core.duals import DualSolution
+from repro.core.wsp import WSPInstance
+from repro.errors import MechanismError
+
+__all__ = ["WinningBid", "AuctionOutcome", "RoundResult", "OnlineOutcome"]
+
+
+@dataclass(frozen=True)
+class WinningBid:
+    """One accepted bid, its payment, and its greedy-selection context.
+
+    Attributes
+    ----------
+    bid:
+        The accepted bid (with the price the selection actually used —
+        under MSOA this is the *scaled* price ``∇ᵗᵢⱼ``).
+    payment:
+        The remuneration ``pᵗᵢ`` paid to the seller.
+    iteration:
+        The greedy iteration (0-based) at which the bid was selected.
+    marginal_utility:
+        ``Uᵢⱼ(𝔼ᵗ)`` — demand units the bid contributed when selected.
+    average_price:
+        ``∇ᵢⱼ/Uᵢⱼ(𝔼ᵗ)`` — the greedy's selection key for the bid.
+    original_price:
+        The unscaled announced price ``Jᵗᵢⱼ`` (equals ``bid.price`` for a
+        standalone single-stage auction).
+    """
+
+    bid: Bid
+    payment: float
+    iteration: int
+    marginal_utility: int
+    average_price: float
+    original_price: float
+
+    def __post_init__(self) -> None:
+        if self.payment < 0:
+            raise MechanismError(
+                f"negative payment {self.payment} for bid {self.bid.key}"
+            )
+        if self.marginal_utility <= 0:
+            raise MechanismError(
+                f"winning bid {self.bid.key} contributed no demand units"
+            )
+
+    @property
+    def utility(self) -> float:
+        """The seller's quasi-linear utility ``payment − true cost`` (Eq. 3)."""
+        return self.payment - self.bid.cost
+
+
+@dataclass(frozen=True)
+class AuctionOutcome:
+    """The full result of one single-stage auction (SSAM) run."""
+
+    instance: WSPInstance
+    winners: tuple[WinningBid, ...]
+    duals: DualSolution
+    ratio_bound: float
+    payment_rule: str
+    iterations: int
+
+    @property
+    def winner_keys(self) -> frozenset[tuple[int, int]]:
+        """Keys ``(seller, index)`` of every accepted bid."""
+        return frozenset(w.bid.key for w in self.winners)
+
+    @property
+    def winning_sellers(self) -> frozenset[int]:
+        """Sellers who won (at most one bid each)."""
+        return frozenset(w.bid.seller for w in self.winners)
+
+    @property
+    def social_cost(self) -> float:
+        """``Σ`` winning original prices — the paper's social cost (Def. 4)."""
+        return float(sum(w.original_price for w in self.winners))
+
+    @property
+    def selection_cost(self) -> float:
+        """``Σ`` winning selection prices (scaled prices under MSOA)."""
+        return float(sum(w.bid.price for w in self.winners))
+
+    @property
+    def total_payment(self) -> float:
+        """Aggregate remuneration the platform pays out."""
+        return float(sum(w.payment for w in self.winners))
+
+    @property
+    def coverage(self) -> dict[int, int]:
+        """Units granted per buyer by the winning bids (capped at demand)."""
+        granted = {b: 0 for b in self.instance.buyers}
+        for winner in self.winners:
+            for buyer in winner.bid.covered:
+                if buyer in granted:
+                    granted[buyer] += 1
+        return granted
+
+    def payment_of(self, seller: int) -> float:
+        """Payment to ``seller`` (0 if it did not win)."""
+        for winner in self.winners:
+            if winner.bid.seller == seller:
+                return winner.payment
+        return 0.0
+
+    def utility_of(self, seller: int) -> float:
+        """Quasi-linear utility of ``seller`` (0 for losers, Eq. 3)."""
+        for winner in self.winners:
+            if winner.bid.seller == seller:
+                return winner.utility
+        return 0.0
+
+    def verify(self) -> None:
+        """Re-check primal feasibility of the winner set (Theorem 2)."""
+        self.instance.verify_solution([w.bid for w in self.winners])
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """One round of the multi-stage online mechanism (MSOA).
+
+    Wraps the round's single-stage outcome together with the original
+    (unscaled) bids, the scaled prices used for selection, and the dual
+    state ``ψ`` after the round.
+    """
+
+    round_index: int
+    outcome: AuctionOutcome
+    original_bids: Mapping[tuple[int, int], Bid]
+    scaled_prices: Mapping[tuple[int, int], float]
+    psi_after: Mapping[int, float]
+    capacity_used: Mapping[int, int]
+
+    @property
+    def social_cost(self) -> float:
+        """Round social cost at *original* prices ``Σ Jᵗᵢⱼ xᵗᵢⱼ``."""
+        return float(
+            sum(
+                self.original_bids[w.bid.key].price
+                for w in self.outcome.winners
+            )
+        )
+
+    @property
+    def total_payment(self) -> float:
+        """Round payments (computed by SSAM on the scaled prices)."""
+        return self.outcome.total_payment
+
+
+@dataclass(frozen=True)
+class OnlineOutcome:
+    """The aggregate result of a full MSOA horizon."""
+
+    rounds: tuple[RoundResult, ...]
+    capacities: Mapping[int, int]
+    alpha: float
+    beta: float
+    competitive_bound: float
+
+    @property
+    def social_cost(self) -> float:
+        """Long-run social cost ``Σ_t Σ Jᵗᵢⱼ xᵗᵢⱼ`` (the paper's objective 7)."""
+        return float(sum(r.social_cost for r in self.rounds))
+
+    @property
+    def total_payment(self) -> float:
+        """Long-run payments across all rounds."""
+        return float(sum(r.total_payment for r in self.rounds))
+
+    @property
+    def capacity_used(self) -> dict[int, int]:
+        """Final cumulative coverage units consumed per seller (``χᵢ``)."""
+        if not self.rounds:
+            return {}
+        return dict(self.rounds[-1].capacity_used)
+
+    @property
+    def winners_per_round(self) -> list[int]:
+        """Number of accepted bids in each round."""
+        return [len(r.outcome.winners) for r in self.rounds]
+
+    def verify_capacities(self) -> None:
+        """Assert no seller exceeded its long-run capacity ``Θᵢ``."""
+        for seller, used in self.capacity_used.items():
+            capacity = self.capacities.get(seller)
+            if capacity is not None and used > capacity:
+                raise MechanismError(
+                    f"seller {seller} used {used} units, exceeding capacity "
+                    f"{capacity}"
+                )

@@ -1,0 +1,402 @@
+"""SSAM — the Single-Stage Auction Mechanism (Algorithm 1).
+
+The mechanism is a greedy primal–dual approximation for the NP-hard
+winner-selection problem: while some buyer's demand is unmet, it accepts
+the bid with the smallest *average price* ``∇ᵢⱼ/Uᵢⱼ(𝔼ᵗ)`` (price per
+marginal demand unit), removes the winning seller's other bids, and tags
+every unit covered with that average price for the dual-fitting
+certificate.  Winners are paid a *critical value* so that truthful bidding
+is a dominant strategy (Myerson's characterization: the allocation rule is
+monotone — Lemma 2 — and each payment equals the supremum price at which
+the bid still wins — Lemma 3).
+
+Two payment rules are provided:
+
+* ``PaymentRule.CRITICAL_RERUN`` (default) — the exact critical value:
+  the greedy is replayed with the winner's bid present but priced at +∞
+  (so the feasibility guard still sees it as supply), and the threshold is
+  the largest price at which the bid would have displaced a replay
+  selection.  This is the exactly-truthful payment for greedy reverse
+  auctions and is what Lemma 3's proof needs.
+* ``PaymentRule.ITERATION_RUNNER_UP`` — the paper-literal rule of
+  Algorithm 1 lines 6–7: the runner-up ratio *at the iteration of winning*
+  scaled by the winner's utility.  It coincides with the critical value on
+  most instances (a benchmark quantifies the gap) but is only a lower bound
+  on it in general.
+
+When a winner faces no competition (no other bid could complete coverage),
+its threshold is capped by the instance's public per-unit
+``price_ceiling`` — without such a cap a monopolist's critical value is
+unbounded.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.core.bids import Bid
+from repro.core.duals import DualSolution
+from repro.core.outcomes import AuctionOutcome, WinningBid
+from repro.core.ratios import ssam_ratio_bound
+from repro.core.wsp import CoverageState, WSPInstance
+from repro.errors import InfeasibleInstanceError
+
+__all__ = ["PaymentRule", "run_ssam", "greedy_selection", "GreedyStep"]
+
+
+class PaymentRule(enum.Enum):
+    """How winner remunerations are computed (see module docstring)."""
+
+    CRITICAL_RERUN = "critical_rerun"
+    ITERATION_RUNNER_UP = "iteration_runner_up"
+
+
+@dataclass(frozen=True)
+class GreedyStep:
+    """One iteration of the greedy selection loop.
+
+    ``coverage_before`` maps buyers to units granted *before* this step,
+    which is what payment re-runs need to evaluate a foreign bid's
+    marginal utility at this point in time.
+    """
+
+    iteration: int
+    bid: Bid
+    utility: int
+    ratio: float
+    runner_up_ratio: float | None
+    coverage_before: dict[int, int]
+
+
+def _selection_key(ratio: float, bid: Bid) -> tuple[float, float, int, int]:
+    """Deterministic greedy ordering: ratio, then price, then identity."""
+    return (ratio, bid.price, bid.seller, bid.index)
+
+
+def _selection_strands(
+    winner: Bid, active: list[Bid], coverage: CoverageState
+) -> bool:
+    """Would accepting ``winner`` make some buyer's residual uncoverable?
+
+    A buyer's remaining units can only come from *distinct, unused*
+    sellers, so once ``winner``'s seller is consumed, every buyer must
+    still have at least its residual demand in other sellers with some
+    covering bid.  This necessary-condition lookahead closes the gap the
+    paper's Theorem-2 termination argument glosses over: without it, the
+    greedy can pick a seller's alternative bid and strand a buyer that
+    needed that seller's other offer.
+    """
+    residual: dict[int, int] = {}
+    for buyer, units in coverage.demand.items():
+        need = units - coverage.granted.get(buyer, 0)
+        if buyer in winner.covered and need > 0:
+            need -= 1
+        if need > 0:
+            residual[buyer] = need
+    if not residual:
+        return False
+    suppliers: dict[int, set[int]] = {buyer: set() for buyer in residual}
+    for bid in active:
+        if bid.seller == winner.seller:
+            continue
+        for buyer in bid.covered:
+            if buyer in suppliers:
+                suppliers[buyer].add(bid.seller)
+    return any(
+        len(suppliers[buyer]) < need for buyer, need in residual.items()
+    )
+
+
+def _residual_feasible(
+    candidate: Bid, active: list[Bid], coverage: CoverageState
+) -> bool:
+    """Exact residual-feasibility check used by the escalation guard.
+
+    Hypothetically accepts ``candidate`` (consuming its seller) and asks
+    the exact solver whether the remaining active bids can still cover the
+    residual demand.  This is itself an NP-hard question — which is
+    exactly why it is only consulted on the rare instances the cheap guard
+    cannot keep on track.
+    """
+    from repro.core.wsp import WSPInstance as _WSPInstance
+    from repro.errors import InfeasibleInstanceError as _Infeasible
+
+    residual: dict[int, int] = {}
+    for buyer, units in coverage.demand.items():
+        need = units - coverage.granted.get(buyer, 0)
+        if buyer in candidate.covered and need > 0:
+            need -= 1
+        residual[buyer] = max(0, need)
+    if all(units == 0 for units in residual.values()):
+        return True
+    remaining = tuple(
+        Bid(seller=b.seller, index=b.index, covered=b.covered, price=0.0)
+        for b in active
+        if b.seller != candidate.seller
+    )
+    from repro.solvers.milp import solve_wsp_optimal as _solve
+
+    try:
+        _solve(_WSPInstance(bids=remaining, demand=residual, price_ceiling=None))
+    except _Infeasible:
+        return False
+    return True
+
+
+def greedy_selection(
+    bids: tuple[Bid, ...],
+    demand: dict[int, int],
+    *,
+    require_feasible: bool = True,
+    guard_feasibility: bool = True,
+    exact_guard: bool = False,
+) -> list[GreedyStep]:
+    """Run the greedy winner-selection loop and return its full trace.
+
+    This is the shared engine behind winner selection *and* both payment
+    rules (the critical-value computation replays it on a reduced market).
+    Each step records the chosen bid, its marginal utility, its average
+    price, and the best runner-up ratio among *other* bids at that moment.
+
+    With ``guard_feasibility`` (default), candidate bids whose acceptance
+    would provably strand a buyer (see :func:`_selection_strands`) are
+    passed over in favour of the next-best safe bid; if no candidate is
+    safe the guard is waived for the iteration (matching the paper-literal
+    behaviour).  The guard is price-independent, so it preserves the
+    monotonicity that truthfulness rests on.
+
+    Raises :class:`~repro.errors.InfeasibleInstanceError` when demand
+    remains but no active bid contributes, unless ``require_feasible`` is
+    False (payment re-runs tolerate a stuck reduced market).
+    """
+    coverage = CoverageState(demand=demand)
+    active: list[Bid] = list(bids)
+    steps: list[GreedyStep] = []
+    iteration = 0
+    while not coverage.satisfied:
+        candidates: list[tuple[tuple[float, float, int, int], Bid, int]] = []
+        for bid in active:
+            utility = coverage.utility_of(bid)
+            if utility <= 0:
+                continue
+            ratio = bid.price / utility
+            candidates.append((_selection_key(ratio, bid), bid, utility))
+        if not candidates:
+            if require_feasible:
+                raise InfeasibleInstanceError(
+                    f"{coverage.unmet} demand units cannot be covered by the "
+                    "remaining bids"
+                )
+            break
+        candidates.sort(key=lambda item: item[0])
+        chosen_pos = 0
+        if guard_feasibility:
+            for pos, (_, bid, _) in enumerate(candidates):
+                if _selection_strands(bid, active, coverage):
+                    continue
+                if exact_guard and not _residual_feasible(bid, active, coverage):
+                    continue
+                chosen_pos = pos
+                break
+        key, winner, utility = candidates[chosen_pos]
+        # The runner-up is the next candidate at or above the winner's
+        # ratio: candidates the guard skipped sit below it and would give
+        # an IR-violating threshold.
+        runner_key = (
+            candidates[chosen_pos + 1][0]
+            if chosen_pos + 1 < len(candidates)
+            else None
+        )
+        steps.append(
+            GreedyStep(
+                iteration=iteration,
+                bid=winner,
+                utility=utility,
+                ratio=key[0],
+                runner_up_ratio=runner_key[0] if runner_key is not None else None,
+                coverage_before=dict(coverage.granted),
+            )
+        )
+        coverage.apply(winner)
+        active = [bid for bid in active if bid.seller != winner.seller]
+        iteration += 1
+    return steps
+
+
+def _critical_payment(
+    instance: WSPInstance, winner: Bid, *, exact_guard: bool = False
+) -> float:
+    """The exact critical value of ``winner`` (PaymentRule.CRITICAL_RERUN).
+
+    Replays the greedy with the winner *present but priced at +∞*.  The
+    winner's presence matters (the feasibility guard counts it as future
+    supply when judging other bids), but its price must not, so pricing it
+    out of contention — rather than removing it — keeps the replay on
+    exactly the trajectory the real run follows whenever the winner loses.
+
+    At each iteration ``k`` with coverage ``C_k`` where the selected bid
+    has average price ``ρ_k``, the winner would have been chosen instead
+    had it asked below ``Uᵢⱼ(C_k)·ρ_k`` (and been guard-safe); the critical
+    value is the maximum such threshold.  Two terminal cases cap the
+    threshold with the public per-unit price ceiling: the replay selects
+    the ∞-priced winner itself, or gets stuck — either way the winner is
+    pivotal and wins at any admissible price.
+    """
+    demand = {b: u for b, u in instance.demand.items() if u > 0}
+    infinite = winner.with_price(math.inf)
+    active: list[Bid] = [
+        infinite if b.key == winner.key else b for b in instance.bids
+    ]
+    coverage = CoverageState(demand=demand)
+    ceiling = instance.effective_ceiling
+    threshold = 0.0
+    while not coverage.satisfied:
+        candidates: list[tuple[tuple[float, float, int, int], Bid, int]] = []
+        for candidate in active:
+            utility = coverage.utility_of(candidate)
+            if utility <= 0:
+                continue
+            ratio = candidate.price / utility
+            candidates.append(
+                (_selection_key(ratio, candidate), candidate, utility)
+            )
+        winner_utility = coverage.utility_of(infinite)
+        if not candidates:
+            # Replay stuck with demand left over: if the winner could
+            # still contribute it is pivotal and ceiling-capped.
+            if winner_utility > 0:
+                threshold = max(threshold, winner_utility * ceiling)
+            break
+        candidates.sort(key=lambda item: item[0])
+        chosen_pos = 0
+        for pos, (_, candidate, _) in enumerate(candidates):
+            if _selection_strands(candidate, active, coverage):
+                continue
+            if exact_guard and not _residual_feasible(
+                candidate, active, coverage
+            ):
+                continue
+            chosen_pos = pos
+            break
+        key, chosen, _ = candidates[chosen_pos]
+        if chosen.key == winner.key:
+            # Only the winner serves the remaining demand: pivotal.
+            if winner_utility > 0:
+                threshold = max(threshold, winner_utility * ceiling)
+            break
+        winner_safe = not _selection_strands(infinite, active, coverage)
+        if winner_safe and exact_guard:
+            winner_safe = _residual_feasible(infinite, active, coverage)
+        if winner_utility > 0 and winner_safe:
+            threshold = max(threshold, winner_utility * key[0])
+        coverage.apply(chosen)
+        if chosen.seller == winner.seller:
+            # A sibling bid of the winner's seller won: the winner is out
+            # of the market from here on.
+            break
+        active = [b for b in active if b.seller != chosen.seller]
+    return threshold
+
+
+def _runner_up_payment(
+    instance: WSPInstance, step: GreedyStep
+) -> float:
+    """Paper-literal payment (Algorithm 1 lines 6–7).
+
+    ``pᵢ' = Uᵢ'ⱼ'(𝔼ᵗ) · ∇ᵢ°ⱼ°/Uᵢ°ⱼ°(𝔼ᵗ)`` where ``(i°, j°)`` is the best
+    other bid at the winning iteration; the public per-unit ceiling is
+    used when no runner-up exists.
+    """
+    runner_ratio = (
+        step.runner_up_ratio
+        if step.runner_up_ratio is not None
+        else instance.effective_ceiling
+    )
+    return step.utility * runner_ratio
+
+
+def run_ssam(
+    instance: WSPInstance,
+    payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    *,
+    original_prices: dict[tuple[int, int], float] | None = None,
+) -> AuctionOutcome:
+    """Execute the single-stage auction on ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        The round's winner-selection problem.  Must be feasible.
+    payment_rule:
+        Which critical-value realization to pay winners with.
+    original_prices:
+        When SSAM runs inside the online framework, bid prices have been
+        *scaled*; this maps bid keys back to the announced prices so the
+        outcome can report the true social cost.  Defaults to the bids'
+        own prices.
+
+    Returns
+    -------
+    AuctionOutcome
+        Winners with payments, dual-fitting certificate, and the
+        ``W·Ξ`` ratio bound of Theorem 3.
+    """
+    demand = {b: u for b, u in instance.demand.items() if u > 0}
+    duals = DualSolution(instance=instance)
+    if not demand:
+        return AuctionOutcome(
+            instance=instance,
+            winners=(),
+            duals=duals,
+            ratio_bound=1.0,
+            payment_rule=payment_rule.value,
+            iterations=0,
+        )
+    try:
+        steps = greedy_selection(instance.bids, demand)
+        exact_guard = False
+    except InfeasibleInstanceError:
+        # The cheap lookahead could not keep the greedy on a completing
+        # trajectory; escalate to the exact residual-feasibility guard
+        # (which completes whenever the instance is feasible at all).
+        steps = greedy_selection(instance.bids, demand, exact_guard=True)
+        exact_guard = True
+    winners: list[WinningBid] = []
+    for step in steps:
+        # Tag every unit this bid newly covers with its average price
+        # (the dual-fitting bookkeeping behind Lemma 1 / Theorem 3).
+        for buyer in step.bid.covered:
+            if step.coverage_before.get(buyer, 0) < demand.get(buyer, 0):
+                duals.record_unit(buyer, step.ratio)
+        if payment_rule is PaymentRule.CRITICAL_RERUN:
+            payment = _critical_payment(instance, step.bid, exact_guard=exact_guard)
+        else:
+            payment = _runner_up_payment(instance, step)
+        key = step.bid.key
+        original = (
+            original_prices[key]
+            if original_prices is not None
+            else step.bid.price
+        )
+        winners.append(
+            WinningBid(
+                bid=step.bid,
+                payment=payment,
+                iteration=step.iteration,
+                marginal_utility=step.utility,
+                average_price=step.ratio,
+                original_price=original,
+            )
+        )
+    outcome = AuctionOutcome(
+        instance=instance,
+        winners=tuple(winners),
+        duals=duals,
+        ratio_bound=ssam_ratio_bound(instance.total_demand, instance.bids),
+        payment_rule=payment_rule.value,
+        iterations=len(steps),
+    )
+    outcome.verify()
+    return outcome

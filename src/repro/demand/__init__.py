@@ -1,0 +1,32 @@
+"""Microservice demand estimation (Section III of the paper).
+
+Combines three observable indicators — queueing backlog, processing-rate
+deficit, and load intensity — into per-round integer demand units, with
+indicator weights derived by the Analytic Hierarchy Process.
+"""
+
+from repro.demand.ahp import (
+    RANDOM_INDEX,
+    AHPResult,
+    ahp_weights,
+    pairwise_matrix_from_judgments,
+)
+from repro.demand.estimator import DemandEstimator, DemandWeights, NoisyOracleEstimator
+from repro.demand.indicators import (
+    ProcessingRateIndicator,
+    RequestRateIndicator,
+    WaitingTimeIndicator,
+)
+
+__all__ = [
+    "RANDOM_INDEX",
+    "AHPResult",
+    "ahp_weights",
+    "pairwise_matrix_from_judgments",
+    "DemandEstimator",
+    "DemandWeights",
+    "NoisyOracleEstimator",
+    "ProcessingRateIndicator",
+    "RequestRateIndicator",
+    "WaitingTimeIndicator",
+]

@@ -1,0 +1,117 @@
+"""The Analytic Hierarchy Process (Saaty 1987), used for indicator weights.
+
+The paper fixes the scaling factors ``1/w_γ``, ``1/w_ℝ``, ``1/w_𝕋`` of its
+demand model "by the analytical hierarchy process (AHP)" (ref [18]).  AHP
+derives a weight vector from a *pairwise comparison matrix* ``A`` where
+``A[i, j]`` states how much more important criterion ``i`` is than ``j``
+on Saaty's 1–9 scale.  The weights are the principal right eigenvector of
+``A``; the *consistency ratio* (CR) measures how close the judgments are
+to perfectly transitive (a CR below 0.1 is conventionally acceptable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AHPResult", "ahp_weights", "pairwise_matrix_from_judgments", "RANDOM_INDEX"]
+
+#: Saaty's random consistency index by matrix size (n = 1..10).
+RANDOM_INDEX = {
+    1: 0.0,
+    2: 0.0,
+    3: 0.58,
+    4: 0.90,
+    5: 1.12,
+    6: 1.24,
+    7: 1.32,
+    8: 1.41,
+    9: 1.45,
+    10: 1.49,
+}
+
+
+@dataclass(frozen=True)
+class AHPResult:
+    """Weights plus consistency diagnostics from one AHP evaluation.
+
+    Attributes
+    ----------
+    weights:
+        The normalized priority vector (sums to 1, all positive).
+    lambda_max:
+        The principal eigenvalue of the comparison matrix.
+    consistency_index:
+        ``CI = (λ_max − n)/(n − 1)``.
+    consistency_ratio:
+        ``CR = CI / RI(n)``; values below 0.1 indicate acceptable
+        judgment consistency (for ``n ≤ 2`` it is identically 0).
+    """
+
+    weights: np.ndarray
+    lambda_max: float
+    consistency_index: float
+    consistency_ratio: float
+
+    @property
+    def is_consistent(self) -> bool:
+        """Saaty's conventional CR < 0.1 acceptance test."""
+        return self.consistency_ratio < 0.1
+
+
+def pairwise_matrix_from_judgments(judgments: dict[tuple[int, int], float], n: int) -> np.ndarray:
+    """Build a reciprocal comparison matrix from upper-triangle judgments.
+
+    ``judgments[(i, j)]`` (for ``i < j``) is criterion ``i``'s importance
+    over ``j``; the diagonal is 1 and the lower triangle the reciprocal.
+    Missing pairs default to 1 (equal importance).
+    """
+    if n <= 0:
+        raise ConfigurationError(f"matrix size must be positive, got {n}")
+    matrix = np.ones((n, n))
+    for (i, j), value in judgments.items():
+        if not (0 <= i < n and 0 <= j < n) or i == j:
+            raise ConfigurationError(f"invalid judgment pair ({i}, {j}) for n={n}")
+        if value <= 0:
+            raise ConfigurationError(
+                f"judgment ({i}, {j}) must be positive, got {value}"
+            )
+        matrix[i, j] = value
+        matrix[j, i] = 1.0 / value
+    return matrix
+
+
+def ahp_weights(matrix: np.ndarray) -> AHPResult:
+    """Compute AHP priority weights from a pairwise comparison matrix.
+
+    The matrix must be square, positive, and reciprocal
+    (``A[j, i] == 1/A[i, j]`` within tolerance).  Weights come from the
+    principal eigenvector (power iteration is unnecessary; we use
+    :func:`numpy.linalg.eig` and take the eigenvector of the largest real
+    eigenvalue).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ConfigurationError(f"comparison matrix must be square, got {matrix.shape}")
+    n = matrix.shape[0]
+    if np.any(matrix <= 0):
+        raise ConfigurationError("comparison matrix entries must be positive")
+    if not np.allclose(matrix * matrix.T, np.ones((n, n)), rtol=1e-6):
+        raise ConfigurationError("comparison matrix must be reciprocal (A[j,i] = 1/A[i,j])")
+    eigenvalues, eigenvectors = np.linalg.eig(matrix)
+    principal = int(np.argmax(eigenvalues.real))
+    lambda_max = float(eigenvalues[principal].real)
+    vector = np.abs(eigenvectors[:, principal].real)
+    weights = vector / vector.sum()
+    ci = (lambda_max - n) / (n - 1) if n > 1 else 0.0
+    ri = RANDOM_INDEX.get(n, 1.49)
+    cr = 0.0 if ri == 0.0 else ci / ri
+    return AHPResult(
+        weights=weights,
+        lambda_max=lambda_max,
+        consistency_index=float(ci),
+        consistency_ratio=float(cr),
+    )

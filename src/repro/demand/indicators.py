@@ -1,0 +1,126 @@
+"""The three demand indicators of Section III.
+
+Each indicator maps a per-round :class:`~repro.sim.metrics.RoundSnapshot`
+to a non-negative demand contribution:
+
+* **Waiting time** (γᵗᵢ = ζ·θᵢ/πᵢ): built from the served/received ratio.
+  The paper's narrative is "the smaller the waiting time, the larger the
+  demand" *decreases as waiting grows*; the θ/π completion ratio is their
+  chosen observable — a microservice serving all arrivals promptly has
+  θ/π ≈ 1, while an overloaded one falls behind.  We implement the
+  indicator as ``ζ·(1 − θ/π)`` scaled — i.e. demand grows with the *unmet*
+  fraction — which is the only reading under which both of the paper's
+  monotonicity statements ("demand decreases as waiting time increases"
+  is a typo mirror of "higher backlog → higher demand") and the reward
+  fairness discussion stay coherent.  The verbatim ``ζ·θ/π`` form is
+  available via ``literal=True`` for side-by-side comparison.
+* **Processing rate** (ℝᵗᵢ = (ς − ϖ)/t): the time-averaged gap between the
+  rate the microservice *needs* (its arrival/target rate ς) and the rate
+  it *achieves* (ϖ); positive gap means it is falling behind and needs
+  resources.
+* **Request rate** (𝕋ᵗᵢ, Eq. 2): grows with the microservice's relative
+  allocation share, its execution rate 𝕃 (utilization), and diverges as
+  𝕃 → 1 — the classic queueing-delay blow-up near saturation.  We clamp
+  𝕃 at a configurable maximum to keep the estimate finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import RoundSnapshot
+
+__all__ = [
+    "WaitingTimeIndicator",
+    "ProcessingRateIndicator",
+    "RequestRateIndicator",
+]
+
+
+@dataclass(frozen=True)
+class WaitingTimeIndicator:
+    """γᵗᵢ — demand contribution from queueing backlog.
+
+    Parameters
+    ----------
+    zeta:
+        The paper's ζ scale coefficient.
+    literal:
+        When True, computes the verbatim ``ζ·θ/π`` (demand *rewards*
+        microservices that keep up); the default computes ``ζ·(1 − θ/π)``
+        (demand tracks the unserved fraction).  See the module docstring.
+    """
+
+    zeta: float = 1.0
+    literal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.zeta < 0:
+            raise ConfigurationError(f"zeta must be non-negative, got {self.zeta}")
+
+    def __call__(self, snapshot: RoundSnapshot) -> float:
+        ratio = snapshot.completion_ratio
+        if self.literal:
+            return self.zeta * ratio
+        return self.zeta * max(0.0, 1.0 - ratio)
+
+
+@dataclass(frozen=True)
+class ProcessingRateIndicator:
+    """ℝᵗᵢ — demand contribution from the processing-rate deficit.
+
+    ``(ς − ϖ)/t`` with ς the rate the microservice must sustain (its
+    target/arrival rate) and ϖ the rate it achieved; the division by the
+    round index ``t`` (1-based) is the paper's long-term time-averaging
+    relaxation.  Negative gaps (over-provisioned service) clamp to zero.
+    """
+
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ConfigurationError(f"scale must be non-negative, got {self.scale}")
+
+    def __call__(self, snapshot: RoundSnapshot) -> float:
+        gap = snapshot.target_rate - snapshot.achieved_rate
+        rounds_elapsed = snapshot.round_index + 1
+        return self.scale * max(0.0, gap) / rounds_elapsed
+
+
+@dataclass(frozen=True)
+class RequestRateIndicator:
+    """𝕋ᵗᵢ — demand contribution from load intensity (Eq. 2).
+
+    ``Δ · (aᵢᵗ/a_max) · (𝕃ᵢᵗ·t / V(n̄)) · 1/(1 − 𝕃ᵢᵗ)`` where 𝕃 is the
+    utilization, ``a`` the current allocation, and ``V(n̄)`` the density of
+    neighbouring served microservices.  Utilization is clamped to
+    ``max_utilization`` to keep the ``1/(1−𝕃)`` factor finite near
+    saturation.
+    """
+
+    delta: float = 1.0
+    neighbour_density: float = 1.0
+    max_utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ConfigurationError(f"delta must be non-negative, got {self.delta}")
+        if self.neighbour_density <= 0:
+            raise ConfigurationError(
+                f"neighbour_density must be positive, got {self.neighbour_density}"
+            )
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ConfigurationError(
+                f"max_utilization must be in (0, 1), got {self.max_utilization}"
+            )
+
+    def __call__(self, snapshot: RoundSnapshot, a_max: float) -> float:
+        if a_max <= 0:
+            raise ConfigurationError(f"a_max must be positive, got {a_max}")
+        utilization = min(snapshot.utilization, self.max_utilization)
+        rounds_elapsed = snapshot.round_index + 1
+        share = snapshot.allocation / a_max
+        load = utilization * rounds_elapsed / self.neighbour_density
+        congestion = 1.0 / (1.0 - utilization)
+        return self.delta * share * load * congestion

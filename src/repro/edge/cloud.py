@@ -1,0 +1,141 @@
+"""The edge cloud: a small, capacity-constrained server cluster.
+
+Each edge cloud is co-located with a base station (Section V uses 10 macro
+base stations, each with one computing server), hosts a set of
+microservices, and applies the fair-sharing policy of Section II when
+(re)distributing its capacity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.edge.fair_share import max_min_fair_share
+from repro.edge.microservice import Microservice
+from repro.errors import ConfigurationError
+
+__all__ = ["EdgeCloud"]
+
+
+class EdgeCloud:
+    """A resource-constrained edge site hosting microservices.
+
+    Parameters
+    ----------
+    cloud_id:
+        Identifier (also used as a node key in the backhaul network).
+    capacity:
+        Total scalar resource units available at this site.
+    """
+
+    def __init__(self, cloud_id: int, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"edge cloud {cloud_id} capacity must be positive, got {capacity}"
+            )
+        self.cloud_id = cloud_id
+        self.capacity = capacity
+        self._services: dict[int, Microservice] = {}
+
+    # ------------------------------------------------------------------
+    # hosting
+    # ------------------------------------------------------------------
+    @property
+    def services(self) -> tuple[Microservice, ...]:
+        """Hosted microservices, sorted by id for determinism."""
+        return tuple(self._services[k] for k in sorted(self._services))
+
+    @property
+    def allocated(self) -> float:
+        """Resource units currently held by hosted microservices."""
+        return sum(s.allocation for s in self._services.values())
+
+    @property
+    def free_capacity(self) -> float:
+        """Unallocated resource units at this site."""
+        return max(0.0, self.capacity - self.allocated)
+
+    def host(self, service: Microservice) -> None:
+        """Place a microservice on this cloud."""
+        if service.service_id in self._services:
+            raise ConfigurationError(
+                f"microservice {service.service_id} already hosted on cloud "
+                f"{self.cloud_id}"
+            )
+        service.cloud = self.cloud_id
+        self._services[service.service_id] = service
+
+    def evict(self, service_id: int) -> Microservice:
+        """Remove and return a hosted microservice."""
+        if service_id not in self._services:
+            raise ConfigurationError(
+                f"microservice {service_id} is not hosted on cloud {self.cloud_id}"
+            )
+        return self._services.pop(service_id)
+
+    def get(self, service_id: int) -> Microservice:
+        """Look up a hosted microservice by id."""
+        try:
+            return self._services[service_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"microservice {service_id} is not hosted on cloud {self.cloud_id}"
+            ) from None
+
+    def __contains__(self, service_id: int) -> bool:
+        return service_id in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    # ------------------------------------------------------------------
+    # fair sharing (Section II's baseline allocation policy)
+    # ------------------------------------------------------------------
+    def apply_fair_share(
+        self, demands: dict[int, float] | None = None
+    ) -> dict[int, float]:
+        """Redistribute the full capacity by weighted max–min fairness.
+
+        ``demands`` caps each microservice's allocation (default: its
+        ``base_demand`` doubled, a generous ask); delay-sensitive services
+        receive double fair-share weight, implementing the paper's
+        "higher priority is given to delay-sensitive microservices".
+        Returns the new allocation map and mutates the hosted services.
+        """
+        if not self._services:
+            return {}
+        asks = demands or {
+            sid: max(s.base_demand * 2.0, 1e-9)
+            for sid, s in self._services.items()
+        }
+        unknown = set(asks) - set(self._services)
+        if unknown:
+            raise ConfigurationError(
+                f"fair-share demands name non-hosted services {sorted(unknown)}"
+            )
+        weights = {
+            sid: 2.0 if s.delay_class.priority == 0 else 1.0
+            for sid, s in self._services.items()
+            if sid in asks
+        }
+        allocation = max_min_fair_share(self.capacity, asks, weights)
+        for sid, amount in allocation.items():
+            self._services[sid].allocation = amount
+        return allocation
+
+    # ------------------------------------------------------------------
+    # auction hookup
+    # ------------------------------------------------------------------
+    def transfer(self, seller_id: int, buyer_ids: Iterable[int], per_buyer: float = 1.0) -> None:
+        """Move resources from a winning seller to the covered buyers.
+
+        Implements the reclaim-and-reallocate step of Figure 1: the seller
+        yields ``per_buyer`` units for each covered buyer hosted here; the
+        platform hands them to those buyers.
+        """
+        seller = self.get(seller_id)
+        local_buyers = [b for b in buyer_ids if b in self._services]
+        total = per_buyer * len(local_buyers)
+        seller.reclaim(total)
+        for buyer_id in local_buyers:
+            self._services[buyer_id].grant(per_buyer)

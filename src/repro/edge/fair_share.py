@@ -1,0 +1,88 @@
+"""Max–min fair sharing of an edge cloud's resources.
+
+Section II: "the edge platform circulates all the available resources to
+microservices present in the edge cloud following a fair sharing policy".
+We implement weighted max–min fairness (progressive filling): capacity is
+distributed so that no microservice can receive more without taking from
+one that already has less per unit weight, and nobody receives more than
+its demand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["max_min_fair_share"]
+
+
+def max_min_fair_share(
+    capacity: float,
+    demands: Mapping[int, float],
+    weights: Mapping[int, float] | None = None,
+) -> dict[int, float]:
+    """Allocate ``capacity`` across claimants by weighted max–min fairness.
+
+    Parameters
+    ----------
+    capacity:
+        Total divisible resource available.
+    demands:
+        Each claimant's maximum useful allocation; allocations never
+        exceed demand.
+    weights:
+        Optional positive fair-share weights (default: equal).
+
+    Returns
+    -------
+    dict
+        Allocation per claimant.  Sums to ``min(capacity, Σ demands)``
+        up to floating-point rounding.
+
+    Notes
+    -----
+    Runs the classic water-filling loop: repeatedly split the remaining
+    capacity in proportion to weights among unsatisfied claimants, freeze
+    anyone whose demand is met, and redistribute the surplus.  Terminates
+    in at most ``len(demands)`` passes.
+    """
+    if capacity < 0:
+        raise ConfigurationError(f"capacity must be non-negative, got {capacity}")
+    for claimant, demand in demands.items():
+        if demand < 0:
+            raise ConfigurationError(
+                f"claimant {claimant} has negative demand {demand}"
+            )
+    if weights is not None:
+        for claimant, weight in weights.items():
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"claimant {claimant} has non-positive weight {weight}"
+                )
+
+    allocation = {claimant: 0.0 for claimant in demands}
+    unsatisfied = {c for c, d in demands.items() if d > 0}
+    remaining = capacity
+    while unsatisfied and remaining > 1e-12:
+        total_weight = sum(
+            (weights or {}).get(c, 1.0) for c in unsatisfied
+        )
+        # Give each unsatisfied claimant its weighted share of what's left,
+        # capped by its residual demand; freeze the ones that fill up.
+        filled: set[int] = set()
+        distributed = 0.0
+        for claimant in unsatisfied:
+            weight = (weights or {}).get(claimant, 1.0)
+            share = remaining * weight / total_weight
+            residual = demands[claimant] - allocation[claimant]
+            grant = min(share, residual)
+            allocation[claimant] += grant
+            distributed += grant
+            if allocation[claimant] >= demands[claimant] - 1e-12:
+                filled.add(claimant)
+        remaining -= distributed
+        if not filled:
+            break  # everyone took a full share: capacity exhausted
+        unsatisfied -= filled
+    return allocation

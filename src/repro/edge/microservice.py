@@ -1,0 +1,132 @@
+"""The microservice entity.
+
+A microservice belongs to a tenant, runs on one edge cloud, holds a
+resource allocation, and carries a *delay class* (Section V: the workloads
+distinguish delay-sensitive from delay-tolerant microservices, with
+priority given to the delay-sensitive ones).  Sellers additionally declare
+how much of their allocation they are willing to spare in total (the Θᵢ
+capacity of the online mechanism).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityExceededError, ConfigurationError
+
+__all__ = ["DelayClass", "Microservice"]
+
+
+class DelayClass(enum.Enum):
+    """Workload sensitivity classes used in the paper's evaluation."""
+
+    DELAY_SENSITIVE = "delay_sensitive"
+    DELAY_TOLERANT = "delay_tolerant"
+
+    @property
+    def priority(self) -> int:
+        """Lower is more urgent; delay-sensitive requests go first."""
+        return 0 if self is DelayClass.DELAY_SENSITIVE else 1
+
+
+@dataclass
+class Microservice:
+    """A tenant's microservice deployed on one edge cloud.
+
+    Attributes
+    ----------
+    service_id:
+        Globally unique identifier.
+    tenant:
+        The owning service provider (used only for reporting; the
+        mechanism treats microservices individually).
+    cloud:
+        Identifier of the hosting edge cloud.
+    delay_class:
+        Delay sensitivity of the requests it serves.
+    allocation:
+        Resource units currently held (``aᵢᵗ``).
+    base_demand:
+        Resource units needed for its own baseline load; only the excess
+        above this is *spareable*.
+    share_capacity:
+        ``Θᵢ`` — total coverage units it is willing to yield over a whole
+        horizon via the auction (``None``: it never sells).
+    shared_so_far:
+        Cumulative units already yielded (``χᵢ`` mirror, maintained by the
+        platform when auction results are applied).
+    """
+
+    service_id: int
+    tenant: str = "default"
+    cloud: int = 0
+    delay_class: DelayClass = DelayClass.DELAY_TOLERANT
+    allocation: float = 1.0
+    base_demand: float = 1.0
+    share_capacity: int | None = None
+    shared_so_far: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.allocation < 0:
+            raise ConfigurationError(
+                f"microservice {self.service_id} allocation must be non-negative"
+            )
+        if self.base_demand < 0:
+            raise ConfigurationError(
+                f"microservice {self.service_id} base_demand must be non-negative"
+            )
+        if self.share_capacity is not None and self.share_capacity <= 0:
+            raise ConfigurationError(
+                f"microservice {self.service_id} share_capacity must be positive"
+            )
+        if self.shared_so_far < 0:
+            raise ConfigurationError(
+                f"microservice {self.service_id} shared_so_far must be non-negative"
+            )
+
+    @property
+    def spare(self) -> float:
+        """Resource units above its own baseline need (what it can offer)."""
+        return max(0.0, self.allocation - self.base_demand)
+
+    @property
+    def is_potential_seller(self) -> bool:
+        """Whether it has both spare resources and remaining willingness."""
+        return self.spare > 0 and self.remaining_share_capacity != 0
+
+    @property
+    def remaining_share_capacity(self) -> int | None:
+        """Units it may still yield (``None`` when unconstrained... or 0)."""
+        if self.share_capacity is None:
+            return None
+        return max(0, self.share_capacity - self.shared_so_far)
+
+    def record_shared(self, units: int) -> None:
+        """Account for ``units`` yielded through a winning bid."""
+        if units < 0:
+            raise ConfigurationError(f"shared units must be non-negative, got {units}")
+        remaining = self.remaining_share_capacity
+        if remaining is not None and units > remaining:
+            raise CapacityExceededError(
+                f"microservice {self.service_id} cannot share {units} units; "
+                f"only {remaining} remain of capacity {self.share_capacity}"
+            )
+        self.shared_so_far += units
+
+    def grant(self, amount: float) -> None:
+        """Increase the allocation (reallocation of reclaimed resources)."""
+        if amount < 0:
+            raise ConfigurationError(f"grant must be non-negative, got {amount}")
+        self.allocation += amount
+
+    def reclaim(self, amount: float) -> None:
+        """Decrease the allocation (resources yielded to the platform)."""
+        if amount < 0:
+            raise ConfigurationError(f"reclaim must be non-negative, got {amount}")
+        if amount > self.allocation + 1e-9:
+            raise CapacityExceededError(
+                f"cannot reclaim {amount} from microservice {self.service_id} "
+                f"holding {self.allocation}"
+            )
+        self.allocation = max(0.0, self.allocation - amount)

@@ -1,0 +1,112 @@
+"""The backhaul network connecting edge clouds (Section II).
+
+"The edge clouds are connected to each other through a backhaul network
+and every edge cloud is reachable from every network access point."  We
+model the backhaul as a connected weighted graph (networkx): nodes are
+edge clouds, edge weights are link latencies, and access latency between
+any two sites is the shortest-path latency.  The topology builder offers
+the ring-plus-chords shape typical of metro aggregation networks.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BackhaulNetwork", "build_backhaul"]
+
+
+class BackhaulNetwork:
+    """A latency-weighted backhaul graph over the edge clouds."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ConfigurationError("backhaul graph must have at least one node")
+        if not nx.is_connected(graph):
+            raise ConfigurationError(
+                "backhaul graph must be connected (every cloud reachable)"
+            )
+        for u, v, data in graph.edges(data=True):
+            if data.get("latency", 0) <= 0:
+                raise ConfigurationError(
+                    f"backhaul link ({u}, {v}) must have positive latency"
+                )
+        self._graph = graph
+        self._paths: dict[int, dict[int, float]] = dict(
+            nx.all_pairs_dijkstra_path_length(graph, weight="latency")
+        )
+
+    @property
+    def clouds(self) -> tuple[int, ...]:
+        """Cloud identifiers, sorted."""
+        return tuple(sorted(self._graph.nodes))
+
+    def latency(self, source: int, destination: int) -> float:
+        """Shortest-path latency between two clouds (0 for the same site)."""
+        try:
+            return self._paths[source][destination]
+        except KeyError:
+            raise ConfigurationError(
+                f"no path between clouds {source} and {destination}"
+            ) from None
+
+    def neighbours(self, cloud: int) -> tuple[int, ...]:
+        """Directly linked clouds."""
+        if cloud not in self._graph:
+            raise ConfigurationError(f"unknown cloud {cloud}")
+        return tuple(sorted(self._graph.neighbors(cloud)))
+
+    def nearest(self, cloud: int, candidates: tuple[int, ...]) -> int:
+        """The candidate cloud with the smallest latency from ``cloud``."""
+        if not candidates:
+            raise ConfigurationError("candidates must be non-empty")
+        return min(candidates, key=lambda c: (self.latency(cloud, c), c))
+
+    @property
+    def diameter_latency(self) -> float:
+        """The largest pairwise shortest-path latency."""
+        return max(
+            max(dists.values()) for dists in self._paths.values()
+        )
+
+
+def build_backhaul(
+    rng: np.random.Generator,
+    *,
+    n_clouds: int = 10,
+    chord_probability: float = 0.3,
+    latency_range: tuple[float, float] = (1.0, 5.0),
+) -> BackhaulNetwork:
+    """Build a ring-plus-random-chords backhaul over ``n_clouds`` sites.
+
+    The ring guarantees connectivity; chords (added with the given
+    probability per non-adjacent pair) model the shortcut links of metro
+    aggregation networks.  Link latencies are uniform in ``latency_range``
+    (milliseconds, nominally).
+    """
+    if n_clouds <= 0:
+        raise ConfigurationError(f"n_clouds must be positive, got {n_clouds}")
+    low, high = latency_range
+    if not 0 < low <= high:
+        raise ConfigurationError(f"invalid latency range {latency_range}")
+    if not 0.0 <= chord_probability <= 1.0:
+        raise ConfigurationError(
+            f"chord_probability must be in [0, 1], got {chord_probability}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_clouds))
+    if n_clouds == 1:
+        return BackhaulNetwork(graph)
+    for i in range(n_clouds):
+        j = (i + 1) % n_clouds
+        if not graph.has_edge(i, j):
+            graph.add_edge(i, j, latency=float(rng.uniform(low, high)))
+    for i in range(n_clouds):
+        for j in range(i + 2, n_clouds):
+            if (i, j) == (0, n_clouds - 1):
+                continue  # that's the ring-closing edge
+            if rng.random() < chord_probability:
+                graph.add_edge(i, j, latency=float(rng.uniform(low, high)))
+    return BackhaulNetwork(graph)

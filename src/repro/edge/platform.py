@@ -1,0 +1,389 @@
+"""The edge platform: the end-to-end loop of Figure 2.
+
+Each auction round, the platform
+
+1. lets the request simulator run for the round length, collecting the
+   per-microservice indicators of Section III,
+2. estimates each microservice's extra-resource demand in integer units,
+3. collects bids from microservices with spare resources (a pluggable
+   :class:`BiddingPolicy`; the default prices truthfully at cost),
+4. runs one round of the multi-stage online auction (MSOA),
+5. applies the winning transfers (reclaim from sellers, grant to buyers)
+   and records payments/charges in the ledger.
+
+Resource sharing stays *within* an edge cloud, as in the paper: a seller's
+bid only covers needy microservices co-located on its own site.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bids import Bid
+from repro.core.msoa import MultiStageOnlineAuction
+from repro.core.outcomes import RoundResult
+from repro.core.ssam import PaymentRule
+from repro.core.wsp import WSPInstance
+from repro.demand.estimator import DemandEstimator
+from repro.edge.cloud import EdgeCloud
+from repro.edge.network import BackhaulNetwork
+from repro.edge.users import EndUser
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+from repro.sim.metrics import RoundSnapshot
+from repro.sim.processes import ArrivalProcess, RequestServer
+
+__all__ = ["PlatformConfig", "BiddingPolicy", "TruthfulCostPolicy", "EdgePlatform", "PlatformRoundReport", "Ledger"]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Tunables of the platform loop (paper defaults from Section V.A)."""
+
+    round_length: float = 10.0
+    bids_per_seller: int = 2
+    unit_cost_range: tuple[float, float] = (10.0, 35.0)
+    price_ceiling: float = 50.0
+    speed_per_unit: float = 1.0
+    work_mean: float = 1.0
+    payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN
+
+    def __post_init__(self) -> None:
+        if self.round_length <= 0:
+            raise ConfigurationError("round_length must be positive")
+        if self.bids_per_seller <= 0:
+            raise ConfigurationError("bids_per_seller must be positive")
+        low, high = self.unit_cost_range
+        if not 0 < low <= high:
+            raise ConfigurationError(f"invalid unit_cost_range {self.unit_cost_range}")
+        if self.price_ceiling < high:
+            raise ConfigurationError(
+                "price_ceiling must be at least the top of unit_cost_range"
+            )
+
+
+class BiddingPolicy:
+    """Strategy interface: how a seller turns spare capacity into bids."""
+
+    def make_bids(
+        self,
+        seller_id: int,
+        local_buyers: Sequence[int],
+        max_units: int,
+        rng: np.random.Generator,
+    ) -> list[Bid]:
+        """Produce up to ``J`` alternative bids for this round."""
+        raise NotImplementedError
+
+
+@dataclass
+class TruthfulCostPolicy(BiddingPolicy):
+    """The default truthful seller: price equals private per-unit cost.
+
+    Each seller draws a private per-unit cost once (uniform in
+    ``unit_cost_range``) and submits up to ``bids_per_seller`` alternative
+    bids covering random subsets of the co-located needy microservices,
+    priced at ``cost · |covered|``.  Alternative bids differ in the subset
+    they cover, matching the paper's "up to F alternative bids".
+    """
+
+    bids_per_seller: int = 2
+    unit_cost_range: tuple[float, float] = (10.0, 35.0)
+    _costs: dict[int, float] = field(default_factory=dict)
+
+    def unit_cost(self, seller_id: int, rng: np.random.Generator) -> float:
+        """The seller's persistent private per-unit cost."""
+        if seller_id not in self._costs:
+            low, high = self.unit_cost_range
+            self._costs[seller_id] = float(rng.uniform(low, high))
+        return self._costs[seller_id]
+
+    def make_bids(
+        self,
+        seller_id: int,
+        local_buyers: Sequence[int],
+        max_units: int,
+        rng: np.random.Generator,
+    ) -> list[Bid]:
+        if not local_buyers or max_units <= 0:
+            return []
+        cost = self.unit_cost(seller_id, rng)
+        bids: list[Bid] = []
+        seen: set[frozenset[int]] = set()
+        for j in range(self.bids_per_seller):
+            size = int(rng.integers(1, min(len(local_buyers), max_units) + 1))
+            covered = frozenset(
+                int(b) for b in rng.choice(local_buyers, size=size, replace=False)
+            )
+            if covered in seen:
+                continue
+            seen.add(covered)
+            price = cost * len(covered)
+            bids.append(
+                Bid(
+                    seller=seller_id,
+                    index=j,
+                    covered=covered,
+                    price=price,
+                    true_cost=price,
+                )
+            )
+        return bids
+
+
+@dataclass
+class Ledger:
+    """Money flow bookkeeping (Definition 5's no-economic-loss audit).
+
+    ``payments`` records what the platform pays winning sellers;
+    ``charges`` records what it bills the buyers whose demand was served
+    (each round's payout is split across buyers in proportion to the
+    units they received).
+    """
+
+    payments: dict[int, float] = field(default_factory=dict)
+    charges: dict[int, float] = field(default_factory=dict)
+
+    def record_round(self, result: RoundResult, units_received: Mapping[int, int]) -> None:
+        """Book one round's payments and the matching buyer charges."""
+        total_payment = result.total_payment
+        for winner in result.outcome.winners:
+            seller = winner.bid.seller
+            self.payments[seller] = self.payments.get(seller, 0.0) + winner.payment
+        total_units = sum(units_received.values())
+        if total_units <= 0 or total_payment <= 0:
+            return
+        for buyer, units in units_received.items():
+            share = total_payment * units / total_units
+            self.charges[buyer] = self.charges.get(buyer, 0.0) + share
+
+    @property
+    def total_paid(self) -> float:
+        """Aggregate payments to sellers."""
+        return sum(self.payments.values())
+
+    @property
+    def total_charged(self) -> float:
+        """Aggregate charges to buyers."""
+        return sum(self.charges.values())
+
+    @property
+    def is_budget_balanced(self) -> bool:
+        """Whether charges cover payments (no economic loss, Def. 5)."""
+        return self.total_charged >= self.total_paid - 1e-9
+
+
+@dataclass(frozen=True)
+class PlatformRoundReport:
+    """Everything observable about one platform round."""
+
+    round_index: int
+    snapshots: tuple[RoundSnapshot, ...]
+    demand_units: Mapping[int, int]
+    auction: RoundResult | None
+    transfers: tuple[tuple[int, frozenset[int]], ...]
+
+    @property
+    def social_cost(self) -> float:
+        """The round's social cost (0 when no auction was needed)."""
+        return self.auction.social_cost if self.auction is not None else 0.0
+
+
+class EdgePlatform:
+    """Drives the full simulate → estimate → auction → reallocate loop."""
+
+    def __init__(
+        self,
+        clouds: Sequence[EdgeCloud],
+        network: BackhaulNetwork,
+        users: Sequence[EndUser],
+        estimator: DemandEstimator,
+        *,
+        config: PlatformConfig | None = None,
+        bidding_policy: BiddingPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        horizon_rounds: int = 10,
+    ) -> None:
+        if not clouds:
+            raise ConfigurationError("at least one edge cloud is required")
+        self.clouds = {cloud.cloud_id: cloud for cloud in clouds}
+        if len(self.clouds) != len(clouds):
+            raise ConfigurationError("edge cloud ids must be unique")
+        self.network = network
+        self.users = tuple(users)
+        self.estimator = estimator
+        self.config = config or PlatformConfig()
+        self.bidding_policy = bidding_policy or TruthfulCostPolicy(
+            bids_per_seller=self.config.bids_per_seller,
+            unit_cost_range=self.config.unit_cost_range,
+        )
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.horizon_rounds = horizon_rounds
+        self.ledger = Ledger()
+        self.reports: list[PlatformRoundReport] = []
+
+        self._services = {
+            s.service_id: s for cloud in clouds for s in cloud.services
+        }
+        capacities = {
+            sid: s.share_capacity
+            for sid, s in self._services.items()
+            if s.share_capacity is not None
+        }
+        self.auction = MultiStageOnlineAuction(
+            capacities,
+            payment_rule=self.config.payment_rule,
+            on_infeasible="skip",
+        )
+        self._engine = SimulationEngine()
+        self._servers: dict[int, RequestServer] = {}
+        self._arrivals: list[ArrivalProcess] = []
+        self._build_simulation()
+
+    # ------------------------------------------------------------------
+    # simulation wiring
+    # ------------------------------------------------------------------
+    def _build_simulation(self) -> None:
+        horizon = self.config.round_length * self.horizon_rounds
+        rate_per_service: dict[int, float] = {}
+        for user in self.users:
+            rate_per_service[user.target_service] = (
+                rate_per_service.get(user.target_service, 0.0) + user.request_rate
+            )
+        for sid, service in self._services.items():
+            server = RequestServer(
+                microservice=sid,
+                allocation=max(service.allocation, 1e-6),
+                speed_per_unit=self.config.speed_per_unit,
+            )
+            self._servers[sid] = server
+            self._engine.register(EventKind.ARRIVAL, server.handle_arrival)
+            self._engine.register(EventKind.DEPARTURE, server.handle_departure)
+            rate = rate_per_service.get(sid, 0.0)
+            if rate > 0:
+                process = ArrivalProcess(
+                    microservice=sid,
+                    rate=rate,
+                    horizon=horizon,
+                    rng=self.rng,
+                    work_mean=self.config.work_mean,
+                    user_pool=max(1, len(self.users)),
+                )
+                self._arrivals.append(process)
+                self._engine.register(EventKind.ARRIVAL, process.on_arrival)
+        for process in self._arrivals:
+            process.start(self._engine)
+
+    # ------------------------------------------------------------------
+    # the per-round loop
+    # ------------------------------------------------------------------
+    def run_round(self) -> PlatformRoundReport:
+        """Advance one full round; return what happened."""
+        round_index = len(self.reports)
+        round_start = self._engine.now
+        round_end = round_start + self.config.round_length
+        self._engine.run_until(round_end)
+        snapshots = tuple(
+            server.stats.snapshot(round_index, round_start, round_end)
+            for server in self._servers.values()
+        )
+        for server in self._servers.values():
+            server.stats.reset(round_end)
+        demand_units = self.estimator.estimate_round(snapshots)
+        auction_result, transfers = self._run_auction(demand_units)
+        report = PlatformRoundReport(
+            round_index=round_index,
+            snapshots=snapshots,
+            demand_units=demand_units,
+            auction=auction_result,
+            transfers=transfers,
+        )
+        self.reports.append(report)
+        return report
+
+    def run(self, rounds: int | None = None) -> list[PlatformRoundReport]:
+        """Run the configured horizon (or ``rounds``) and return reports."""
+        n = rounds if rounds is not None else self.horizon_rounds
+        return [self.run_round() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # auction round
+    # ------------------------------------------------------------------
+    def _collect_bids(self, buyers: Mapping[int, int]) -> list[Bid]:
+        bids: list[Bid] = []
+        for sid, service in sorted(self._services.items()):
+            if sid in buyers:
+                continue  # a needy microservice does not sell this round
+            if not service.is_potential_seller:
+                continue
+            local_buyers = sorted(
+                b
+                for b in buyers
+                if b in self.clouds[service.cloud]
+            )
+            if not local_buyers:
+                continue
+            remaining = service.remaining_share_capacity
+            max_units = int(min(
+                service.spare,
+                remaining if remaining is not None else service.spare,
+            ))
+            bids.extend(
+                self.bidding_policy.make_bids(sid, local_buyers, max_units, self.rng)
+            )
+        return bids
+
+    def _run_auction(
+        self, demand_units: Mapping[int, int]
+    ) -> tuple[RoundResult | None, tuple[tuple[int, frozenset[int]], ...]]:
+        buyers = {b: u for b, u in demand_units.items() if u > 0}
+        if not buyers:
+            return None, ()
+        bids = self._collect_bids(buyers)
+        # The ceiling is a public reserve price: asks above it are not
+        # admissible.  (Without this admission rule a pivotal over-asker
+        # would be paid its ceiling-capped critical value, below its ask.)
+        bids = [
+            bid for bid in bids if bid.price <= self.config.price_ceiling
+        ]
+        instance = WSPInstance.from_bids(
+            bids, buyers, price_ceiling=self.config.price_ceiling
+        )
+        result = self.auction.process_round(instance)
+        transfers: list[tuple[int, frozenset[int]]] = []
+        units_received: dict[int, int] = {}
+        for winner in result.outcome.winners:
+            seller_id = winner.bid.seller
+            covered = winner.bid.covered
+            service = self._services[seller_id]
+            cloud = self.clouds[service.cloud]
+            cloud.transfer(seller_id, covered, per_buyer=1.0)
+            service.record_shared(len(covered))
+            self._servers[seller_id].set_allocation(
+                max(service.allocation, 1e-6), self._engine.now
+            )
+            for buyer in covered:
+                buyer_service = self._services[buyer]
+                self._servers[buyer].set_allocation(
+                    max(buyer_service.allocation, 1e-6), self._engine.now
+                )
+                units_received[buyer] = units_received.get(buyer, 0) + 1
+            transfers.append((seller_id, covered))
+        self.ledger.record_round(result, units_received)
+        return result, tuple(transfers)
+
+    # ------------------------------------------------------------------
+    # summary views
+    # ------------------------------------------------------------------
+    @property
+    def total_social_cost(self) -> float:
+        """Social cost accumulated over all rounds so far."""
+        return sum(report.social_cost for report in self.reports)
+
+    def finalize(self):
+        """Finalize the underlying online auction (competitive-ratio view)."""
+        return self.auction.finalize()

@@ -1,0 +1,148 @@
+"""Bidding policies beyond the truthful default.
+
+The platform's sellers are strategy objects (see
+:class:`~repro.edge.platform.BiddingPolicy`).  Besides the truthful
+default, this module provides the behaviours the economics experiments
+contrast:
+
+* :class:`MarkupPolicy` — asks a fixed multiple of true cost.  Against a
+  truthful mechanism this only ever *loses* auctions (Theorem 4), which
+  the manipulation experiments verify empirically.
+* :class:`OpportunisticPolicy` — marks up harder when it expects little
+  competition (few co-located sellers), the realistic "smart" manipulator.
+* :class:`RandomizedPolicy` — noise-trader control: random prices around
+  cost, random coverage, useful for stress tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bids import Bid
+from repro.edge.platform import BiddingPolicy, TruthfulCostPolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["MarkupPolicy", "OpportunisticPolicy", "RandomizedPolicy"]
+
+
+@dataclass
+class MarkupPolicy(BiddingPolicy):
+    """Ask ``markup ×`` true cost on every bid.
+
+    Keeps a private truthful policy internally so the *costs* are drawn
+    from the same distribution as the honest benchmark — only the
+    announcements differ.
+    """
+
+    markup: float = 1.5
+    bids_per_seller: int = 2
+    unit_cost_range: tuple[float, float] = (10.0, 35.0)
+    _honest: TruthfulCostPolicy = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.markup < 1.0:
+            raise ConfigurationError(
+                f"markup must be at least 1 (no below-cost dumping), "
+                f"got {self.markup}"
+            )
+        self._honest = TruthfulCostPolicy(
+            bids_per_seller=self.bids_per_seller,
+            unit_cost_range=self.unit_cost_range,
+        )
+
+    def make_bids(
+        self,
+        seller_id: int,
+        local_buyers: Sequence[int],
+        max_units: int,
+        rng: np.random.Generator,
+    ) -> list[Bid]:
+        honest = self._honest.make_bids(seller_id, local_buyers, max_units, rng)
+        return [bid.with_price(bid.cost * self.markup) for bid in honest]
+
+
+@dataclass
+class OpportunisticPolicy(BiddingPolicy):
+    """Mark up more aggressively when the local market looks thin.
+
+    The markup interpolates between ``base_markup`` (crowded market) and
+    ``monopoly_markup`` as the number of co-located buyers per seller
+    grows — a proxy for how pivotal the seller expects to be.
+    """
+
+    base_markup: float = 1.1
+    monopoly_markup: float = 2.5
+    crowd_reference: int = 6
+    bids_per_seller: int = 2
+    unit_cost_range: tuple[float, float] = (10.0, 35.0)
+    _honest: TruthfulCostPolicy = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.base_markup <= self.monopoly_markup:
+            raise ConfigurationError(
+                "need 1 <= base_markup <= monopoly_markup, got "
+                f"{self.base_markup} / {self.monopoly_markup}"
+            )
+        if self.crowd_reference <= 0:
+            raise ConfigurationError("crowd_reference must be positive")
+        self._honest = TruthfulCostPolicy(
+            bids_per_seller=self.bids_per_seller,
+            unit_cost_range=self.unit_cost_range,
+        )
+
+    def current_markup(self, n_local_buyers: int) -> float:
+        """The markup used when ``n_local_buyers`` need resources."""
+        scarcity = min(1.0, n_local_buyers / self.crowd_reference)
+        return self.base_markup + scarcity * (
+            self.monopoly_markup - self.base_markup
+        )
+
+    def make_bids(
+        self,
+        seller_id: int,
+        local_buyers: Sequence[int],
+        max_units: int,
+        rng: np.random.Generator,
+    ) -> list[Bid]:
+        honest = self._honest.make_bids(seller_id, local_buyers, max_units, rng)
+        markup = self.current_markup(len(local_buyers))
+        return [bid.with_price(bid.cost * markup) for bid in honest]
+
+
+@dataclass
+class RandomizedPolicy(BiddingPolicy):
+    """Noise trader: prices scattered multiplicatively around true cost.
+
+    Never prices below cost (the factor is clamped at 1), so individual
+    rationality comparisons stay meaningful.
+    """
+
+    sigma: float = 0.3
+    bids_per_seller: int = 2
+    unit_cost_range: tuple[float, float] = (10.0, 35.0)
+    _honest: TruthfulCostPolicy = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError(f"sigma must be non-negative, got {self.sigma}")
+        self._honest = TruthfulCostPolicy(
+            bids_per_seller=self.bids_per_seller,
+            unit_cost_range=self.unit_cost_range,
+        )
+
+    def make_bids(
+        self,
+        seller_id: int,
+        local_buyers: Sequence[int],
+        max_units: int,
+        rng: np.random.Generator,
+    ) -> list[Bid]:
+        honest = self._honest.make_bids(seller_id, local_buyers, max_units, rng)
+        priced = []
+        for bid in honest:
+            factor = max(1.0, float(rng.lognormal(0.0, self.sigma)))
+            priced.append(bid.with_price(bid.cost * factor))
+        return priced

@@ -1,0 +1,98 @@
+"""Multi-dimensional resource vectors for edge clouds.
+
+The paper treats "resources" as a scalar amount per microservice; real
+edge platforms (and the FaaS products the paper cites) bill CPU, memory
+and bandwidth separately.  :class:`ResourceVector` keeps the substrate
+honest about dimensionality while still collapsing to a scalar (via
+:meth:`scalar`) where the auction needs one number, so the mechanism code
+stays exactly the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResourceVector"]
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An (cpu, memory, bandwidth) resource bundle with vector arithmetic."""
+
+    cpu: float = 0.0
+    memory: float = 0.0
+    bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.items():
+            if value < 0:
+                raise ConfigurationError(
+                    f"resource dimension {name} must be non-negative, got {value}"
+                )
+
+    def items(self) -> tuple[tuple[str, float], ...]:
+        """Dimension name/value pairs in canonical order."""
+        return (
+            ("cpu", self.cpu),
+            ("memory", self.memory),
+            ("bandwidth", self.bandwidth),
+        )
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu + other.cpu,
+            self.memory + other.memory,
+            self.bandwidth + other.bandwidth,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            max(0.0, self.cpu - other.cpu),
+            max(0.0, self.memory - other.memory),
+            max(0.0, self.bandwidth - other.bandwidth),
+        )
+
+    def __mul__(self, factor: float) -> "ResourceVector":
+        if factor < 0:
+            raise ConfigurationError(f"scale factor must be non-negative, got {factor}")
+        return ResourceVector(
+            self.cpu * factor, self.memory * factor, self.bandwidth * factor
+        )
+
+    __rmul__ = __mul__
+
+    # -- comparisons ---------------------------------------------------
+    def dominates(self, other: "ResourceVector") -> bool:
+        """True when every dimension is at least ``other``'s."""
+        return (
+            self.cpu >= other.cpu
+            and self.memory >= other.memory
+            and self.bandwidth >= other.bandwidth
+        )
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """True when this bundle fits inside ``capacity``."""
+        return capacity.dominates(self)
+
+    # -- scalar views ----------------------------------------------------
+    def scalar(self) -> float:
+        """Collapse to the paper's scalar resource amount.
+
+        Uses the *bottleneck* (dominant-dimension) convention: the bundle
+        is worth its largest dimension, matching how FaaS platforms size
+        function instances by their binding resource.
+        """
+        return max(self.cpu, self.memory, self.bandwidth)
+
+    @staticmethod
+    def uniform(amount: float) -> "ResourceVector":
+        """A bundle with the same amount in every dimension."""
+        return ResourceVector(cpu=amount, memory=amount, bandwidth=amount)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when every dimension is zero."""
+        return self.cpu == 0.0 and self.memory == 0.0 and self.bandwidth == 0.0

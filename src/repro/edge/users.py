@@ -1,0 +1,82 @@
+"""End users issuing application requests (the set ℛ of Section II).
+
+Each user attaches to a network access point, targets one microservice,
+and issues requests at a class-dependent Poisson rate.  The population
+builder reproduces the paper's setting of 300 edge users spread over the
+base stations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.edge.microservice import DelayClass
+from repro.errors import ConfigurationError
+
+__all__ = ["EndUser", "build_user_population"]
+
+
+@dataclass(frozen=True)
+class EndUser:
+    """One end user: an attachment point, a target service, and a rate."""
+
+    user_id: int
+    access_point: int
+    target_service: int
+    request_rate: float
+    delay_class: DelayClass
+
+    def __post_init__(self) -> None:
+        if self.request_rate <= 0:
+            raise ConfigurationError(
+                f"user {self.user_id} request rate must be positive, "
+                f"got {self.request_rate}"
+            )
+
+
+def build_user_population(
+    rng: np.random.Generator,
+    *,
+    n_users: int = 300,
+    access_points: int = 10,
+    services: tuple[int, ...] = (),
+    sensitive_rate: float = 5.0,
+    tolerant_rate: float = 10.0,
+    sensitive_fraction: float = 0.5,
+) -> tuple[EndUser, ...]:
+    """Create the paper's user population (Section V.A).
+
+    300 users by default, attached uniformly at random to the access
+    points / base stations, each targeting a random microservice.  Request
+    rates follow the paper's Poisson means: 5 for delay-sensitive and 10
+    for delay-tolerant users.
+    """
+    if n_users <= 0:
+        raise ConfigurationError(f"n_users must be positive, got {n_users}")
+    if access_points <= 0:
+        raise ConfigurationError(f"access_points must be positive, got {access_points}")
+    if not services:
+        raise ConfigurationError("at least one target service is required")
+    if not 0.0 <= sensitive_fraction <= 1.0:
+        raise ConfigurationError(
+            f"sensitive_fraction must be in [0, 1], got {sensitive_fraction}"
+        )
+    users = []
+    for user_id in range(n_users):
+        sensitive = bool(rng.random() < sensitive_fraction)
+        users.append(
+            EndUser(
+                user_id=user_id,
+                access_point=int(rng.integers(0, access_points)),
+                target_service=int(services[int(rng.integers(0, len(services)))]),
+                request_rate=sensitive_rate if sensitive else tolerant_rate,
+                delay_class=(
+                    DelayClass.DELAY_SENSITIVE
+                    if sensitive
+                    else DelayClass.DELAY_TOLERANT
+                ),
+            )
+        )
+    return tuple(users)

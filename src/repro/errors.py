@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch one type to handle any library-level failure.  Subclasses
+distinguish configuration mistakes from infeasible problem instances and
+from solver failures, because callers typically recover from them
+differently (fix the input vs. relax the instance vs. fall back to another
+solver).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleInstanceError",
+    "SolverError",
+    "MechanismError",
+    "CapacityExceededError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An input object or parameter was malformed or out of range.
+
+    Raised during validation, before any computation starts, so that bad
+    configurations fail fast with a message naming the offending field.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """A winner-selection instance admits no feasible solution.
+
+    For the single-stage problem this means some needy microservice cannot
+    be covered by enough distinct sellers; for the online problem it can
+    additionally mean the sellers' long-run capacities are insufficient.
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """An optimization backend failed or returned an unusable status."""
+
+
+class MechanismError(ReproError, RuntimeError):
+    """An auction mechanism reached an internally inconsistent state.
+
+    This signals a bug in mechanism bookkeeping (e.g. a payment computed
+    for a non-winner), never a user input problem.
+    """
+
+
+class CapacityExceededError(ReproError):
+    """An operation would push a seller past its long-run sharing capacity."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation engine hit an invalid state."""

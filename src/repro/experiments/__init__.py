@@ -1,0 +1,50 @@
+"""Experiment harness regenerating the paper's Figures 3–6.
+
+``figNN`` functions run the sweeps and return printable result tables;
+:mod:`repro.experiments.config` holds the sweep axes and the quick/full
+presets.
+"""
+
+from repro.experiments.config import FULL, QUICK, ExperimentConfig
+from repro.experiments.figures import fig3a, fig3b, fig4a, fig4b, fig5a, fig6a, fig6b
+from repro.experiments.report import (
+    PanelReport,
+    ShapeCheck,
+    build_report,
+    render_report,
+)
+from repro.experiments.storage import (
+    diff_tables,
+    load_table,
+    save_csv,
+    save_table,
+)
+from repro.experiments.runner import (
+    build_horizon_scenario,
+    build_single_round,
+    mean_over_seeds,
+)
+
+__all__ = [
+    "FULL",
+    "QUICK",
+    "ExperimentConfig",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig6a",
+    "fig6b",
+    "PanelReport",
+    "ShapeCheck",
+    "build_report",
+    "render_report",
+    "build_horizon_scenario",
+    "build_single_round",
+    "mean_over_seeds",
+    "diff_tables",
+    "load_table",
+    "save_csv",
+    "save_table",
+]

@@ -1,0 +1,328 @@
+"""The per-figure experiment definitions (Figures 3–6 of the paper).
+
+Each ``figNN`` function runs the corresponding sweep and returns a
+:class:`~repro.analysis.reporting.ResultTable` whose rows are the series
+the paper plots.  The benchmarks in ``benchmarks/`` call these and print
+the rendered tables; EXPERIMENTS.md records the measured shapes against
+the paper's claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.analysis.economics import payment_price_pairs
+from repro.analysis.reporting import ResultTable
+from repro.baselines.offline import run_offline_optimal
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.core.variants import VARIANT_RUNNERS
+from repro.experiments.config import ExperimentConfig, FULL
+from repro.experiments.runner import (
+    build_horizon_scenario,
+    build_single_round,
+    mean_over_seeds,
+)
+from repro.solvers.milp import solve_wsp_optimal
+from repro.workload.scenarios import PAPER_DEFAULTS, PaperScenario
+
+__all__ = ["fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig6a", "fig6b"]
+
+
+def _scenario(
+    *, n_microservices: int | None = None, n_requests: int | None = None,
+    rounds: int | None = None, bids: int | None = None,
+) -> PaperScenario:
+    changes: dict[str, object] = {}
+    if n_microservices is not None:
+        changes["n_microservices"] = n_microservices
+    if n_requests is not None:
+        changes["n_requests"] = n_requests
+    if rounds is not None:
+        changes["rounds"] = rounds
+    if bids is not None:
+        changes["bids_per_seller"] = bids
+    return dataclasses.replace(PAPER_DEFAULTS, **changes)
+
+
+# ----------------------------------------------------------------------
+# Figure 3(a): SSAM performance ratio vs number of microservices
+# ----------------------------------------------------------------------
+def fig3a(config: ExperimentConfig = FULL) -> ResultTable:
+    """SSAM's ratio to the exact optimum, J ∈ {1, 2}, S ∈ 25–75.
+
+    Paper shape: ratio grows with S; with one bid per seller the ratio
+    stays ≈ 1; everything respects the W·Ξ bound.
+    """
+    table = ResultTable(
+        title="Figure 3(a): SSAM performance ratio vs #microservices",
+        columns=["microservices", "bids_per_seller", "ratio", "bound_WXi"],
+    )
+    for count in config.microservice_counts:
+        for bids in (1, 2):
+            scenario = _scenario(n_microservices=count, bids=bids)
+
+            def ratio_for(seed: int) -> float:
+                instance = build_single_round(scenario, seed)
+                outcome = run_ssam(instance)
+                optimum = solve_wsp_optimal(instance).objective
+                return outcome.social_cost / optimum if optimum > 0 else 1.0
+
+            def bound_for(seed: int) -> float:
+                instance = build_single_round(scenario, seed)
+                return run_ssam(instance).ratio_bound
+
+            table.add_row(
+                microservices=count,
+                bids_per_seller=bids,
+                ratio=mean_over_seeds(config.seeds, ratio_for),
+                bound_WXi=mean_over_seeds(config.seeds, bound_for),
+            )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 3(b): SSAM social cost / payment / optimal vs microservices
+# ----------------------------------------------------------------------
+def fig3b(config: ExperimentConfig = FULL) -> ResultTable:
+    """SSAM cost anatomy per request level (100 vs 200 requests).
+
+    Paper shape: cost grows with S; payment ≥ social cost ≥ optimal;
+    the 200-request series sits above the 100-request one.
+    """
+    table = ResultTable(
+        title="Figure 3(b): SSAM social cost, payment, and optimum",
+        columns=[
+            "microservices",
+            "requests",
+            "social_cost",
+            "total_payment",
+            "optimal_cost",
+        ],
+    )
+    for count in config.microservice_counts:
+        for requests in config.request_levels:
+            scenario = _scenario(n_microservices=count, n_requests=requests)
+            rows = []
+            for seed in config.seeds:
+                instance = build_single_round(scenario, seed)
+                outcome = run_ssam(instance)
+                optimum = solve_wsp_optimal(instance).objective
+                rows.append(
+                    (outcome.social_cost, outcome.total_payment, optimum)
+                )
+            table.add_row(
+                microservices=count,
+                requests=requests,
+                social_cost=float(np.mean([r[0] for r in rows])),
+                total_payment=float(np.mean([r[1] for r in rows])),
+                optimal_cost=float(np.mean([r[2] for r in rows])),
+            )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 4(a): payment vs actual price per winning bid
+# ----------------------------------------------------------------------
+def fig4a(
+    config: ExperimentConfig = FULL, *, max_winners: int = 20
+) -> ResultTable:
+    """Individual rationality scatter: every payment ≥ its price."""
+    table = ResultTable(
+        title="Figure 4(a): per-winner payment vs actual price (IR check)",
+        columns=["winner", "price", "payment", "payment_covers_price"],
+    )
+    instance = build_single_round(PAPER_DEFAULTS, config.seeds[0])
+    outcome = run_ssam(instance)
+    for i, (price, payment) in enumerate(payment_price_pairs(outcome)):
+        if i >= max_winners:
+            break
+        table.add_row(
+            winner=i,
+            price=price,
+            payment=payment,
+            payment_covers_price=payment >= price - 1e-9,
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 4(b): SSAM running time
+# ----------------------------------------------------------------------
+def fig4b(
+    config: ExperimentConfig = FULL,
+    *,
+    repeats: int = 5,
+) -> ResultTable:
+    """Wall-clock per SSAM round (paper: < 100 ms, near-linear growth).
+
+    Times both payment rules: the paper-literal runner-up rule is the
+    one matching the paper's O(n²m) claim; the exact critical-value rule
+    re-runs the greedy per winner and is correspondingly slower.
+    """
+    table = ResultTable(
+        title="Figure 4(b): SSAM running time (ms per auction round)",
+        columns=["microservices", "runner_up_ms", "critical_rerun_ms"],
+    )
+    for count in config.microservice_counts:
+        scenario = _scenario(n_microservices=count)
+        instance = build_single_round(scenario, config.seeds[0])
+        timings: dict[PaymentRule, float] = {}
+        for rule in PaymentRule:
+            start = time.perf_counter()
+            for _ in range(repeats):
+                run_ssam(instance, payment_rule=rule)
+            timings[rule] = (time.perf_counter() - start) / repeats * 1000.0
+        table.add_row(
+            microservices=count,
+            runner_up_ms=timings[PaymentRule.ITERATION_RUNNER_UP],
+            critical_rerun_ms=timings[PaymentRule.CRITICAL_RERUN],
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 5(a): MSOA performance ratio and variants
+# ----------------------------------------------------------------------
+def fig5a(config: ExperimentConfig = FULL) -> ResultTable:
+    """Online ratio vs the clairvoyant optimum, for MSOA and variants.
+
+    Paper shape: online ratios sit slightly above SSAM's; the ratio eases
+    as the market grows; the demand-aware variant is the cheapest of the
+    tuned configurations.
+    """
+    table = ResultTable(
+        title="Figure 5(a): MSOA performance ratio vs #microservices",
+        columns=["microservices", "requests"] + list(VARIANT_RUNNERS),
+    )
+    for count in config.microservice_counts:
+        for requests in config.request_levels:
+            scenario = _scenario(
+                n_microservices=count, n_requests=requests,
+                rounds=config.horizon_rounds,
+            )
+            per_variant: dict[str, list[float]] = {
+                name: [] for name in VARIANT_RUNNERS
+            }
+            for seed in config.seeds:
+                # One horizon and one offline denominator per seed, shared
+                # by all variants; ratio runs use the cheap runner-up
+                # payment rule (payments don't change the allocation).
+                horizon = build_horizon_scenario(
+                    scenario, seed, estimation_sigma=config.estimation_sigma
+                )
+                offline = run_offline_optimal(
+                    horizon.rounds_true, horizon.capacities
+                )
+                if offline.social_cost <= 0:
+                    continue
+                for name, runner in VARIANT_RUNNERS.items():
+                    outcome = runner(
+                        horizon,
+                        payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+                    )
+                    per_variant[name].append(
+                        outcome.social_cost / offline.social_cost
+                    )
+            row: dict[str, object] = {
+                "microservices": count,
+                "requests": requests,
+            }
+            for name, ratios in per_variant.items():
+                row[name] = float(np.mean(ratios)) if ratios else None
+            table.add_row(**row)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 6(a): ratio vs number of rounds T and bids per user J
+# ----------------------------------------------------------------------
+def fig6a(config: ExperimentConfig = FULL) -> ResultTable:
+    """Online ratio as the horizon lengthens and bid menus widen.
+
+    Paper shape: larger J worsens the ratio; longer horizons do not
+    improve it.
+    """
+    table = ResultTable(
+        title="Figure 6(a): MSOA ratio vs rounds T and bids-per-user J",
+        columns=["rounds_T", "bids_J", "ratio"],
+    )
+    for rounds in config.rounds_axis:
+        for bids in config.bids_axis:
+            scenario = _scenario(rounds=rounds, bids=bids)
+
+            def ratio_for(seed: int) -> float:
+                horizon = build_horizon_scenario(
+                    scenario, seed, estimation_sigma=0.0
+                )
+                outcome = VARIANT_RUNNERS["MSOA"](
+                    horizon, payment_rule=PaymentRule.ITERATION_RUNNER_UP
+                )
+                offline = run_offline_optimal(
+                    horizon.rounds_true, horizon.capacities
+                )
+                if offline.social_cost <= 0:
+                    return float("nan")
+                return outcome.social_cost / offline.social_cost
+
+            table.add_row(
+                rounds_T=rounds,
+                bids_J=bids,
+                ratio=mean_over_seeds(config.seeds, ratio_for),
+            )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 6(b): MSOA social cost / payment / offline optimum
+# ----------------------------------------------------------------------
+def fig6b(config: ExperimentConfig = FULL) -> ResultTable:
+    """Online cost anatomy per request level over the microservice sweep.
+
+    Paper shape: same ordering as Figure 3(b) — payment ≥ online social
+    cost ≥ offline optimum — with the request-200 series above the
+    request-100 one.
+    """
+    table = ResultTable(
+        title="Figure 6(b): MSOA social cost, payment, offline optimum",
+        columns=[
+            "microservices",
+            "requests",
+            "social_cost",
+            "total_payment",
+            "offline_optimal",
+        ],
+    )
+    for count in config.microservice_counts:
+        for requests in config.request_levels:
+            scenario = _scenario(
+                n_microservices=count, n_requests=requests,
+                rounds=config.horizon_rounds,
+            )
+
+            rows = []
+            for seed in config.seeds:
+                horizon = build_horizon_scenario(
+                    scenario, seed, estimation_sigma=0.0
+                )
+                outcome = VARIANT_RUNNERS["MSOA"](horizon)
+                offline = run_offline_optimal(
+                    horizon.rounds_true, horizon.capacities
+                )
+                rows.append(
+                    (
+                        outcome.social_cost,
+                        outcome.total_payment,
+                        offline.social_cost,
+                    )
+                )
+            table.add_row(
+                microservices=count,
+                requests=requests,
+                social_cost=float(np.mean([r[0] for r in rows])),
+                total_payment=float(np.mean([r[1] for r in rows])),
+                offline_optimal=float(np.mean([r[2] for r in rows])),
+            )
+    return table

@@ -1,0 +1,213 @@
+"""One-shot experiment report generation.
+
+`build_report` runs every figure experiment at a chosen configuration and
+assembles a single markdown document: each panel's table, a spark-line of
+its headline series, and an automatic check of the paper's shape claims
+(recorded as pass/fail lines, never silently dropped).  The repository's
+EXPERIMENTS.md data section is generated this way, so the published
+record and the code that produced it cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import ResultTable
+from repro.analysis.visualize import sparkline
+from repro.experiments.config import FULL, ExperimentConfig
+from repro.experiments.figures import fig3a, fig3b, fig4a, fig4b, fig5a, fig6a, fig6b
+
+__all__ = ["ShapeCheck", "PanelReport", "build_report", "render_report"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One shape claim from the paper, checked against measured data."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class PanelReport:
+    """One figure panel's measured table plus its shape verdicts."""
+
+    panel: str
+    table: ResultTable
+    checks: tuple[ShapeCheck, ...]
+    headline_series: Mapping[str, list[float]]
+
+
+def _series(table: ResultTable, value_col: str, **filters: object) -> list[float]:
+    rows = [
+        row
+        for row in table.rows
+        if all(row.get(k) == v for k, v in filters.items())
+    ]
+    return [float(row[value_col]) for row in rows]
+
+
+def _check_fig3a(table: ResultTable) -> tuple[ShapeCheck, ...]:
+    single = _series(table, "ratio", bids_per_seller=1)
+    within = all(
+        row["ratio"] <= row["bound_WXi"] + 1e-9 for row in table.rows
+    )
+    return (
+        ShapeCheck(
+            claim="J=1 near-optimal (paper: ≈1)",
+            passed=all(r <= 1.5 for r in single),
+            detail=f"J=1 ratios {['%.3f' % r for r in single]}",
+        ),
+        ShapeCheck(
+            claim="every ratio within the W·Ξ bound (Thm 3)",
+            passed=within,
+        ),
+    )
+
+
+def _check_cost_table(table: ResultTable, optimal_col: str) -> tuple[ShapeCheck, ...]:
+    ordering = all(
+        row["total_payment"] >= row["social_cost"] - 1e-9
+        and row["social_cost"] >= row[optimal_col] - 1e-6
+        for row in table.rows
+    )
+    growth = {}
+    for row in table.rows:
+        growth.setdefault(row["requests"], []).append(row["social_cost"])
+    req_levels = sorted(growth)
+    requests_effect = (
+        len(req_levels) < 2
+        or np.mean(growth[req_levels[-1]]) > np.mean(growth[req_levels[0]])
+    )
+    rising = all(
+        costs == sorted(costs) or costs[-1] > costs[0]
+        for costs in growth.values()
+    )
+    return (
+        ShapeCheck(
+            claim="payment ≥ social cost ≥ optimum", passed=ordering
+        ),
+        ShapeCheck(
+            claim="more requests → higher cost", passed=bool(requests_effect)
+        ),
+        ShapeCheck(
+            claim="cost grows with #microservices", passed=bool(rising)
+        ),
+    )
+
+
+def _check_fig4a(table: ResultTable) -> tuple[ShapeCheck, ...]:
+    return (
+        ShapeCheck(
+            claim="every payment ≥ its price (IR, Thm 5)",
+            passed=all(
+                row["payment"] >= row["price"] - 1e-9 for row in table.rows
+            ),
+        ),
+    )
+
+
+def _check_fig4b(table: ResultTable) -> tuple[ShapeCheck, ...]:
+    fast = all(row["runner_up_ms"] < 100.0 for row in table.rows)
+    times = [row["runner_up_ms"] for row in table.rows]
+    return (
+        ShapeCheck(claim="< 100 ms per round (paper)", passed=fast),
+        ShapeCheck(
+            claim="runtime grows with market size",
+            passed=times[-1] > times[0],
+            detail=f"{times[0]:.3f} ms → {times[-1]:.3f} ms",
+        ),
+    )
+
+
+def _check_fig5a(table: ResultTable) -> tuple[ShapeCheck, ...]:
+    at_least_one = all(
+        row[name] >= 1.0 - 0.05
+        for row in table.rows
+        for name in ("MSOA", "MSOA-DA", "MSOA-RC", "MSOA-OA")
+    )
+    da_wins = np.mean(
+        [row["MSOA-DA"] - row["MSOA"] for row in table.rows]
+    ) <= 0.0
+    return (
+        ShapeCheck(claim="online never beats clairvoyant", passed=at_least_one),
+        ShapeCheck(
+            claim="MSOA-DA ≤ MSOA on average (accurate estimation pays)",
+            passed=bool(da_wins),
+        ),
+    )
+
+
+def _check_fig6a(table: ResultTable) -> tuple[ShapeCheck, ...]:
+    j_values = sorted({row["bids_J"] for row in table.rows})
+    means = {
+        j: float(np.mean([r["ratio"] for r in table.rows if r["bids_J"] == j]))
+        for j in j_values
+    }
+    j_hurts = len(j_values) < 2 or means[j_values[-1]] >= means[j_values[0]] - 0.1
+    return (
+        ShapeCheck(
+            claim="larger J worsens the ratio (paper)",
+            passed=bool(j_hurts),
+            detail=", ".join(f"J={j}: {m:.3f}" for j, m in means.items()),
+        ),
+    )
+
+
+_PANELS: tuple[tuple[str, Callable, Callable, tuple[str, str]], ...] = (
+    ("Figure 3(a)", fig3a, _check_fig3a, ("ratio", "microservices")),
+    ("Figure 3(b)", fig3b, lambda t: _check_cost_table(t, "optimal_cost"),
+     ("social_cost", "microservices")),
+    ("Figure 4(a)", fig4a, _check_fig4a, ("payment", "winner")),
+    ("Figure 4(b)", fig4b, _check_fig4b, ("runner_up_ms", "microservices")),
+    ("Figure 5(a)", fig5a, _check_fig5a, ("MSOA", "microservices")),
+    ("Figure 6(a)", fig6a, _check_fig6a, ("ratio", "rounds_T")),
+    ("Figure 6(b)", fig6b, lambda t: _check_cost_table(t, "offline_optimal"),
+     ("social_cost", "microservices")),
+)
+
+
+def build_report(config: ExperimentConfig = FULL) -> list[PanelReport]:
+    """Run every panel experiment and evaluate its shape claims."""
+    reports = []
+    for panel, experiment, checker, (value_col, _) in _PANELS:
+        table = experiment(config)
+        series = [
+            float(row[value_col])
+            for row in table.rows
+            if row.get(value_col) is not None
+        ]
+        reports.append(
+            PanelReport(
+                panel=panel,
+                table=table,
+                checks=tuple(checker(table)),
+                headline_series={value_col: series},
+            )
+        )
+    return reports
+
+
+def render_report(reports: list[PanelReport]) -> str:
+    """Render panel reports as one markdown document."""
+    lines = []
+    for report in reports:
+        lines.append(f"## {report.panel}")
+        lines.append("")
+        lines.append("```")
+        lines.append(report.table.render())
+        lines.append("```")
+        for name, series in report.headline_series.items():
+            if series:
+                lines.append(f"`{name}` across rows: `{sparkline(series)}`")
+        lines.append("")
+        for check in report.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            detail = f" — {check.detail}" if check.detail else ""
+            lines.append(f"* **{mark}** {check.claim}{detail}")
+        lines.append("")
+    return "\n".join(lines)

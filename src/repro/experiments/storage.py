@@ -1,0 +1,99 @@
+"""Persistence for experiment results.
+
+Sweeps at paper scale take minutes; losing their tables to a closed
+terminal is silly.  This module round-trips :class:`ResultTable` objects
+through JSON (lossless: title, columns, precision, typed cells) and CSV
+(interoperable), and can diff two saved runs cell by cell — the tool used
+to confirm that refactors leave the measured figures untouched.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+
+from repro.analysis.reporting import ResultTable
+from repro.errors import ConfigurationError
+
+__all__ = ["save_table", "load_table", "save_csv", "diff_tables"]
+
+_FORMAT_VERSION = 1
+
+
+def save_table(table: ResultTable, path: str | pathlib.Path) -> None:
+    """Write a table to JSON (lossless round-trip with :func:`load_table`)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "title": table.title,
+        "columns": list(table.columns),
+        "precision": table.precision,
+        "rows": [dict(row) for row in table.rows],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_table(path: str | pathlib.Path) -> ResultTable:
+    """Read a table previously written by :func:`save_table`."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"cannot load table from {path}: {error}") from error
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported table format version {version!r} in {path}"
+        )
+    table = ResultTable(
+        title=payload["title"],
+        columns=list(payload["columns"]),
+        precision=int(payload.get("precision", 3)),
+    )
+    for row in payload["rows"]:
+        table.add_row(**row)
+    return table
+
+
+def save_csv(table: ResultTable, path: str | pathlib.Path) -> None:
+    """Write a table as a plain CSV file (header + one line per row)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(table.columns))
+        writer.writeheader()
+        for row in table.rows:
+            writer.writerow({c: row.get(c, "") for c in table.columns})
+
+
+def diff_tables(
+    old: ResultTable,
+    new: ResultTable,
+    *,
+    rel_tolerance: float = 1e-9,
+) -> list[str]:
+    """Cell-by-cell differences between two tables, as readable strings.
+
+    Numeric cells compare within ``rel_tolerance``; everything else
+    compares exactly.  Structural differences (columns, row counts) are
+    reported first and short-circuit the cell comparison.
+    """
+    problems: list[str] = []
+    if list(old.columns) != list(new.columns):
+        problems.append(
+            f"columns differ: {list(old.columns)} vs {list(new.columns)}"
+        )
+        return problems
+    if len(old.rows) != len(new.rows):
+        problems.append(f"row counts differ: {len(old.rows)} vs {len(new.rows)}")
+        return problems
+    for index, (row_old, row_new) in enumerate(zip(old.rows, new.rows)):
+        for column in old.columns:
+            a = row_old.get(column)
+            b = row_new.get(column)
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                scale = max(abs(float(a)), abs(float(b)), 1e-12)
+                if abs(float(a) - float(b)) / scale > rel_tolerance:
+                    problems.append(
+                        f"row {index} col {column!r}: {a!r} != {b!r}"
+                    )
+            elif a != b:
+                problems.append(f"row {index} col {column!r}: {a!r} != {b!r}")
+    return problems

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides the request-level simulator that drives the
+paper's Section-III demand estimation: a deterministic event-queue kernel
+(:mod:`repro.sim.engine`), request arrival/service processes
+(:mod:`repro.sim.processes`), per-round statistics
+(:mod:`repro.sim.metrics`), and seeded randomness utilities
+(:mod:`repro.sim.rng`).
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.metrics import MicroserviceStats, RoundSnapshot
+from repro.sim.processes import ArrivalProcess, Request, RequestServer
+from repro.sim.rng import RngRegistry, make_rng, spawn_rngs
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "MicroserviceStats",
+    "RoundSnapshot",
+    "ArrivalProcess",
+    "Request",
+    "RequestServer",
+    "RngRegistry",
+    "make_rng",
+    "spawn_rngs",
+]

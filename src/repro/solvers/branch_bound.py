@@ -1,0 +1,117 @@
+"""A pure-Python exact branch-and-bound for the single-round WSP.
+
+This solver exists for two reasons: it cross-checks the HiGHS MILP
+(:mod:`repro.solvers.milp`) in the property-based test suite, and it keeps
+the library usable on installations where SciPy's ``milp`` is unavailable.
+It is exact but exponential, so callers should keep instances to roughly
+``≤ 25`` bids; the tests do.
+
+The search branches on bids ordered by ascending average price, prunes by
+(1) a greedy-completion upper bound (initial incumbent), (2) a fractional
+lower bound obtained from the cheapest remaining unit prices, and (3)
+infeasibility of the remaining supply.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bids import Bid
+from repro.core.wsp import CoverageState, WSPInstance
+from repro.errors import InfeasibleInstanceError
+from repro.solvers.milp import ExactSolution
+
+__all__ = ["solve_wsp_branch_bound"]
+
+
+def _lower_bound(
+    remaining: list[Bid], coverage: CoverageState
+) -> float:
+    """A cheap admissible lower bound on the cost to finish coverage.
+
+    Sorts remaining bids by average price against the current coverage and
+    greedily fills the unmet demand *fractionally* (allowing partial bids),
+    which can only underestimate the true integral completion cost.
+    """
+    unmet = coverage.unmet
+    if unmet == 0:
+        return 0.0
+    rates: list[tuple[float, int]] = []
+    for bid in remaining:
+        utility = coverage.utility_of(bid)
+        if utility > 0:
+            rates.append((bid.price / utility, utility))
+    rates.sort()
+    bound = 0.0
+    for rate, utility in rates:
+        take = min(utility, unmet)
+        bound += rate * take
+        unmet -= take
+        if unmet == 0:
+            return bound
+    return math.inf  # cannot finish: signals infeasible branch
+
+
+def solve_wsp_branch_bound(
+    instance: WSPInstance, *, node_limit: int = 2_000_000
+) -> ExactSolution:
+    """Solve the single-round ILP (12)–(15) exactly by branch-and-bound.
+
+    Raises :class:`~repro.errors.InfeasibleInstanceError` if the demand
+    cannot be met, and :class:`RuntimeError` if ``node_limit`` nodes are
+    expanded without closing the search (instance too large).
+    """
+    demand = {b: u for b, u in instance.demand.items() if u > 0}
+    if not demand:
+        return ExactSolution(objective=0.0, chosen=())
+    bids = sorted(
+        instance.bids, key=lambda bid: (bid.price / bid.size, bid.seller, bid.index)
+    )
+
+    best_cost = math.inf
+    best_set: tuple[Bid, ...] = ()
+    nodes = 0
+
+    def search(idx: int, coverage: CoverageState, cost: float, chosen: list[Bid]) -> None:
+        nonlocal best_cost, best_set, nodes
+        nodes += 1
+        if nodes > node_limit:
+            raise RuntimeError(
+                f"branch-and-bound exceeded {node_limit} nodes; "
+                "use the MILP solver for instances this large"
+            )
+        if coverage.satisfied:
+            if cost < best_cost:
+                best_cost = cost
+                best_set = tuple(chosen)
+            return
+        if idx == len(bids):
+            return
+        remaining = [
+            bid
+            for bid in bids[idx:]
+            if all(c.seller != bid.seller for c in chosen)
+        ]
+        bound = _lower_bound(remaining, coverage)
+        if cost + bound >= best_cost:
+            return
+        bid = bids[idx]
+        taken_seller = any(c.seller == bid.seller for c in chosen)
+        # Branch 1: include this bid (if its seller hasn't won yet and it
+        # contributes something).
+        if not taken_seller and coverage.utility_of(bid) > 0:
+            next_coverage = coverage.copy()
+            next_coverage.apply(bid)
+            chosen.append(bid)
+            search(idx + 1, next_coverage, cost + bid.price, chosen)
+            chosen.pop()
+        # Branch 2: skip it.
+        search(idx + 1, coverage, cost, chosen)
+
+    search(0, CoverageState(demand=demand), 0.0, [])
+    if math.isinf(best_cost):
+        raise InfeasibleInstanceError(
+            "branch-and-bound found no feasible winner set"
+        )
+    instance.verify_solution(best_set)
+    return ExactSolution(objective=float(best_cost), chosen=best_set)

@@ -1,0 +1,292 @@
+"""Synthetic market generators matching the paper's evaluation settings.
+
+Section V.A: "The prices of bids are uniformly distributed in the range of
+[10, 35] and the value of 𝔾ᵗ is set within the range of [10, 40].  We pick
+microservices randomly within the edge clouds to form the microservice
+set Ŝ."  These generators produce single-round :class:`WSPInstance`
+objects and whole online horizons with exactly those distributions, while
+guaranteeing feasibility by construction (each buyer is covered by at
+least its demand in distinct sellers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.bids import Bid
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MarketConfig",
+    "generate_round",
+    "generate_horizon",
+    "generate_capacities",
+    "repair_horizon_capacities",
+    "ensure_online_feasible",
+]
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Knobs of the synthetic market (defaults = the paper's Section V.A).
+
+    ``n_sellers`` plays the role of the paper's 25–75 microservices willing
+    to share; ``n_buyers`` the needy subset Ŝ; ``bids_per_seller`` the
+    alternative-bid budget ``J`` (paper default 2); ``price_range`` the
+    U[10, 35] bid prices; ``demand_units_range`` the per-buyer coverage
+    requirement.  ``coverage_range`` bounds how many buyers one bid covers.
+    """
+
+    n_sellers: int = 25
+    n_buyers: int = 5
+    bids_per_seller: int = 2
+    price_range: tuple[float, float] = (10.0, 35.0)
+    demand_units_range: tuple[int, int] = (1, 4)
+    coverage_range: tuple[int, int] = (1, 3)
+    coverage_slack: int = 3
+    price_ceiling: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.n_sellers <= 0 or self.n_buyers <= 0:
+            raise ConfigurationError("n_sellers and n_buyers must be positive")
+        if self.bids_per_seller <= 0:
+            raise ConfigurationError("bids_per_seller must be positive")
+        low, high = self.price_range
+        if not 0 < low <= high:
+            raise ConfigurationError(f"invalid price_range {self.price_range}")
+        dlow, dhigh = self.demand_units_range
+        if not 1 <= dlow <= dhigh:
+            raise ConfigurationError(
+                f"invalid demand_units_range {self.demand_units_range}"
+            )
+        clow, chigh = self.coverage_range
+        if not 1 <= clow <= chigh:
+            raise ConfigurationError(f"invalid coverage_range {self.coverage_range}")
+        if self.coverage_slack < 0:
+            raise ConfigurationError(
+                f"coverage_slack must be non-negative, got {self.coverage_slack}"
+            )
+        if dhigh > self.n_sellers:
+            raise ConfigurationError(
+                "maximum demand units cannot exceed the number of sellers "
+                f"({dhigh} > {self.n_sellers})"
+            )
+
+
+def _buyer_ids(config: MarketConfig) -> list[int]:
+    # Buyers occupy ids [0, n_buyers); sellers [1000, 1000 + n_sellers).
+    return list(range(config.n_buyers))
+
+
+def _seller_ids(config: MarketConfig) -> list[int]:
+    return list(range(1000, 1000 + config.n_sellers))
+
+
+def generate_round(
+    config: MarketConfig, rng: np.random.Generator
+) -> WSPInstance:
+    """One feasible single-round market drawn from the paper's settings.
+
+    Feasibility is guaranteed constructively: after the random bids are
+    drawn, every buyer short of coverage gets additional sellers' first
+    bids extended to cover it (still uniformly priced, so the price
+    distribution is preserved).
+    """
+    buyers = _buyer_ids(config)
+    sellers = _seller_ids(config)
+    dlow, dhigh = config.demand_units_range
+    demand = {
+        buyer: int(rng.integers(dlow, dhigh + 1)) for buyer in buyers
+    }
+    clow, chigh = config.coverage_range
+    plow, phigh = config.price_range
+
+    coverage_sets: dict[tuple[int, int], set[int]] = {}
+    for seller in sellers:
+        for j in range(config.bids_per_seller):
+            size = int(rng.integers(clow, min(chigh, len(buyers)) + 1))
+            covered = set(
+                int(b) for b in rng.choice(buyers, size=size, replace=False)
+            )
+            coverage_sets[(seller, j)] = covered
+
+    # Repair pass: ensure each buyer is covered by >= demand distinct
+    # sellers *through their first bid alone*.  Only one alternative bid
+    # per seller can win, so counting coverage across a seller's
+    # alternatives would over-estimate supply; anchoring the repair on bid
+    # 0 makes "every seller plays its first bid" a feasible fallback and
+    # hence guarantees instance feasibility outright.
+    bid0_covering: dict[int, set[int]] = {b: set() for b in buyers}
+    for (seller, j), covered in coverage_sets.items():
+        if j != 0:
+            continue
+        for buyer in covered:
+            bid0_covering[buyer].add(seller)
+    for buyer in buyers:
+        # Repair past the bare requirement: `coverage_slack` extra distinct
+        # sellers per buyer keep the market off the feasibility boundary,
+        # where the greedy (and any online mechanism burning capacity)
+        # would otherwise have zero room for error.
+        target = min(len(sellers), demand[buyer] + config.coverage_slack)
+        missing = target - len(bid0_covering[buyer])
+        if missing <= 0:
+            continue
+        candidates = [s for s in sellers if s not in bid0_covering[buyer]]
+        if len(candidates) < missing:
+            raise ConfigurationError(
+                f"cannot repair coverage for buyer {buyer}: not enough sellers"
+            )
+        chosen = rng.choice(candidates, size=missing, replace=False)
+        for seller in chosen:
+            coverage_sets[(int(seller), 0)].add(buyer)
+            bid0_covering[buyer].add(int(seller))
+
+    bids = [
+        Bid(
+            seller=seller,
+            index=j,
+            covered=frozenset(covered),
+            price=float(rng.uniform(plow, phigh)),
+        )
+        for (seller, j), covered in sorted(coverage_sets.items())
+    ]
+    return WSPInstance.from_bids(bids, demand, price_ceiling=config.price_ceiling)
+
+
+def generate_capacities(
+    config: MarketConfig,
+    rng: np.random.Generator,
+    *,
+    capacity_range: tuple[int, int] = (10, 40),
+) -> dict[int, int]:
+    """Long-run sharing capacities Θᵢ per seller (paper's 𝔾ᵗ ∈ [10, 40])."""
+    low, high = capacity_range
+    if not 1 <= low <= high:
+        raise ConfigurationError(f"invalid capacity_range {capacity_range}")
+    return {
+        seller: int(rng.integers(low, high + 1))
+        for seller in _seller_ids(config)
+    }
+
+
+def generate_horizon(
+    config: MarketConfig,
+    rng: np.random.Generator,
+    *,
+    rounds: int = 10,
+    capacity_range: tuple[int, int] = (10, 40),
+    ensure_feasible: bool = True,
+) -> tuple[list[WSPInstance], dict[int, int]]:
+    """An online horizon: ``rounds`` independent rounds + capacities Θᵢ.
+
+    Demands and bids are redrawn each round ("resource demands ... may
+    vary arbitrarily as time elapses"); seller identities and capacities
+    persist across rounds, which is what makes the capacity-aware online
+    scaling of MSOA meaningful.
+
+    With ``ensure_feasible`` (default), the drawn capacities are inflated
+    until the *offline* horizon ILP admits a solution: per-round repair
+    already guarantees each round is coverable in isolation, but the
+    long-run capacity coupling (constraint 11) can still starve a buyer
+    whose few covering sellers get depleted.  The paper's analysis assumes
+    a feasible offline problem (Definition 6 divides by its optimum), so
+    the generator provides one.
+    """
+    if rounds <= 0:
+        raise ConfigurationError(f"rounds must be positive, got {rounds}")
+    capacities = generate_capacities(config, rng, capacity_range=capacity_range)
+    horizon = [generate_round(config, rng) for _ in range(rounds)]
+    if ensure_feasible:
+        capacities = repair_horizon_capacities(horizon, capacities)
+    return horizon, capacities
+
+
+def repair_horizon_capacities(
+    horizon: list[WSPInstance],
+    capacities: Mapping[int, int],
+    *,
+    inflation: float = 1.5,
+    max_attempts: int = 12,
+) -> dict[int, int]:
+    """Inflate capacities until the offline horizon ILP is feasible.
+
+    Multiplies every Θᵢ by ``inflation`` per failed attempt, preserving
+    the relative capacity spread of the original draw.  Raises
+    :class:`~repro.errors.ConfigurationError` if even effectively
+    unbounded capacities cannot make the horizon feasible (which would
+    indicate per-round infeasibility, a generator bug).
+    """
+    # Imported here: repro.solvers does not depend on repro.workload, so
+    # the late import avoids a package cycle at module load time.
+    from repro.errors import InfeasibleInstanceError, SolverError
+    from repro.solvers.milp import solve_horizon_optimal
+
+    repaired = {seller: int(cap) for seller, cap in capacities.items()}
+    for _ in range(max_attempts):
+        try:
+            # A short budget: when HiGHS cannot even decide feasibility
+            # quickly the instance is boundary-tight, and inflating the
+            # capacities both loosens it and is the repair we would apply
+            # anyway if it turned out infeasible.
+            solve_horizon_optimal(
+                horizon, repaired, feasibility_only=True, time_limit=20.0
+            )
+        except (InfeasibleInstanceError, SolverError):
+            repaired = {
+                seller: int(np.ceil(cap * inflation))
+                for seller, cap in repaired.items()
+            }
+            continue
+        return repaired
+    raise ConfigurationError(
+        "horizon remains infeasible even with inflated capacities; "
+        "check per-round feasibility of the generated instances"
+    )
+
+
+def ensure_online_feasible(
+    horizon: Sequence[WSPInstance],
+    capacities: Mapping[int, int],
+    *,
+    inflation: float = 1.5,
+    max_attempts: int = 12,
+) -> dict[int, int]:
+    """Inflate capacities until the *online* mechanism never gets stuck.
+
+    Offline feasibility (see :func:`repair_horizon_capacities`) guarantees
+    a clairvoyant schedule exists, but the online greedy can still corner
+    itself by depleting a bottleneck seller early.  This probe runs MSOA
+    itself (with the cheap runner-up payment rule — payments don't affect
+    allocation) and inflates all capacities until every round completes.
+    Experiments use it so the paper's implicit "demand is always
+    satisfied" assumption (constraint 10 holds each round) is met.
+    """
+    from repro.core.msoa import run_msoa
+    from repro.core.ssam import PaymentRule
+    from repro.errors import InfeasibleInstanceError
+
+    repaired = {seller: int(cap) for seller, cap in capacities.items()}
+    for _ in range(max_attempts):
+        try:
+            run_msoa(
+                horizon,
+                repaired,
+                payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+                on_infeasible="raise",
+            )
+        except InfeasibleInstanceError:
+            repaired = {
+                seller: int(np.ceil(cap * inflation))
+                for seller, cap in repaired.items()
+            }
+            continue
+        return repaired
+    raise ConfigurationError(
+        "online horizon remains infeasible even with inflated capacities"
+    )

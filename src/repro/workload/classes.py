@@ -1,0 +1,117 @@
+"""Request-class profiles: delay classes with diverse processing times.
+
+Section V.A distinguishes delay-sensitive (Poisson mean 5) and
+delay-tolerant (mean 10) microservice requests; the conclusion lists
+"diverse processing time of each task" as future work.  This module
+implements both: a :class:`RequestClassProfile` couples an arrival rate
+with a service-time distribution (exponential, deterministic, or
+heavy-tailed Pareto) so the platform simulation can stress the demand
+estimator with realistic task-length diversity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.edge.microservice import DelayClass
+from repro.errors import ConfigurationError
+
+__all__ = ["WorkDistribution", "RequestClassProfile", "PAPER_CLASSES"]
+
+
+class WorkDistribution(enum.Enum):
+    """Shape of the per-request service requirement."""
+
+    EXPONENTIAL = "exponential"
+    DETERMINISTIC = "deterministic"
+    PARETO = "pareto"
+    """Heavy-tailed: most requests tiny, a few enormous (shape > 1)."""
+
+
+@dataclass(frozen=True)
+class RequestClassProfile:
+    """One request class: arrival intensity plus work-size distribution.
+
+    Attributes
+    ----------
+    delay_class:
+        Which scheduling class the requests belong to.
+    arrival_rate:
+        Poisson arrival intensity (requests per time unit, per user).
+    work_mean:
+        Mean service requirement in work units.
+    distribution:
+        Work-size distribution family.
+    pareto_shape:
+        Tail index for :attr:`WorkDistribution.PARETO` (must exceed 1 so
+        the mean exists; lower = heavier tail).
+    """
+
+    delay_class: DelayClass
+    arrival_rate: float
+    work_mean: float = 1.0
+    distribution: WorkDistribution = WorkDistribution.EXPONENTIAL
+    pareto_shape: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ConfigurationError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if self.work_mean <= 0:
+            raise ConfigurationError(
+                f"work_mean must be positive, got {self.work_mean}"
+            )
+        if self.pareto_shape <= 1.0:
+            raise ConfigurationError(
+                f"pareto_shape must exceed 1 (finite mean), got {self.pareto_shape}"
+            )
+
+    def sample_work(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` service requirements with mean :attr:`work_mean`."""
+        if size <= 0:
+            raise ConfigurationError(f"size must be positive, got {size}")
+        if self.distribution is WorkDistribution.DETERMINISTIC:
+            return np.full(size, self.work_mean)
+        if self.distribution is WorkDistribution.EXPONENTIAL:
+            return rng.exponential(self.work_mean, size=size)
+        # Pareto with mean = scale * shape / (shape - 1); solve for scale.
+        scale = self.work_mean * (self.pareto_shape - 1.0) / self.pareto_shape
+        return scale * (1.0 + rng.pareto(self.pareto_shape, size=size))
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Std/mean of the work distribution (∞-guarded for Pareto).
+
+        Deterministic: 0.  Exponential: 1.  Pareto: finite only for
+        shape > 2, else ``inf`` — the heavy-tail regime where the
+        paper's mean-based demand indicators are most stressed.
+        """
+        if self.distribution is WorkDistribution.DETERMINISTIC:
+            return 0.0
+        if self.distribution is WorkDistribution.EXPONENTIAL:
+            return 1.0
+        shape = self.pareto_shape
+        if shape <= 2.0:
+            return float("inf")
+        return 1.0 / np.sqrt(shape * (shape - 2.0))
+
+
+PAPER_CLASSES = {
+    DelayClass.DELAY_SENSITIVE: RequestClassProfile(
+        delay_class=DelayClass.DELAY_SENSITIVE,
+        arrival_rate=5.0,
+        work_mean=1.0,
+        distribution=WorkDistribution.EXPONENTIAL,
+    ),
+    DelayClass.DELAY_TOLERANT: RequestClassProfile(
+        delay_class=DelayClass.DELAY_TOLERANT,
+        arrival_rate=10.0,
+        work_mean=1.0,
+        distribution=WorkDistribution.EXPONENTIAL,
+    ),
+}
+"""The Section-V.A workload classes (Poisson means 5 and 10)."""

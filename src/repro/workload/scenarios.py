@@ -1,0 +1,104 @@
+"""Named parameter presets from the paper's evaluation (Section V.A).
+
+"We consider 300 edge users and 10 macro base stations each co-located
+with a computing server. We randomly deploy 25–75 microservices on
+different edge clouds. ... The default value for T, S, J, and ℒ is 10,
+25, 2, and 10, respectively."
+
+:data:`PAPER_DEFAULTS` captures those defaults; sweep helpers enumerate
+the figure axes (microservice counts 25–75, rounds 1–15, bids per user
+1–4, requests 100/200).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.workload.bidgen import MarketConfig
+
+__all__ = [
+    "PaperScenario",
+    "PAPER_DEFAULTS",
+    "microservice_sweep",
+    "rounds_sweep",
+    "bids_sweep",
+]
+
+
+@dataclass(frozen=True)
+class PaperScenario:
+    """The full Section-V.A parameterization of one experiment run.
+
+    ``n_requests`` is the user-request volume the figures toggle between
+    100 and 200; it scales the number of needy microservices (buyers) and
+    their demand intensity in the synthetic market.
+    """
+
+    n_users: int = 300
+    n_base_stations: int = 10
+    n_microservices: int = 25
+    rounds: int = 10
+    bids_per_seller: int = 2
+    n_requests: int = 100
+    round_length_minutes: float = 10.0
+    price_range: tuple[float, float] = (10.0, 35.0)
+    capacity_range: tuple[int, int] = (10, 40)
+
+    def __post_init__(self) -> None:
+        if self.n_microservices < 2:
+            raise ConfigurationError("need at least 2 microservices")
+        if self.rounds <= 0:
+            raise ConfigurationError("rounds must be positive")
+        if self.n_requests <= 0:
+            raise ConfigurationError("n_requests must be positive")
+
+    def market_config(self) -> MarketConfig:
+        """Translate the scenario into a synthetic-market configuration.
+
+        The needy subset Ŝ grows with the request volume: with the paper's
+        100-request baseline roughly a fifth of the microservices need
+        extra resources, doubling the requests doubles both the needy
+        share (capped at half the fleet) and the per-buyer demand spread.
+        """
+        needy_fraction = min(0.5, 0.2 * self.n_requests / 100.0)
+        n_buyers = max(2, int(round(self.n_microservices * needy_fraction)))
+        n_sellers = max(2, self.n_microservices - n_buyers)
+        max_demand = 2 if self.n_requests <= 100 else 4
+        max_demand = min(max_demand, n_sellers)
+        return MarketConfig(
+            n_sellers=n_sellers,
+            n_buyers=n_buyers,
+            bids_per_seller=self.bids_per_seller,
+            price_range=self.price_range,
+            demand_units_range=(1, max_demand),
+            coverage_range=(1, min(3, n_buyers)),
+        )
+
+
+PAPER_DEFAULTS = PaperScenario()
+"""T=10 rounds, S=25 microservices, J=2 bids, 10 edge clouds, 300 users."""
+
+
+def microservice_sweep(
+    base: PaperScenario = PAPER_DEFAULTS,
+    counts: tuple[int, ...] = (25, 35, 45, 55, 65, 75),
+) -> list[PaperScenario]:
+    """The figure-3a/3b/5a/6b x-axis: 25–75 microservices."""
+    return [replace(base, n_microservices=c) for c in counts]
+
+
+def rounds_sweep(
+    base: PaperScenario = PAPER_DEFAULTS,
+    counts: tuple[int, ...] = (1, 3, 5, 7, 9, 11, 13, 15),
+) -> list[PaperScenario]:
+    """The figure-6a x-axis: rounds T from 1 to 15."""
+    return [replace(base, rounds=c) for c in counts]
+
+
+def bids_sweep(
+    base: PaperScenario = PAPER_DEFAULTS,
+    counts: tuple[int, ...] = (1, 2, 3, 4),
+) -> list[PaperScenario]:
+    """The figure-6a series: bids per user J."""
+    return [replace(base, bids_per_seller=c) for c in counts]

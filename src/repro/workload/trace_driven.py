@@ -1,0 +1,149 @@
+"""Trace-driven horizon generation.
+
+Connects the synthetic diurnal traces (:mod:`repro.workload.traces`) to
+the market generator: each microservice gets its own phase-shifted demand
+trace, each auction round samples the traces to decide *who* is needy and
+*how much* they need, and bid supply comes from the microservices whose
+trace is currently in a trough.  This reproduces the property the paper's
+"real-world data traces" would provide — demand that is time-correlated
+and staggered across tenants — which the i.i.d. per-round generator
+deliberately lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bids import Bid
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
+from repro.workload.bidgen import repair_horizon_capacities
+from repro.workload.traces import DiurnalTraceConfig, generate_demand_trace
+
+__all__ = ["TraceDrivenConfig", "generate_trace_driven_horizon"]
+
+
+@dataclass(frozen=True)
+class TraceDrivenConfig:
+    """Shape of a trace-driven online experiment.
+
+    ``needy_quantile`` splits the fleet each round: microservices whose
+    current trace value sits above that quantile of the round's values
+    become buyers, the rest sell.  Demand units scale with how far above
+    the threshold a buyer's trace is, capped at ``max_units``.
+    """
+
+    n_microservices: int = 25
+    rounds: int = 10
+    needy_quantile: float = 0.75
+    max_units: int = 4
+    price_range: tuple[float, float] = (10.0, 35.0)
+    coverage_range: tuple[int, int] = (1, 3)
+    bids_per_seller: int = 2
+    trace: DiurnalTraceConfig = DiurnalTraceConfig(period=20.0)
+
+    def __post_init__(self) -> None:
+        if self.n_microservices < 4:
+            raise ConfigurationError("need at least 4 microservices")
+        if self.rounds <= 0:
+            raise ConfigurationError("rounds must be positive")
+        if not 0.5 <= self.needy_quantile < 1.0:
+            raise ConfigurationError(
+                f"needy_quantile must be in [0.5, 1), got {self.needy_quantile}"
+            )
+        if self.max_units <= 0:
+            raise ConfigurationError("max_units must be positive")
+
+
+def generate_trace_driven_horizon(
+    config: TraceDrivenConfig,
+    rng: np.random.Generator,
+    *,
+    capacity_range: tuple[int, int] = (10, 40),
+) -> tuple[list[WSPInstance], dict[int, int]]:
+    """Build a horizon whose buyer/seller split follows diurnal traces.
+
+    Returns ``(rounds, capacities)`` like the i.i.d. generator; offline
+    feasibility is repaired the same way.  Because traces are staggered
+    (each microservice gets a random phase), the buyer set rotates over
+    the horizon — the same microservice sells in its trough and buys at
+    its peak, exactly Figure 1's two-way sharing story.
+    """
+    ids = list(range(config.n_microservices))
+    traces = {
+        sid: generate_demand_trace(
+            config.trace,
+            config.rounds,
+            rng,
+            phase=float(rng.uniform(0.0, config.trace.period)),
+        )
+        for sid in ids
+    }
+    plow, phigh = config.price_range
+    rounds: list[WSPInstance] = []
+    for t in range(config.rounds):
+        values = {sid: float(traces[sid][t]) for sid in ids}
+        threshold = float(
+            np.quantile(list(values.values()), config.needy_quantile)
+        )
+        buyers = [sid for sid in ids if values[sid] > threshold]
+        sellers = [sid for sid in ids if sid not in buyers]
+        if not buyers:  # flat trace round: nobody needs anything
+            rounds.append(WSPInstance(bids=(), demand={}, price_ceiling=phigh * 2))
+            continue
+        demand = {
+            buyer: min(
+                config.max_units,
+                max(1, int(round(values[buyer] / max(threshold, 1e-9)))),
+            )
+            for buyer in buyers
+        }
+        bids: list[Bid] = []
+        clow, chigh = config.coverage_range
+        bid0_cover: dict[int, set[int]] = {b: set() for b in buyers}
+        for seller in sellers:
+            for j in range(config.bids_per_seller):
+                size = int(rng.integers(clow, min(chigh, len(buyers)) + 1))
+                covered = set(
+                    int(b) for b in rng.choice(buyers, size=size, replace=False)
+                )
+                bids.append((seller, j, covered))
+                if j == 0:
+                    for buyer in covered:
+                        bid0_cover[buyer].add(seller)
+        # Same bid-0 anchored repair as the i.i.d. generator (+2 slack).
+        for buyer in buyers:
+            target = min(len(sellers), demand[buyer] + 2)
+            missing = target - len(bid0_cover[buyer])
+            if missing <= 0:
+                continue
+            candidates = [s for s in sellers if s not in bid0_cover[buyer]]
+            if len(candidates) < missing:
+                demand[buyer] = max(1, len(bid0_cover[buyer]))
+                continue
+            for seller in rng.choice(candidates, size=missing, replace=False):
+                for idx, (s, j, covered) in enumerate(bids):
+                    if s == int(seller) and j == 0:
+                        covered.add(buyer)
+                        break
+                bid0_cover[buyer].add(int(seller))
+        built = tuple(
+            Bid(
+                seller=seller,
+                index=j,
+                covered=frozenset(covered),
+                price=float(rng.uniform(plow, phigh)),
+            )
+            for seller, j, covered in bids
+        )
+        rounds.append(
+            WSPInstance.from_bids(built, demand, price_ceiling=phigh * 2)
+        )
+    capacities = {
+        sid: int(rng.integers(capacity_range[0], capacity_range[1] + 1))
+        for sid in ids
+    }
+    capacities = repair_horizon_capacities(rounds, capacities)
+    return rounds, capacities

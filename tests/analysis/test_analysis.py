@@ -1,0 +1,119 @@
+"""Unit tests for the economics audits, ratio reports, and tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.economics import (
+    audit_individual_rationality,
+    payment_price_pairs,
+    probe_truthfulness,
+)
+from repro.analysis.ratios import msoa_performance_ratio, ssam_performance_ratio
+from repro.analysis.reporting import ResultTable
+from repro.core.bids import Bid
+from repro.core.msoa import run_msoa
+from repro.core.ssam import run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
+from repro.workload.bidgen import MarketConfig, generate_horizon, generate_round
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+@pytest.fixture
+def market():
+    return WSPInstance.from_bids(
+        [
+            bid(10, {1, 2}, 12.0),
+            bid(11, {1}, 5.0),
+            bid(12, {2, 3}, 9.0),
+            bid(13, {1, 2, 3}, 30.0),
+            bid(14, {3}, 4.0),
+        ],
+        {1: 1, 2: 1, 3: 2},
+    )
+
+
+class TestEconomics:
+    def test_no_ir_violations_on_ssam(self, market):
+        outcome = run_ssam(market)
+        assert audit_individual_rationality(outcome) == []
+
+    def test_payment_price_pairs_match_winners(self, market):
+        outcome = run_ssam(market)
+        pairs = payment_price_pairs(outcome)
+        assert len(pairs) == len(outcome.winners)
+        assert all(payment >= price for price, payment in pairs)
+
+    def test_truthfulness_probe_finds_no_gain(self, market):
+        results = probe_truthfulness(
+            market, rng=np.random.default_rng(5), deviations_per_bid=4
+        )
+        assert results  # some deviations were evaluated
+        for result in results:
+            assert result.gain <= 1e-9
+
+    def test_probe_on_random_single_bid_market(self):
+        rng = np.random.default_rng(9)
+        instance = generate_round(
+            MarketConfig(n_sellers=8, n_buyers=4, bids_per_seller=1), rng
+        )
+        results = probe_truthfulness(
+            instance, rng=rng, deviations_per_bid=2
+        )
+        for result in results:
+            assert result.gain <= 1e-9
+
+
+class TestRatios:
+    def test_ssam_ratio_at_least_one_within_bound(self, market):
+        report = ssam_performance_ratio(run_ssam(market))
+        assert report.ratio >= 1.0 - 1e-9
+        assert report.within_bound
+
+    def test_msoa_ratio_against_offline(self):
+        rng = np.random.default_rng(10)
+        horizon, capacities = generate_horizon(
+            MarketConfig(n_sellers=8, n_buyers=4), rng, rounds=3
+        )
+        from repro.workload.bidgen import ensure_online_feasible
+
+        capacities = ensure_online_feasible(horizon, capacities)
+        outcome = run_msoa(horizon, capacities)
+        report = msoa_performance_ratio(outcome, horizon, capacities)
+        assert report.ratio >= 1.0 - 1e-9
+        assert report.mechanism_cost == pytest.approx(outcome.social_cost)
+
+
+class TestResultTable:
+    def test_render_contains_all_cells(self):
+        table = ResultTable(title="T", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a="x")
+        text = table.render()
+        assert "T" in text and "2.500" in text and "x" in text
+        assert "-" in text  # missing cell placeholder
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable(title="T", columns=["a"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(zzz=1)
+
+    def test_column_extraction(self):
+        table = ResultTable(title="T", columns=["a"])
+        table.add_row(a=1)
+        table.add_row(a=2)
+        assert table.column("a") == [1, 2]
+        with pytest.raises(ConfigurationError):
+            table.column("nope")
+
+    def test_bool_rendering(self):
+        table = ResultTable(title="T", columns=["ok"])
+        table.add_row(ok=True)
+        assert "yes" in table.render()
+
+    def test_empty_table_renders_header(self):
+        table = ResultTable(title="Empty", columns=["col"])
+        assert "col" in table.render()

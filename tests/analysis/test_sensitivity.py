@@ -1,0 +1,82 @@
+"""Unit tests for the sensitivity-analysis helper."""
+
+import pytest
+
+from repro.analysis.sensitivity import sweep_parameter
+from repro.errors import ConfigurationError
+
+
+class TestSweepParameter:
+    def test_linear_response_recovers_slope(self):
+        result = sweep_parameter(
+            [1.0, 2.0, 3.0, 4.0],
+            lambda v, seed: 2.0 * v + 1.0,
+            seeds=(0,),
+        )
+        assert result.slope == pytest.approx(2.0)
+        assert result.trend == "increasing"
+        assert result.is_sensitive
+
+    def test_flat_response(self):
+        result = sweep_parameter(
+            [1.0, 2.0, 3.0], lambda v, seed: 7.0, seeds=(0, 1)
+        )
+        assert result.trend == "flat"
+        assert result.slope == pytest.approx(0.0)
+        assert not result.is_sensitive
+
+    def test_decreasing_response(self):
+        result = sweep_parameter(
+            [1.0, 2.0, 3.0], lambda v, seed: -v, seeds=(0,)
+        )
+        assert result.trend == "decreasing"
+        assert result.slope == pytest.approx(-1.0)
+
+    def test_non_monotone_detected(self):
+        responses = {1.0: 0.0, 2.0: 5.0, 3.0: 1.0}
+        result = sweep_parameter(
+            [1.0, 2.0, 3.0], lambda v, seed: responses[v], seeds=(0,)
+        )
+        assert result.trend == "non-monotone"
+
+    def test_seed_averaging(self):
+        result = sweep_parameter(
+            [1.0, 2.0],
+            lambda v, seed: v + seed,
+            seeds=(0, 2),
+        )
+        assert result.responses == (2.0, 3.0)  # mean over seeds 0 and 2
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter([1.0], lambda v, s: v)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter([1.0, 2.0], lambda v, s: v, seeds=())
+
+    def test_non_finite_measurement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(
+                [1.0, 2.0], lambda v, s: float("nan"), seeds=(0,)
+            )
+
+    def test_mechanism_level_usage(self):
+        # Realistic use: social cost as a function of market thickness.
+        import numpy as np
+
+        from repro.core.ssam import run_ssam
+        from repro.workload.bidgen import MarketConfig, generate_round
+
+        def cost_at(n_sellers, seed):
+            instance = generate_round(
+                MarketConfig(n_sellers=int(n_sellers), n_buyers=4),
+                np.random.default_rng(seed),
+            )
+            return run_ssam(instance).social_cost
+
+        result = sweep_parameter(
+            [8, 16, 32], cost_at, seeds=(11, 23, 37)
+        )
+        # Thicker markets are cheaper (more competition).
+        assert result.responses[-1] <= result.responses[0]

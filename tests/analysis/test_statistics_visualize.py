@@ -1,0 +1,103 @@
+"""Unit tests for statistics helpers and ASCII visualization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    bootstrap_ci,
+    geometric_mean,
+    paired_delta,
+    summarize,
+)
+from repro.analysis.visualize import bar_chart, series_panel, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.n == 4
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_summarize_single_value(self):
+        stats = summarize([7.0])
+        assert stats.mean == 7.0 and stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 7.0
+
+    def test_summarize_rejects_empty_and_nonfinite(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+        with pytest.raises(ConfigurationError):
+            summarize([1.0, float("nan")])
+
+    def test_bootstrap_ci_deterministic_and_covering(self):
+        rng = np.random.default_rng(3)
+        data = list(rng.normal(10.0, 1.0, size=40))
+        low1, high1 = bootstrap_ci(data, rng=np.random.default_rng(1))
+        low2, high2 = bootstrap_ci(data, rng=np.random.default_rng(1))
+        assert (low1, high1) == (low2, high2)
+        assert low1 <= float(np.mean(data)) <= high1
+
+    def test_bootstrap_rejects_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_overlap_detection(self):
+        a = summarize([1.0, 1.1, 0.9, 1.0])
+        b = summarize([5.0, 5.1, 4.9, 5.0])
+        assert not a.overlaps(b)
+        assert a.overlaps(a)
+
+    def test_paired_delta(self):
+        base = [1.0, 2.0, 3.0]
+        treat = [1.5, 2.5, 3.5]
+        delta = paired_delta(base, treat)
+        assert delta.mean == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            paired_delta([1.0], [1.0, 2.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+
+class TestVisualize:
+    def test_sparkline_shape(self):
+        spark = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert len(spark) == 8
+        assert spark[0] == "▁" and spark[-1] == "█"
+
+    def test_sparkline_constant_flat(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_sparkline_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+    def test_bar_chart_scales_to_max(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+        assert "10.00" in lines[0]
+
+    def test_bar_chart_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": -1.0})
+
+    def test_series_panel_alignment(self):
+        panel = series_panel(
+            {"MSOA": [1.0, 1.2, 1.1], "DA": [1.0, 1.05, 1.02]},
+            x_label="microservices",
+        )
+        assert "MSOA" in panel and "DA" in panel
+        assert "microservices" in panel
+
+    def test_series_panel_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            series_panel({"a": [1.0], "b": [1.0, 2.0]})

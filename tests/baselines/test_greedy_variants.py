@@ -1,0 +1,103 @@
+"""Unit tests for the alternative greedy selection rules."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy_variants import VARIANT_KEYS, run_greedy_variant
+from repro.core.bids import Bid
+from repro.core.ssam import run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import InfeasibleInstanceError
+from repro.solvers.milp import solve_wsp_optimal
+from repro.workload.bidgen import MarketConfig, generate_round
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+@pytest.fixture
+def market():
+    return WSPInstance.from_bids(
+        [
+            bid(10, {1, 2}, 12.0),
+            bid(11, {1}, 5.0),
+            bid(12, {2, 3}, 9.0),
+            bid(13, {1, 2, 3}, 30.0),
+            bid(14, {3}, 4.0),
+        ],
+        {1: 1, 2: 1, 3: 2},
+    )
+
+
+class TestVariants:
+    def test_density_matches_ssam(self, market):
+        ssam = run_ssam(market)
+        density = run_greedy_variant(market, "density")
+        assert {b.key for b in density.winners} == ssam.winner_keys
+        assert density.social_cost == pytest.approx(ssam.social_cost)
+
+    @pytest.mark.parametrize("variant", sorted(VARIANT_KEYS))
+    def test_all_variants_produce_feasible_covers(self, market, variant):
+        result = run_greedy_variant(market, variant)
+        market.verify_solution(list(result.winners))
+
+    @pytest.mark.parametrize("variant", sorted(VARIANT_KEYS))
+    def test_no_variant_beats_optimum(self, market, variant):
+        optimum = solve_wsp_optimal(market).objective
+        result = run_greedy_variant(market, variant)
+        assert result.social_cost >= optimum - 1e-9
+
+    def test_unknown_variant_rejected(self, market):
+        with pytest.raises(InfeasibleInstanceError, match="unknown"):
+            run_greedy_variant(market, "mystery")
+
+    def test_infeasible_instance_raises(self):
+        instance = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 2})
+        with pytest.raises(InfeasibleInstanceError):
+            run_greedy_variant(instance, "density")
+
+    def test_density_dominates_on_average(self):
+        # Over markets priced per-unit (price = unit cost × coverage, as
+        # the platform's truthful sellers bid), the density rule is the
+        # cheapest of the three — this is the whole point of SSAM's key.
+        # (With whole-bid uniform prices, big bids are per-unit bargains
+        # and coverage-first accidentally ties it.)
+        rng = np.random.default_rng(21)
+        totals = {name: 0.0 for name in VARIANT_KEYS}
+        for _ in range(12):
+            base = generate_round(
+                MarketConfig(n_sellers=15, n_buyers=6), rng
+            )
+            repriced = WSPInstance(
+                bids=tuple(
+                    Bid(
+                        seller=b.seller,
+                        index=b.index,
+                        covered=b.covered,
+                        price=float(rng.uniform(10.0, 35.0)) * b.size,
+                    )
+                    for b in base.bids
+                ),
+                demand=base.demand,
+                price_ceiling=None,
+            )
+            for name in VARIANT_KEYS:
+                totals[name] += run_greedy_variant(repriced, name).social_cost
+        assert totals["density"] <= totals["cheapest_price"] + 1e-9
+        assert totals["density"] <= totals["largest_coverage"] + 1e-9
+
+    def test_largest_coverage_prefers_wholesale(self):
+        instance = WSPInstance.from_bids(
+            [
+                bid(10, {1, 2, 3}, 40.0),
+                bid(11, {1}, 1.0),
+                bid(12, {2}, 1.0),
+                bid(13, {3}, 1.0),
+            ],
+            {1: 1, 2: 1, 3: 1},
+        )
+        wholesale = run_greedy_variant(instance, "largest_coverage")
+        assert wholesale.winners[0].key == (10, 0)
+        dense = run_greedy_variant(instance, "density")
+        assert dense.social_cost < wholesale.social_cost

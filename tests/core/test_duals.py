@@ -1,0 +1,89 @@
+"""Unit tests for the dual-fitting bookkeeping (Lemma 1 / Theorem 3)."""
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.duals import DualSolution
+from repro.core.ssam import run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import MechanismError
+from repro.solvers.milp import solve_wsp_optimal
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+@pytest.fixture
+def market():
+    return WSPInstance.from_bids(
+        [
+            bid(10, {1, 2}, 12.0),
+            bid(11, {1}, 5.0),
+            bid(12, {2, 3}, 9.0),
+            bid(13, {1, 2, 3}, 30.0),
+            bid(14, {3}, 4.0),
+        ],
+        {1: 1, 2: 1, 3: 2},
+    )
+
+
+class TestRecording:
+    def test_record_and_total(self, market):
+        duals = DualSolution(instance=market)
+        duals.record_unit(1, 4.0)
+        duals.record_unit(3, 2.0)
+        duals.record_unit(3, 6.0)
+        assert duals.total_tagged_price == pytest.approx(12.0)
+        assert duals.unit_prices[3] == [2.0, 6.0]
+
+    def test_negative_price_rejected(self, market):
+        duals = DualSolution(instance=market)
+        with pytest.raises(MechanismError):
+            duals.record_unit(1, -1.0)
+
+    def test_bad_scale_rejected(self, market):
+        duals = DualSolution(instance=market)
+        duals.record_unit(1, 4.0)
+        with pytest.raises(MechanismError):
+            duals.buyer_duals(scale=0.0)
+
+
+class TestCertificates:
+    def test_tagged_total_equals_primal_objective(self, market):
+        outcome = run_ssam(market)
+        assert outcome.duals.total_tagged_price == pytest.approx(
+            outcome.social_cost
+        )
+
+    def test_fitted_duals_feasible(self, market):
+        outcome = run_ssam(market)
+        duals, _ = outcome.duals.fitted()
+        for offer in market.bids:
+            load = sum(duals.get(b, 0.0) for b in offer.covered)
+            assert load <= offer.price + 1e-9
+
+    def test_certified_bound_below_optimum(self, market):
+        outcome = run_ssam(market)
+        optimum = solve_wsp_optimal(market).objective
+        assert outcome.duals.certified_lower_bound() <= optimum + 1e-9
+
+    def test_theoretical_scale_matches_ratio_bound(self, market):
+        outcome = run_ssam(market)
+        assert outcome.duals.theoretical_scale == pytest.approx(
+            outcome.ratio_bound
+        )
+
+    def test_objective_scales_inversely(self, market):
+        outcome = run_ssam(market)
+        assert outcome.duals.objective(scale=2.0) == pytest.approx(
+            2.0 * outcome.duals.objective(scale=4.0)
+        )
+
+    def test_max_violation_zero_price_bid(self):
+        instance = WSPInstance.from_bids(
+            [bid(10, {1}, 0.0), bid(11, {1}, 2.0)], {1: 1}
+        )
+        duals = DualSolution(instance=instance)
+        duals.record_unit(1, 2.0)
+        assert duals.max_violation(scale=1.0) == float("inf")

@@ -1,0 +1,136 @@
+"""Edge-case tests across core paths not covered by the main suites."""
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.msoa import MultiStageOnlineAuction
+from repro.core.outcomes import RoundResult
+from repro.core.ssam import run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import (
+    CapacityExceededError,
+    ConfigurationError,
+    InfeasibleInstanceError,
+    MechanismError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            InfeasibleInstanceError,
+            SolverError,
+            MechanismError,
+            CapacityExceededError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers used to ValueError semantics can catch it as one.
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_solver_and_mechanism_errors_are_runtime_errors(self):
+        assert issubclass(SolverError, RuntimeError)
+        assert issubclass(MechanismError, RuntimeError)
+
+
+class TestBestEffortDoubleFailure:
+    def test_returns_empty_round_when_clamp_cannot_help(self):
+        # Round demands a buyer no admissible bid covers at all; the
+        # clamp zeroes it and the round completes with what remains.
+        instance = WSPInstance.from_bids(
+            [bid(10, {1}, 5.0)], {1: 1, 2: 3}
+        )
+        auction = MultiStageOnlineAuction({10: 5}, on_infeasible="best_effort")
+        result = auction.process_round(instance)
+        winners = {w.bid.seller for w in result.outcome.winners}
+        assert winners == {10}  # buyer 1 served, buyer 2 dropped
+
+    def test_totally_dry_market_yields_empty_round(self):
+        instance = WSPInstance.from_bids(
+            [bid(10, {1}, 5.0)], {1: 1}
+        )
+        auction = MultiStageOnlineAuction({10: 1}, on_infeasible="best_effort")
+        auction.process_round(instance)  # consumes the only capacity
+        second = auction.process_round(instance)
+        assert second.outcome.winners == ()
+        assert second.social_cost == 0.0
+
+
+class TestRoundResultViews:
+    def test_social_cost_uses_original_prices(self):
+        instance = WSPInstance.from_bids(
+            [bid(10, {1}, 5.0), bid(11, {1}, 7.0)], {1: 1}
+        )
+        auction = MultiStageOnlineAuction({10: 5, 11: 5})
+        first = auction.process_round(instance)
+        # After a win, the scaled price exceeds the original; the round's
+        # social cost must still be booked at the announced price.
+        second = auction.process_round(instance)
+        for result in (first, second):
+            for winner in result.outcome.winners:
+                original = result.original_bids[winner.bid.key]
+                assert result.social_cost <= sum(
+                    b.price for b in result.original_bids.values()
+                )
+                assert winner.original_price == pytest.approx(original.price)
+
+    def test_round_result_is_frozen(self):
+        instance = WSPInstance.from_bids([bid(10, {1}, 5.0)], {1: 1})
+        auction = MultiStageOnlineAuction({10: 5})
+        result = auction.process_round(instance)
+        assert isinstance(result, RoundResult)
+        with pytest.raises(AttributeError):
+            result.round_index = 99  # type: ignore[misc]
+
+
+class TestExhaustiveFeasibility:
+    def test_small_instance_exact_check_catches_joint_conflict(self):
+        # Both buyers' only supply is seller 10's two mutually exclusive
+        # alternatives: per-buyer counts pass, joint selection cannot.
+        instance = WSPInstance.from_bids(
+            [
+                bid(10, {1}, 1.0, index=0),
+                bid(10, {2}, 1.0, index=1),
+            ],
+            {1: 1, 2: 1},
+        )
+        assert not instance.is_feasible()
+
+    def test_exhaustive_check_finds_interleaved_solution(self):
+        instance = WSPInstance.from_bids(
+            [
+                bid(10, {1}, 1.0, index=0),
+                bid(10, {2}, 1.0, index=1),
+                bid(11, {1}, 1.0, index=0),
+                bid(11, {2}, 1.0, index=1),
+            ],
+            {1: 1, 2: 1},
+        )
+        assert instance.is_feasible()
+        outcome = run_ssam(instance)
+        outcome.verify()
+
+
+class TestZeroPriceBids:
+    def test_free_offers_are_legal_and_win(self):
+        instance = WSPInstance.from_bids(
+            [bid(10, {1}, 0.0), bid(11, {1}, 9.0)], {1: 1}
+        )
+        outcome = run_ssam(instance)
+        assert outcome.winner_keys == {(10, 0)}
+        assert outcome.social_cost == 0.0
+        # Payment still covers the (zero) price; the runner-up sets it.
+        assert outcome.winners[0].payment >= 0.0

@@ -1,0 +1,84 @@
+"""Unit tests for the auction explainer."""
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.explain import explain_outcome, render_explanation
+from repro.core.ssam import run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import MechanismError
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+@pytest.fixture
+def market():
+    return WSPInstance.from_bids(
+        [
+            bid(10, {1, 2}, 12.0),
+            bid(11, {1}, 5.0),
+            bid(12, {2, 3}, 9.0),
+            bid(13, {1, 2, 3}, 30.0),
+            bid(14, {3}, 4.0),
+        ],
+        {1: 1, 2: 1, 3: 2},
+    )
+
+
+class TestExplainOutcome:
+    def test_one_explanation_per_winner(self, market):
+        outcome = run_ssam(market)
+        explanations = explain_outcome(outcome)
+        assert len(explanations) == len(outcome.winners)
+        assert [e.winner_key for e in explanations] == [
+            w.bid.key for w in sorted(outcome.winners, key=lambda w: w.iteration)
+        ]
+
+    def test_coverage_accumulates(self, market):
+        outcome = run_ssam(market)
+        explanations = explain_outcome(outcome)
+        final = explanations[-1].coverage_after
+        for buyer, units in market.demand.items():
+            assert final[buyer] >= units
+
+    def test_payments_match_outcome(self, market):
+        outcome = run_ssam(market)
+        by_key = {w.bid.key: w.payment for w in outcome.winners}
+        for item in explain_outcome(outcome):
+            assert item.payment == pytest.approx(by_key[item.winner_key])
+
+    def test_mutated_instance_detected(self, market):
+        outcome = run_ssam(market)
+        # Fabricate an outcome pointing at a *different* market: making
+        # the losing full-coverage bid nearly free changes the winner set.
+        other = market.replace_bid(bid(13, {1, 2, 3}, 0.01))
+        import dataclasses
+
+        fake = dataclasses.replace(outcome, instance=other)
+        with pytest.raises(MechanismError):
+            explain_outcome(fake)
+
+    def test_empty_demand_explained(self):
+        instance = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 0})
+        outcome = run_ssam(instance)
+        assert explain_outcome(outcome) == []
+        assert "without winners" in render_explanation(outcome)
+
+
+class TestRendering:
+    def test_narrative_contains_key_facts(self, market):
+        outcome = run_ssam(market)
+        text = render_explanation(outcome)
+        assert f"{len(outcome.winners)} winners" in text
+        assert "truthfulness premium" in text
+        for winner in outcome.winners:
+            assert f"seller {winner.bid.seller}" in text
+
+    def test_monopolist_annotated(self):
+        instance = WSPInstance.from_bids(
+            [bid(10, {1}, 2.0)], {1: 1}, price_ceiling=50.0
+        )
+        outcome = run_ssam(instance)
+        assert "ceiling-capped" in render_explanation(outcome)

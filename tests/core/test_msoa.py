@@ -1,0 +1,176 @@
+"""Unit tests for MSOA (Algorithm 2)."""
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.msoa import MultiStageOnlineAuction, run_msoa
+from repro.core.ssam import PaymentRule
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError, InfeasibleInstanceError
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+def round_instance():
+    return WSPInstance.from_bids(
+        [
+            bid(10, {1, 2}, 12.0),
+            bid(11, {1}, 5.0),
+            bid(12, {2, 3}, 9.0),
+            bid(13, {1, 2, 3}, 30.0),
+            bid(14, {3}, 4.0),
+        ],
+        {1: 1, 2: 1, 3: 2},
+    )
+
+
+CAPACITIES = {10: 6, 11: 4, 12: 6, 13: 8, 14: 4}
+
+
+class TestConstruction:
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiStageOnlineAuction({1: 0})
+
+    def test_bad_infeasible_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiStageOnlineAuction({1: 5}, on_infeasible="explode")
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiStageOnlineAuction({1: 5}, alpha=0.0)
+
+    def test_initial_state_zeroed(self):
+        auction = MultiStageOnlineAuction(CAPACITIES)
+        assert all(v == 0.0 for v in auction.psi.values())
+        assert all(v == 0 for v in auction.capacity_used.values())
+
+
+class TestRounds:
+    def test_round_covers_demand(self):
+        auction = MultiStageOnlineAuction(CAPACITIES)
+        result = auction.process_round(round_instance())
+        result.outcome.verify()
+        assert result.social_cost > 0
+
+    def test_psi_grows_only_for_winners(self):
+        auction = MultiStageOnlineAuction(CAPACITIES)
+        result = auction.process_round(round_instance())
+        winners = {w.bid.seller for w in result.outcome.winners}
+        for seller, psi in auction.psi.items():
+            if seller in winners:
+                assert psi > 0
+            else:
+                assert psi == 0.0
+
+    def test_chi_tracks_coverage_units(self):
+        auction = MultiStageOnlineAuction(CAPACITIES)
+        result = auction.process_round(round_instance())
+        used = auction.capacity_used
+        for winner in result.outcome.winners:
+            assert used[winner.bid.seller] == winner.bid.size
+
+    def test_scaled_prices_rise_after_wins(self):
+        auction = MultiStageOnlineAuction(CAPACITIES)
+        first = auction.process_round(round_instance())
+        second = auction.process_round(round_instance())
+        for winner in first.outcome.winners:
+            key = winner.bid.key
+            assert second.scaled_prices[key] >= first.scaled_prices[key]
+
+    def test_capacity_exclusion(self):
+        # Seller 14 has capacity 1 but its bid covers 1 buyer: wins once,
+        # then is excluded.
+        capacities = dict(CAPACITIES)
+        capacities[14] = 1
+        auction = MultiStageOnlineAuction(capacities)
+        first = auction.process_round(round_instance())
+        assert 14 in {w.bid.seller for w in first.outcome.winners}
+        second = auction.process_round(round_instance())
+        assert (14, 0) not in second.scaled_prices  # bid excluded outright
+
+    def test_unknown_sellers_are_unconstrained(self):
+        auction = MultiStageOnlineAuction({})
+        for _ in range(3):
+            result = auction.process_round(round_instance())
+            result.outcome.verify()
+        assert all(psi == 0.0 for psi in auction.psi.values())
+
+    def test_alpha_auto_estimated_on_first_round(self):
+        auction = MultiStageOnlineAuction(CAPACITIES)
+        assert auction.alpha is None
+        auction.process_round(round_instance())
+        assert auction.alpha is not None and auction.alpha >= 1.0
+
+
+class TestInfeasibleHandling:
+    def tight_setup(self):
+        # One seller, capacity 1: second round cannot be served.
+        instance = WSPInstance.from_bids([bid(10, {1}, 5.0)], {1: 1})
+        return instance, {10: 1}
+
+    def test_raise_mode(self):
+        instance, capacities = self.tight_setup()
+        auction = MultiStageOnlineAuction(capacities, on_infeasible="raise")
+        auction.process_round(instance)
+        with pytest.raises(InfeasibleInstanceError):
+            auction.process_round(instance)
+
+    def test_skip_mode_records_empty_round(self):
+        instance, capacities = self.tight_setup()
+        auction = MultiStageOnlineAuction(capacities, on_infeasible="skip")
+        auction.process_round(instance)
+        second = auction.process_round(instance)
+        assert second.outcome.winners == ()
+
+    def test_best_effort_serves_what_it_can(self):
+        # Two buyers; seller 10 capacity exhausted after round 1; round 2's
+        # demand on buyer 1 is unservable but buyer 2 still gets seller 11.
+        rounds = WSPInstance.from_bids(
+            [bid(10, {1}, 5.0), bid(11, {2}, 6.0)], {1: 1, 2: 1}
+        )
+        auction = MultiStageOnlineAuction(
+            {10: 1, 11: 10}, on_infeasible="best_effort"
+        )
+        auction.process_round(rounds)
+        second = auction.process_round(rounds)
+        winners = {w.bid.seller for w in second.outcome.winners}
+        assert winners == {11}
+
+
+class TestFinalize:
+    def test_outcome_aggregates(self):
+        outcome = run_msoa([round_instance()] * 3, CAPACITIES)
+        assert len(outcome.rounds) == 3
+        assert outcome.social_cost == pytest.approx(
+            sum(r.social_cost for r in outcome.rounds)
+        )
+        outcome.verify_capacities()
+
+    def test_capacities_never_exceeded(self):
+        outcome = run_msoa(
+            [round_instance()] * 5, CAPACITIES, on_infeasible="best_effort"
+        )
+        for seller, used in outcome.capacity_used.items():
+            assert used <= CAPACITIES[seller]
+
+    def test_competitive_bound_finite_when_beta_above_one(self):
+        outcome = run_msoa([round_instance()], CAPACITIES)
+        assert outcome.beta > 1
+        assert outcome.competitive_bound < float("inf")
+
+    def test_payments_on_scaled_prices_preserve_ir(self):
+        outcome = run_msoa([round_instance()] * 3, CAPACITIES)
+        for round_result in outcome.rounds:
+            for winner in round_result.outcome.winners:
+                original = round_result.original_bids[winner.bid.key]
+                assert winner.payment >= original.price - 1e-9
+
+    @pytest.mark.parametrize("rule", list(PaymentRule))
+    def test_both_payment_rules_run(self, rule):
+        outcome = run_msoa(
+            [round_instance()] * 2, CAPACITIES, payment_rule=rule
+        )
+        assert outcome.total_payment >= outcome.social_cost - 1e-9

@@ -1,0 +1,129 @@
+"""Unit tests for the outcome containers."""
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.msoa import run_msoa
+from repro.core.outcomes import OnlineOutcome, WinningBid
+from repro.core.ssam import run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import MechanismError
+
+
+def bid(seller, covered, price, index=0, true_cost=None):
+    return Bid(
+        seller=seller,
+        index=index,
+        covered=frozenset(covered),
+        price=price,
+        true_cost=true_cost,
+    )
+
+
+@pytest.fixture
+def market():
+    return WSPInstance.from_bids(
+        [
+            bid(10, {1, 2}, 12.0),
+            bid(11, {1}, 5.0),
+            bid(12, {2, 3}, 9.0),
+            bid(14, {3}, 4.0),
+        ],
+        {1: 1, 2: 1, 3: 2},
+    )
+
+
+class TestWinningBid:
+    def test_utility_is_payment_minus_cost(self):
+        winner = WinningBid(
+            bid=bid(10, {1}, 5.0, true_cost=3.0),
+            payment=8.0,
+            iteration=0,
+            marginal_utility=1,
+            average_price=5.0,
+            original_price=5.0,
+        )
+        assert winner.utility == pytest.approx(5.0)
+
+    def test_negative_payment_rejected(self):
+        with pytest.raises(MechanismError):
+            WinningBid(
+                bid=bid(10, {1}, 5.0),
+                payment=-1.0,
+                iteration=0,
+                marginal_utility=1,
+                average_price=5.0,
+                original_price=5.0,
+            )
+
+    def test_zero_utility_winner_rejected(self):
+        with pytest.raises(MechanismError):
+            WinningBid(
+                bid=bid(10, {1}, 5.0),
+                payment=5.0,
+                iteration=0,
+                marginal_utility=0,
+                average_price=5.0,
+                original_price=5.0,
+            )
+
+
+class TestAuctionOutcome:
+    def test_winner_views(self, market):
+        outcome = run_ssam(market)
+        assert outcome.winner_keys == {
+            w.bid.key for w in outcome.winners
+        }
+        assert outcome.winning_sellers == {
+            w.bid.seller for w in outcome.winners
+        }
+
+    def test_coverage_meets_demand(self, market):
+        outcome = run_ssam(market)
+        coverage = outcome.coverage
+        for buyer, units in market.demand.items():
+            assert coverage[buyer] >= units
+
+    def test_payment_and_utility_lookup(self, market):
+        outcome = run_ssam(market)
+        some_winner = outcome.winners[0]
+        assert outcome.payment_of(some_winner.bid.seller) == pytest.approx(
+            some_winner.payment
+        )
+        losers = set(market.sellers) - outcome.winning_sellers
+        for seller in losers:
+            assert outcome.payment_of(seller) == 0.0
+            assert outcome.utility_of(seller) == 0.0
+
+
+class TestOnlineOutcome:
+    CAPACITIES = {10: 6, 11: 4, 12: 6, 14: 4}
+
+    def test_aggregates(self, market):
+        outcome = run_msoa([market, market], self.CAPACITIES)
+        assert outcome.social_cost > 0
+        assert outcome.total_payment >= outcome.social_cost - 1e-9
+        assert len(outcome.winners_per_round) == 2
+
+    def test_capacity_verification_catches_overflow(self, market):
+        good = run_msoa([market], self.CAPACITIES)
+        bad = OnlineOutcome(
+            rounds=good.rounds,
+            capacities={seller: 1 for seller in self.CAPACITIES},
+            alpha=good.alpha,
+            beta=good.beta,
+            competitive_bound=good.competitive_bound,
+        )
+        with pytest.raises(MechanismError):
+            bad.verify_capacities()
+
+    def test_empty_outcome(self):
+        outcome = OnlineOutcome(
+            rounds=(),
+            capacities={},
+            alpha=1.0,
+            beta=float("inf"),
+            competitive_bound=1.0,
+        )
+        assert outcome.social_cost == 0.0
+        assert outcome.capacity_used == {}

@@ -1,0 +1,84 @@
+"""Unit tests for the MSOA evaluation variants."""
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.variants import (
+    VARIANT_RUNNERS,
+    HorizonScenario,
+    run_msoa_base,
+    run_msoa_da,
+    run_msoa_oa,
+    run_msoa_rc,
+)
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+def make_round(demand):
+    return WSPInstance.from_bids(
+        [
+            bid(10, {1, 2}, 12.0),
+            bid(11, {1}, 5.0),
+            bid(12, {2, 3}, 9.0),
+            bid(13, {1, 2, 3}, 30.0),
+            bid(14, {3}, 4.0),
+        ],
+        demand,
+    )
+
+
+@pytest.fixture
+def scenario():
+    true_rounds = tuple(make_round({1: 1, 2: 1, 3: 1}) for _ in range(3))
+    # The estimator over-asks on buyer 3.
+    estimated_rounds = tuple(make_round({1: 1, 2: 1, 3: 2}) for _ in range(3))
+    return HorizonScenario(
+        rounds_estimated=estimated_rounds,
+        rounds_true=true_rounds,
+        capacities={10: 8, 11: 6, 12: 8, 13: 10, 14: 6},
+    )
+
+
+class TestScenario:
+    def test_mismatched_round_counts_rejected(self, scenario):
+        with pytest.raises(ConfigurationError):
+            HorizonScenario(
+                rounds_estimated=scenario.rounds_estimated[:-1],
+                rounds_true=scenario.rounds_true,
+                capacities=scenario.capacities,
+            )
+
+
+class TestVariants:
+    def test_da_uses_true_demand(self, scenario):
+        base = run_msoa_base(scenario)
+        da = run_msoa_da(scenario)
+        # Over-estimation forces extra coverage, so base cost >= DA cost.
+        assert base.social_cost >= da.social_cost - 1e-9
+
+    def test_rc_relaxes_capacities(self, scenario):
+        rc = run_msoa_rc(scenario, relaxation=3.0)
+        for seller, cap in rc.capacities.items():
+            assert cap >= scenario.capacities[seller]
+
+    def test_oa_combines_both(self, scenario):
+        oa = run_msoa_oa(scenario, relaxation=3.0)
+        da = run_msoa_da(scenario)
+        assert oa.social_cost <= da.social_cost + 1e-9
+
+    def test_bad_relaxation_rejected(self, scenario):
+        with pytest.raises(ConfigurationError):
+            run_msoa_rc(scenario, relaxation=0.5)
+
+    def test_registry_contains_all_four(self):
+        assert set(VARIANT_RUNNERS) == {"MSOA", "MSOA-DA", "MSOA-RC", "MSOA-OA"}
+
+    def test_all_runners_produce_capacity_safe_outcomes(self, scenario):
+        for runner in VARIANT_RUNNERS.values():
+            outcome = runner(scenario)
+            outcome.verify_capacities()

@@ -1,0 +1,84 @@
+"""Unit tests for the AHP weight derivation."""
+
+import numpy as np
+import pytest
+
+from repro.demand.ahp import ahp_weights, pairwise_matrix_from_judgments
+from repro.errors import ConfigurationError
+
+
+class TestMatrixConstruction:
+    def test_reciprocal_filled(self):
+        matrix = pairwise_matrix_from_judgments({(0, 1): 3.0}, n=2)
+        assert matrix[0, 1] == 3.0
+        assert matrix[1, 0] == pytest.approx(1 / 3)
+        assert matrix[0, 0] == matrix[1, 1] == 1.0
+
+    def test_missing_pairs_default_equal(self):
+        matrix = pairwise_matrix_from_judgments({}, n=3)
+        assert np.allclose(matrix, np.ones((3, 3)))
+
+    def test_diagonal_judgment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_matrix_from_judgments({(1, 1): 2.0}, n=3)
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_matrix_from_judgments({(0, 5): 2.0}, n=3)
+
+    def test_non_positive_judgment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_matrix_from_judgments({(0, 1): 0.0}, n=2)
+
+
+class TestWeights:
+    def test_identity_judgments_give_uniform_weights(self):
+        result = ahp_weights(np.ones((3, 3)))
+        assert np.allclose(result.weights, 1 / 3)
+        assert result.consistency_ratio == pytest.approx(0.0, abs=1e-9)
+
+    def test_weights_normalized_and_positive(self):
+        matrix = pairwise_matrix_from_judgments(
+            {(0, 1): 3.0, (0, 2): 5.0, (1, 2): 2.0}, n=3
+        )
+        result = ahp_weights(matrix)
+        assert result.weights.sum() == pytest.approx(1.0)
+        assert np.all(result.weights > 0)
+
+    def test_dominant_criterion_gets_largest_weight(self):
+        matrix = pairwise_matrix_from_judgments(
+            {(0, 1): 5.0, (0, 2): 7.0, (1, 2): 2.0}, n=3
+        )
+        result = ahp_weights(matrix)
+        assert np.argmax(result.weights) == 0
+
+    def test_consistent_matrix_has_tiny_cr(self):
+        # Perfectly consistent: a_ij = w_i / w_j.
+        w = np.array([0.5, 0.3, 0.2])
+        matrix = w[:, None] / w[None, :]
+        result = ahp_weights(matrix)
+        assert result.consistency_ratio < 1e-8
+        assert result.is_consistent
+        assert np.allclose(result.weights, w, atol=1e-8)
+
+    def test_wildly_inconsistent_matrix_flagged(self):
+        # A beats B, B beats C, C beats A — a preference cycle.
+        matrix = pairwise_matrix_from_judgments(
+            {(0, 1): 9.0, (1, 2): 9.0, (0, 2): 1 / 9.0}, n=3
+        )
+        result = ahp_weights(matrix)
+        assert not result.is_consistent
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ahp_weights(np.ones((2, 3)))
+
+    def test_non_reciprocal_rejected(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 1.0]])
+        with pytest.raises(ConfigurationError):
+            ahp_weights(matrix)
+
+    def test_non_positive_entries_rejected(self):
+        matrix = np.array([[1.0, -2.0], [-0.5, 1.0]])
+        with pytest.raises(ConfigurationError):
+            ahp_weights(matrix)

@@ -1,0 +1,229 @@
+"""Unit tests for the Section-III demand estimator and indicators."""
+
+import numpy as np
+import pytest
+
+from repro.demand.estimator import DemandEstimator, DemandWeights, NoisyOracleEstimator
+from repro.demand.indicators import (
+    ProcessingRateIndicator,
+    RequestRateIndicator,
+    WaitingTimeIndicator,
+)
+from repro.errors import ConfigurationError
+from repro.sim.metrics import RoundSnapshot
+
+
+def snapshot(
+    received=10,
+    served=10,
+    utilization=0.5,
+    achieved_rate=1.0,
+    target_rate=1.0,
+    allocation=1.0,
+    round_index=0,
+):
+    return RoundSnapshot(
+        microservice=1,
+        round_index=round_index,
+        received=received,
+        served=served,
+        mean_waiting_time=0.1,
+        mean_execution_time=0.1,
+        utilization=utilization,
+        achieved_rate=achieved_rate,
+        target_rate=target_rate,
+        allocation=allocation,
+    )
+
+
+class TestWaitingTimeIndicator:
+    def test_keeping_up_contributes_nothing(self):
+        indicator = WaitingTimeIndicator(zeta=2.0)
+        assert indicator(snapshot(received=10, served=10)) == 0.0
+
+    def test_backlog_raises_demand(self):
+        indicator = WaitingTimeIndicator(zeta=2.0)
+        assert indicator(snapshot(received=10, served=5)) == pytest.approx(1.0)
+
+    def test_literal_mode_matches_paper_formula(self):
+        indicator = WaitingTimeIndicator(zeta=2.0, literal=True)
+        assert indicator(snapshot(received=10, served=5)) == pytest.approx(1.0)
+        assert indicator(snapshot(received=10, served=10)) == pytest.approx(2.0)
+
+    def test_negative_zeta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaitingTimeIndicator(zeta=-1.0)
+
+
+class TestProcessingRateIndicator:
+    def test_deficit_contributes(self):
+        indicator = ProcessingRateIndicator()
+        value = indicator(snapshot(target_rate=3.0, achieved_rate=1.0))
+        assert value == pytest.approx(2.0)
+
+    def test_surplus_clamped_to_zero(self):
+        indicator = ProcessingRateIndicator()
+        assert indicator(snapshot(target_rate=1.0, achieved_rate=3.0)) == 0.0
+
+    def test_time_averaging_shrinks_with_rounds(self):
+        indicator = ProcessingRateIndicator()
+        early = indicator(snapshot(target_rate=3.0, achieved_rate=1.0, round_index=0))
+        late = indicator(snapshot(target_rate=3.0, achieved_rate=1.0, round_index=9))
+        assert late == pytest.approx(early / 10)
+
+
+class TestRequestRateIndicator:
+    def test_grows_with_utilization(self):
+        indicator = RequestRateIndicator()
+        low = indicator(snapshot(utilization=0.2), a_max=1.0)
+        high = indicator(snapshot(utilization=0.9), a_max=1.0)
+        assert high > low
+
+    def test_saturation_clamped(self):
+        indicator = RequestRateIndicator(max_utilization=0.95)
+        value = indicator(snapshot(utilization=1.0), a_max=1.0)
+        assert np.isfinite(value)
+
+    def test_allocation_share_scales(self):
+        indicator = RequestRateIndicator()
+        small = indicator(snapshot(allocation=1.0), a_max=10.0)
+        large = indicator(snapshot(allocation=10.0), a_max=10.0)
+        assert large == pytest.approx(10 * small)
+
+    def test_bad_a_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestRateIndicator()(snapshot(), a_max=0.0)
+
+    def test_bad_max_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestRateIndicator(max_utilization=1.0)
+
+
+class TestDemandWeights:
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemandWeights(waiting=0.0, processing=0.0, request_rate=0.0)
+
+    def test_from_ahp_defaults_consistent(self):
+        weights, result = DemandWeights.from_ahp_judgments()
+        assert result.is_consistent
+        total = weights.waiting + weights.processing + weights.request_rate
+        assert total == pytest.approx(1.0)
+
+
+class TestDemandEstimator:
+    def test_idle_microservice_estimates_zero(self):
+        estimator = DemandEstimator()
+        snap = snapshot(
+            received=0, served=0, utilization=0.0,
+            achieved_rate=0.0, target_rate=0.0,
+        )
+        assert estimator.estimate_units(snap, a_max=1.0) == 0
+
+    def test_overloaded_microservice_estimates_positive(self):
+        estimator = DemandEstimator()
+        snap = snapshot(
+            received=20, served=5, utilization=0.99,
+            achieved_rate=0.5, target_rate=2.0,
+        )
+        assert estimator.estimate_units(snap, a_max=1.0) >= 1
+
+    def test_cap_respected(self):
+        estimator = DemandEstimator(max_units=3)
+        snap = snapshot(
+            received=100, served=1, utilization=0.999,
+            achieved_rate=0.1, target_rate=10.0,
+        )
+        assert estimator.estimate_units(snap, a_max=1.0) == 3
+
+    def test_estimate_round_omits_idle(self):
+        estimator = DemandEstimator()
+        idle = snapshot(
+            received=0, served=0, utilization=0.0,
+            achieved_rate=0.0, target_rate=0.0,
+        )
+        busy = RoundSnapshot(
+            microservice=2,
+            round_index=0,
+            received=20,
+            served=5,
+            mean_waiting_time=1.0,
+            mean_execution_time=0.5,
+            utilization=0.99,
+            achieved_rate=0.5,
+            target_rate=2.0,
+            allocation=1.0,
+        )
+        demands = estimator.estimate_round([idle, busy])
+        assert 1 not in demands and demands.get(2, 0) >= 1
+
+    def test_empty_round(self):
+        assert DemandEstimator().estimate_round([]) == {}
+
+    def test_bad_unit_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemandEstimator(unit_size=0.0)
+
+
+class TestNoisyOracle:
+    def test_sigma_zero_is_exact(self):
+        estimator = NoisyOracleEstimator(rng=np.random.default_rng(1), sigma=0.0)
+        assert estimator.estimate({1: 3, 2: 1}) == {1: 3, 2: 1}
+
+    def test_conservative_never_underestimates(self):
+        estimator = NoisyOracleEstimator(
+            rng=np.random.default_rng(2), sigma=0.8, conservative=True
+        )
+        true = {1: 2, 2: 4, 3: 1}
+        for _ in range(50):
+            estimate = estimator.estimate(true)
+            for buyer, units in true.items():
+                assert estimate[buyer] >= units
+
+    def test_non_conservative_can_underestimate(self):
+        estimator = NoisyOracleEstimator(
+            rng=np.random.default_rng(3), sigma=1.0, conservative=False
+        )
+        saw_lower = any(
+            estimator.estimate({1: 5})[1] < 5 for _ in range(100)
+        )
+        assert saw_lower
+
+    def test_zero_demand_dropped(self):
+        estimator = NoisyOracleEstimator(rng=np.random.default_rng(4), sigma=0.1)
+        assert estimator.estimate({1: 0}) == {}
+
+    def test_max_units_cap(self):
+        estimator = NoisyOracleEstimator(
+            rng=np.random.default_rng(5), sigma=2.0, max_units=4
+        )
+        for _ in range(20):
+            assert estimator.estimate({1: 4})[1] <= 4
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoisyOracleEstimator(rng=np.random.default_rng(6), sigma=-0.1)
+
+
+class TestOvershootBound:
+    def test_estimates_bounded_by_true_plus_overshoot(self):
+        estimator = NoisyOracleEstimator(
+            rng=np.random.default_rng(10), sigma=2.0, max_overshoot=2
+        )
+        true = {1: 3, 2: 1}
+        for _ in range(50):
+            estimate = estimator.estimate(true)
+            for buyer, units in true.items():
+                assert units <= estimate[buyer] <= units + 2
+
+    def test_zero_overshoot_is_exact_oracle(self):
+        estimator = NoisyOracleEstimator(
+            rng=np.random.default_rng(11), sigma=2.0, max_overshoot=0
+        )
+        assert estimator.estimate({1: 4}) == {1: 4}
+
+    def test_negative_overshoot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoisyOracleEstimator(
+                rng=np.random.default_rng(12), max_overshoot=-1
+            )

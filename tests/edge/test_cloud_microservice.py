@@ -1,0 +1,186 @@
+"""Unit tests for edge clouds, microservices, users, and the backhaul."""
+
+import numpy as np
+import pytest
+
+from repro.edge.cloud import EdgeCloud
+from repro.edge.microservice import DelayClass, Microservice
+from repro.edge.network import build_backhaul
+from repro.edge.users import build_user_population
+from repro.errors import CapacityExceededError, ConfigurationError
+
+
+def make_service(service_id=1, **kwargs):
+    defaults = dict(allocation=4.0, base_demand=2.0)
+    defaults.update(kwargs)
+    return Microservice(service_id=service_id, **defaults)
+
+
+class TestMicroservice:
+    def test_spare_is_allocation_above_base(self):
+        assert make_service().spare == pytest.approx(2.0)
+
+    def test_no_spare_when_underallocated(self):
+        assert make_service(allocation=1.0, base_demand=2.0).spare == 0.0
+
+    def test_share_capacity_accounting(self):
+        service = make_service(share_capacity=3)
+        service.record_shared(2)
+        assert service.remaining_share_capacity == 1
+        with pytest.raises(CapacityExceededError):
+            service.record_shared(2)
+
+    def test_unconstrained_sharing(self):
+        service = make_service()
+        assert service.remaining_share_capacity is None
+        service.record_shared(100)  # never raises
+
+    def test_grant_and_reclaim(self):
+        service = make_service(allocation=4.0)
+        service.grant(2.0)
+        assert service.allocation == 6.0
+        service.reclaim(5.0)
+        assert service.allocation == pytest.approx(1.0)
+        with pytest.raises(CapacityExceededError):
+            service.reclaim(5.0)
+
+    def test_delay_class_priority(self):
+        assert DelayClass.DELAY_SENSITIVE.priority < DelayClass.DELAY_TOLERANT.priority
+
+    def test_potential_seller_requires_spare_and_capacity(self):
+        assert make_service(share_capacity=2).is_potential_seller
+        depleted = make_service(share_capacity=2)
+        depleted.record_shared(2)
+        assert not depleted.is_potential_seller
+
+
+class TestEdgeCloud:
+    def test_hosting_and_lookup(self):
+        cloud = EdgeCloud(cloud_id=0, capacity=10.0)
+        service = make_service()
+        cloud.host(service)
+        assert service.service_id in cloud
+        assert cloud.get(1) is service
+        assert len(cloud) == 1
+
+    def test_double_hosting_rejected(self):
+        cloud = EdgeCloud(cloud_id=0, capacity=10.0)
+        cloud.host(make_service())
+        with pytest.raises(ConfigurationError):
+            cloud.host(make_service())
+
+    def test_evict(self):
+        cloud = EdgeCloud(cloud_id=0, capacity=10.0)
+        cloud.host(make_service())
+        evicted = cloud.evict(1)
+        assert evicted.service_id == 1
+        assert 1 not in cloud
+
+    def test_free_capacity(self):
+        cloud = EdgeCloud(cloud_id=0, capacity=10.0)
+        cloud.host(make_service(allocation=4.0))
+        assert cloud.free_capacity == pytest.approx(6.0)
+
+    def test_fair_share_fills_capacity_and_respects_priority(self):
+        cloud = EdgeCloud(cloud_id=0, capacity=9.0)
+        sensitive = make_service(
+            1, delay_class=DelayClass.DELAY_SENSITIVE, base_demand=10.0
+        )
+        tolerant = make_service(
+            2, delay_class=DelayClass.DELAY_TOLERANT, base_demand=10.0
+        )
+        cloud.host(sensitive)
+        cloud.host(tolerant)
+        allocation = cloud.apply_fair_share()
+        assert allocation[1] == pytest.approx(6.0)  # double weight
+        assert allocation[2] == pytest.approx(3.0)
+
+    def test_fair_share_unknown_service_rejected(self):
+        cloud = EdgeCloud(cloud_id=0, capacity=9.0)
+        cloud.host(make_service())
+        with pytest.raises(ConfigurationError):
+            cloud.apply_fair_share({99: 1.0})
+
+    def test_transfer_moves_resources(self):
+        cloud = EdgeCloud(cloud_id=0, capacity=20.0)
+        seller = make_service(1, allocation=6.0, base_demand=2.0)
+        buyer_a = make_service(2, allocation=1.0)
+        buyer_b = make_service(3, allocation=1.0)
+        for s in (seller, buyer_a, buyer_b):
+            cloud.host(s)
+        cloud.transfer(1, [2, 3], per_buyer=1.0)
+        assert seller.allocation == pytest.approx(4.0)
+        assert buyer_a.allocation == pytest.approx(2.0)
+        assert buyer_b.allocation == pytest.approx(2.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EdgeCloud(cloud_id=0, capacity=0.0)
+
+
+class TestBackhaul:
+    def test_connected_with_positive_latencies(self):
+        network = build_backhaul(np.random.default_rng(1), n_clouds=10)
+        assert len(network.clouds) == 10
+        assert network.latency(0, 5) > 0
+        assert network.latency(3, 3) == 0.0
+
+    def test_triangle_inequality_of_shortest_paths(self):
+        network = build_backhaul(np.random.default_rng(2), n_clouds=8)
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert (
+                        network.latency(a, c)
+                        <= network.latency(a, b) + network.latency(b, c) + 1e-9
+                    )
+
+    def test_nearest_candidate(self):
+        network = build_backhaul(np.random.default_rng(3), n_clouds=6)
+        nearest = network.nearest(0, (2, 3, 4))
+        assert nearest in (2, 3, 4)
+        assert network.latency(0, nearest) == min(
+            network.latency(0, c) for c in (2, 3, 4)
+        )
+
+    def test_single_cloud_network(self):
+        network = build_backhaul(np.random.default_rng(4), n_clouds=1)
+        assert network.clouds == (0,)
+        assert network.latency(0, 0) == 0.0
+
+    def test_unknown_cloud_rejected(self):
+        network = build_backhaul(np.random.default_rng(5), n_clouds=3)
+        with pytest.raises(ConfigurationError):
+            network.neighbours(99)
+
+
+class TestUsers:
+    def test_population_shape(self):
+        users = build_user_population(
+            np.random.default_rng(1),
+            n_users=300,
+            access_points=10,
+            services=(1, 2, 3),
+        )
+        assert len(users) == 300
+        assert all(0 <= u.access_point < 10 for u in users)
+        assert all(u.target_service in (1, 2, 3) for u in users)
+
+    def test_rates_match_delay_classes(self):
+        users = build_user_population(
+            np.random.default_rng(2),
+            n_users=100,
+            access_points=5,
+            services=(1,),
+            sensitive_rate=5.0,
+            tolerant_rate=10.0,
+        )
+        for user in users:
+            if user.delay_class is DelayClass.DELAY_SENSITIVE:
+                assert user.request_rate == 5.0
+            else:
+                assert user.request_rate == 10.0
+
+    def test_requires_services(self):
+        with pytest.raises(ConfigurationError):
+            build_user_population(np.random.default_rng(3), services=())

@@ -1,0 +1,100 @@
+"""Unit tests for the strategic bidding policies."""
+
+import numpy as np
+import pytest
+
+from repro.edge.platform import TruthfulCostPolicy
+from repro.edge.policies import MarkupPolicy, OpportunisticPolicy, RandomizedPolicy
+from repro.errors import ConfigurationError
+
+BUYERS = [1, 2, 3, 4]
+
+
+class TestTruthfulCostPolicy:
+    def test_prices_equal_cost_times_size(self):
+        policy = TruthfulCostPolicy(unit_cost_range=(10.0, 35.0))
+        rng = np.random.default_rng(1)
+        bids = policy.make_bids(100, BUYERS, max_units=3, rng=rng)
+        cost = policy.unit_cost(100, rng)
+        for bid in bids:
+            assert bid.price == pytest.approx(cost * bid.size)
+            assert bid.true_cost == pytest.approx(bid.price)
+
+    def test_persistent_private_cost(self):
+        policy = TruthfulCostPolicy()
+        rng = np.random.default_rng(2)
+        first = policy.unit_cost(7, rng)
+        assert policy.unit_cost(7, rng) == first
+
+    def test_no_buyers_no_bids(self):
+        policy = TruthfulCostPolicy()
+        assert policy.make_bids(100, [], 3, np.random.default_rng(3)) == []
+        assert policy.make_bids(100, BUYERS, 0, np.random.default_rng(3)) == []
+
+    def test_coverage_within_buyers_and_units(self):
+        policy = TruthfulCostPolicy(bids_per_seller=3)
+        bids = policy.make_bids(100, BUYERS, 2, np.random.default_rng(4))
+        for bid in bids:
+            assert bid.size <= 2
+            assert bid.covered <= set(BUYERS)
+
+
+class TestMarkupPolicy:
+    def test_announced_price_is_marked_up_cost(self):
+        policy = MarkupPolicy(markup=1.5)
+        bids = policy.make_bids(100, BUYERS, 3, np.random.default_rng(5))
+        for bid in bids:
+            assert bid.price == pytest.approx(bid.cost * 1.5)
+            assert bid.cost < bid.price
+
+    def test_below_cost_markup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkupPolicy(markup=0.9)
+
+    def test_markup_one_is_truthful(self):
+        policy = MarkupPolicy(markup=1.0)
+        bids = policy.make_bids(100, BUYERS, 3, np.random.default_rng(6))
+        for bid in bids:
+            assert bid.price == pytest.approx(bid.cost)
+
+
+class TestOpportunisticPolicy:
+    def test_markup_grows_with_local_demand(self):
+        policy = OpportunisticPolicy(
+            base_markup=1.1, monopoly_markup=2.0, crowd_reference=4
+        )
+        assert policy.current_markup(0) == pytest.approx(1.1)
+        assert policy.current_markup(2) == pytest.approx(1.55)
+        assert policy.current_markup(4) == pytest.approx(2.0)
+        assert policy.current_markup(40) == pytest.approx(2.0)  # saturates
+
+    def test_bids_use_current_markup(self):
+        policy = OpportunisticPolicy(
+            base_markup=1.2, monopoly_markup=1.2, crowd_reference=4
+        )
+        bids = policy.make_bids(100, BUYERS, 3, np.random.default_rng(7))
+        for bid in bids:
+            assert bid.price == pytest.approx(bid.cost * 1.2)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpportunisticPolicy(base_markup=2.0, monopoly_markup=1.5)
+
+
+class TestRandomizedPolicy:
+    def test_never_below_cost(self):
+        policy = RandomizedPolicy(sigma=1.0)
+        rng = np.random.default_rng(8)
+        for _ in range(10):
+            for bid in policy.make_bids(100, BUYERS, 3, rng):
+                assert bid.price >= bid.cost - 1e-12
+
+    def test_sigma_zero_is_truthful(self):
+        policy = RandomizedPolicy(sigma=0.0)
+        bids = policy.make_bids(100, BUYERS, 3, np.random.default_rng(9))
+        for bid in bids:
+            assert bid.price == pytest.approx(bid.cost)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedPolicy(sigma=-0.1)

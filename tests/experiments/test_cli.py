@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in FIGURES:
+            assert f"fig {key}" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "SSAM social cost" in out
+        assert "competitive bound" in out
+
+    def test_unknown_panel_errors(self, capsys):
+        assert main(["fig", "9z"]) == 2
+        assert "unknown figure panel" in capsys.readouterr().err
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_quick_flag_parsed(self):
+        args = build_parser().parse_args(["fig", "3a", "--quick"])
+        assert args.panel == "3a" and args.quick is True
+
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {"3a", "3b", "4a", "4b", "5a", "6a", "6b"}
+
+
+class TestFigureExecution:
+    def test_fig4a_runs_quick(self, capsys):
+        # 4a is the cheapest panel: a single auction round.
+        assert main(["fig", "4a", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out
+        assert "payment" in out
+
+
+class TestExtraCommands:
+    def test_compare_prints_mechanism_table(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "VCG" in out and "SSAM" in out and "posted@35" in out
+
+    def test_trace_prints_sparklines(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "demand" in out and "cost" in out
+
+    def test_explain_narrates_an_auction(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "winners cover" in out
+        assert "truthfulness premium" in out

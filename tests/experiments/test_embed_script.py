@@ -1,0 +1,59 @@
+"""Tests for the results-embedding and sweep scripts."""
+
+import importlib.util
+import pathlib
+import sys
+
+
+def load_script(name):
+    root = pathlib.Path(__file__).resolve().parents[2]
+    spec = importlib.util.spec_from_file_location(name, root / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestEmbedResults:
+    def test_embeds_and_is_idempotent(self, tmp_path):
+        embed = load_script("scripts_embed_results").embed
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig9z.txt").write_text("title\ncol\n---\n1\n")
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text("before\n\n<!-- RESULTS:fig9z -->\n\nafter\n")
+        count = embed(doc, results)
+        assert count == 1
+        text = doc.read_text()
+        assert "```\ntitle" in text
+        assert "after" in text
+        # Refresh with new numbers: the old block is replaced, not stacked.
+        (results / "fig9z.txt").write_text("title\ncol\n---\n2\n")
+        count = embed(doc, results)
+        assert count == 1
+        text = doc.read_text()
+        assert text.count("```") == 2
+        assert "---\n2" in text and "---\n1" not in text
+
+    def test_missing_table_keeps_marker(self, tmp_path):
+        embed = load_script("scripts_embed_results").embed
+        (tmp_path / "results").mkdir()
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text("<!-- RESULTS:fig8x -->\n")
+        assert embed(doc, tmp_path / "results") == 0
+        assert "<!-- RESULTS:fig8x -->" in doc.read_text()
+
+    def test_real_experiments_md_has_markers_or_tables(self):
+        root = pathlib.Path(__file__).resolve().parents[2]
+        text = (root / "EXPERIMENTS.md").read_text()
+        for panel in ("fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig6a", "fig6b"):
+            assert f"<!-- RESULTS:{panel} -->" in text
+
+
+class TestApiDocsScript:
+    def test_builder_produces_markdown(self):
+        build = load_script("scripts_build_api_docs").build
+        text = build()
+        assert text.startswith("# API reference")
+        assert "## `repro.core.ssam`" in text
+        assert "run_ssam" in text

@@ -1,0 +1,89 @@
+"""Unit tests for result-table persistence and diffing."""
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import ResultTable
+from repro.errors import ConfigurationError
+from repro.experiments.storage import diff_tables, load_table, save_csv, save_table
+
+
+def make_table():
+    table = ResultTable(
+        title="Demo", columns=["name", "value", "flag"], precision=2
+    )
+    table.add_row(name="a", value=1.25, flag=True)
+    table.add_row(name="b", value=2.5, flag=False)
+    return table
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self, tmp_path):
+        table = make_table()
+        path = tmp_path / "demo.json"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.title == table.title
+        assert list(loaded.columns) == list(table.columns)
+        assert loaded.precision == table.precision
+        assert diff_tables(table, loaded) == []
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_table(tmp_path / "nope.json")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json{")
+        with pytest.raises(ConfigurationError):
+            load_table(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 999}))
+        with pytest.raises(ConfigurationError):
+            load_table(path)
+
+
+class TestCsv:
+    def test_header_and_rows(self, tmp_path):
+        path = tmp_path / "demo.csv"
+        save_csv(make_table(), path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "name,value,flag"
+        assert len(lines) == 3
+        assert lines[1].startswith("a,1.25")
+
+
+class TestDiff:
+    def test_identical_tables_no_diff(self):
+        assert diff_tables(make_table(), make_table()) == []
+
+    def test_numeric_tolerance(self):
+        a = make_table()
+        b = make_table()
+        b.rows[0]["value"] = 1.25 + 1e-12
+        assert diff_tables(a, b) == []
+        b.rows[0]["value"] = 1.30
+        assert diff_tables(a, b)
+
+    def test_structural_differences_reported_first(self):
+        a = make_table()
+        b = ResultTable(title="Demo", columns=["other"])
+        problems = diff_tables(a, b)
+        assert len(problems) == 1 and "columns differ" in problems[0]
+
+    def test_row_count_mismatch(self):
+        a = make_table()
+        b = make_table()
+        b.rows.pop()
+        problems = diff_tables(a, b)
+        assert problems == ["row counts differ: 2 vs 1"]
+
+    def test_non_numeric_mismatch(self):
+        a = make_table()
+        b = make_table()
+        b.rows[1]["name"] = "zzz"
+        problems = diff_tables(a, b)
+        assert "row 1" in problems[0] and "'name'" in problems[0]

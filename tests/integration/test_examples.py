@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs cleanly as `python examples/X.py`.
+
+The examples are the library's front door; a release where any of them
+crashes is broken regardless of the unit suite.  Each script ends with
+internal assertions of its headline claim, so a clean exit is meaningful.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_every_example_has_module_docstring():
+    for script in EXAMPLES:
+        source = script.read_text()
+        assert source.lstrip().startswith(('"""', "#!")), script.name
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4

@@ -1,0 +1,108 @@
+"""Integration: the platform loop under strategic bidding policies.
+
+Runs identical deployments (same seeds, same workload) with truthful,
+marked-up, and opportunistic seller populations and checks the
+platform-level consequences: auctions still clear, IR still holds against
+announced prices, and a uniformly marked-up population extracts higher
+payments from the platform for the same service.
+"""
+
+import numpy as np
+import pytest
+
+from repro.demand.estimator import DemandEstimator, DemandWeights
+from repro.demand.indicators import RequestRateIndicator
+from repro.edge.cloud import EdgeCloud
+from repro.edge.microservice import DelayClass, Microservice
+from repro.edge.network import build_backhaul
+from repro.edge.platform import EdgePlatform, PlatformConfig, TruthfulCostPolicy
+from repro.edge.policies import MarkupPolicy, OpportunisticPolicy, RandomizedPolicy
+from repro.edge.users import build_user_population
+
+
+def build_platform(policy, seed=5):
+    rng = np.random.default_rng(seed)
+    clouds = [EdgeCloud(0, capacity=60.0), EdgeCloud(1, capacity=60.0)]
+    for sid in range(1, 9):
+        overloaded = sid in (1, 2)
+        clouds[(sid - 1) % 2].host(
+            Microservice(
+                service_id=sid,
+                delay_class=(
+                    DelayClass.DELAY_SENSITIVE if overloaded
+                    else DelayClass.DELAY_TOLERANT
+                ),
+                allocation=1.0 if overloaded else 6.0,
+                base_demand=1.0 if overloaded else 2.0,
+                share_capacity=None if overloaded else 12,
+            )
+        )
+    users = build_user_population(
+        rng,
+        n_users=60,
+        access_points=2,
+        services=tuple(range(1, 9)),
+        sensitive_rate=0.25,
+        tolerant_rate=0.5,
+    )
+    estimator = DemandEstimator(
+        weights=DemandWeights(waiting=2.0, processing=1.0, request_rate=1.0),
+        request_rate=RequestRateIndicator(delta=0.5, neighbour_density=8.0),
+        max_units=3,
+    )
+    return EdgePlatform(
+        clouds,
+        build_backhaul(rng, n_clouds=2),
+        users,
+        estimator,
+        config=PlatformConfig(round_length=8.0, work_mean=0.5),
+        bidding_policy=policy,
+        rng=rng,
+        horizon_rounds=5,
+    )
+
+
+POLICIES = {
+    "truthful": TruthfulCostPolicy(),
+    "markup": MarkupPolicy(markup=1.5),
+    "opportunistic": OpportunisticPolicy(),
+    "randomized": RandomizedPolicy(sigma=0.4),
+}
+
+
+class TestStrategicPlatforms:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_loop_completes_and_ir_holds(self, name):
+        platform = build_platform(POLICIES[name])
+        platform.run(5)
+        for report in platform.reports:
+            if report.auction is None:
+                continue
+            report.auction.outcome.verify()
+            for winner in report.auction.outcome.winners:
+                assert winner.payment >= winner.bid.price - 1e-9
+        platform.finalize().verify_capacities()
+
+    def test_markup_winners_extract_their_markup(self):
+        # Within one run: every marked-up winner's payment covers not just
+        # its true cost but the full 1.6x announcement — the platform pays
+        # the distortion.  (Cross-run payment comparisons are meaningless
+        # here: the feedback loop makes trajectories path-dependent.)
+        marked = build_platform(MarkupPolicy(markup=1.6), seed=9)
+        marked.run(5)
+        winners_seen = 0
+        for report in marked.reports:
+            if report.auction is None:
+                continue
+            for winner in report.auction.outcome.winners:
+                winners_seen += 1
+                assert winner.bid.price >= 1.6 * winner.bid.cost - 1e-9
+                assert winner.payment >= 1.6 * winner.bid.cost - 1e-9
+        assert winners_seen > 0
+
+    def test_budget_balance_regardless_of_policy(self):
+        for name, policy in POLICIES.items():
+            platform = build_platform(policy, seed=13)
+            platform.run(5)
+            if platform.ledger.total_paid > 0:
+                assert platform.ledger.is_budget_balanced, name

@@ -1,0 +1,92 @@
+"""Shared hypothesis strategies generating random auction instances.
+
+Instances are built to be feasible by construction (mirroring the market
+generator's repair): random bids are drawn, then each buyer's demand is
+clamped to the number of distinct sellers whose *first* bid covers it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.bids import Bid
+from repro.core.wsp import WSPInstance
+
+__all__ = ["wsp_instances", "single_bid_instances"]
+
+
+@st.composite
+def wsp_instances(
+    draw,
+    max_sellers: int = 8,
+    max_buyers: int = 4,
+    max_bids_per_seller: int = 2,
+    max_demand: int = 3,
+    min_price: float = 1.0,
+    max_price: float = 50.0,
+):
+    """A feasible random WSP instance."""
+    n_sellers = draw(st.integers(2, max_sellers))
+    n_buyers = draw(st.integers(1, max_buyers))
+    buyers = list(range(n_buyers))
+    sellers = list(range(100, 100 + n_sellers))
+    bids = []
+    bid0_cover: dict[int, set[int]] = {b: set() for b in buyers}
+    for seller in sellers:
+        n_bids = draw(st.integers(1, max_bids_per_seller))
+        for index in range(n_bids):
+            covered = draw(
+                st.sets(
+                    st.sampled_from(buyers), min_size=1, max_size=n_buyers
+                )
+            )
+            price = draw(
+                st.floats(
+                    min_price,
+                    max_price,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            bids.append(
+                Bid(
+                    seller=seller,
+                    index=index,
+                    covered=frozenset(covered),
+                    price=price,
+                )
+            )
+            if index == 0:
+                for buyer in covered:
+                    bid0_cover[buyer].add(seller)
+    # Buyers with no bid-0 coverage keep zero demand (they are named by
+    # some bids, so they must stay in the demand map for validation).
+    demand = {buyer: 0 for buyer in buyers}
+    for buyer in buyers:
+        available = len(bid0_cover[buyer])
+        if available > 0:
+            demand[buyer] = draw(st.integers(1, min(max_demand, available)))
+    if all(units == 0 for units in demand.values()):
+        # Guarantee at least one unit of demand somewhere coverable.
+        buyer = buyers[0]
+        bids.append(
+            Bid(
+                seller=sellers[0],
+                index=max_bids_per_seller,
+                covered=frozenset({buyer}),
+                price=draw(st.floats(min_price, max_price)),
+            )
+        )
+        demand[buyer] = 1
+    return WSPInstance.from_bids(bids, demand, price_ceiling=max_price * 2)
+
+
+def single_bid_instances(**kwargs):
+    """Instances where every seller submits exactly one bid (J = 1).
+
+    This is the "typical scenario" of Theorem 3 for which the classical
+    H(n) approximation and exact Myerson truthfulness hold without the
+    multi-minded caveats.
+    """
+    kwargs.setdefault("max_bids_per_seller", 1)
+    return wsp_instances(**kwargs)

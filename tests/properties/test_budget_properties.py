@@ -1,0 +1,70 @@
+"""Property-based tests for the budget-capped auction."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.budgeted import run_budgeted_ssam
+from repro.core.ssam import run_ssam
+
+from tests.properties.strategies import wsp_instances
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@COMMON
+@given(
+    instance=wsp_instances(max_sellers=6, max_buyers=3),
+    fraction=st.floats(0.0, 1.5),
+)
+def test_spend_never_exceeds_budget(instance, fraction):
+    plain = run_ssam(instance)
+    budget = plain.total_payment * fraction
+    result = run_budgeted_ssam(instance, budget=budget)
+    assert result.budget_spent <= budget + 1e-9
+
+
+@COMMON
+@given(instance=wsp_instances(max_sellers=6, max_buyers=3))
+def test_admitted_winners_are_a_greedy_prefix(instance):
+    plain = run_ssam(instance)
+    half = run_budgeted_ssam(instance, budget=plain.total_payment / 2)
+    plain_order = [
+        w.bid.key for w in sorted(plain.winners, key=lambda w: w.iteration)
+    ]
+    admitted = [
+        w.bid.key
+        for w in sorted(half.outcome.winners, key=lambda w: w.iteration)
+    ]
+    assert admitted == plain_order[: len(admitted)]
+
+
+@COMMON
+@given(
+    instance=wsp_instances(max_sellers=6, max_buyers=3),
+    f1=st.floats(0.0, 1.2),
+    f2=st.floats(0.0, 1.2),
+)
+def test_coverage_monotone_in_budget(instance, f1, f2):
+    plain = run_ssam(instance)
+    low, high = sorted((f1, f2))
+    cover_low = run_budgeted_ssam(
+        instance, budget=plain.total_payment * low
+    ).coverage_fraction
+    cover_high = run_budgeted_ssam(
+        instance, budget=plain.total_payment * high
+    ).coverage_fraction
+    assert cover_high >= cover_low - 1e-12
+
+
+@COMMON
+@given(instance=wsp_instances(max_sellers=6, max_buyers=3))
+def test_full_budget_recovers_plain_ssam(instance):
+    plain = run_ssam(instance)
+    result = run_budgeted_ssam(instance, budget=plain.total_payment + 1e-6)
+    assert result.outcome.winner_keys == plain.winner_keys
+    assert not result.truncated
+    assert result.unserved_units == 0

@@ -1,0 +1,136 @@
+"""Property-based verification of MSOA's theorems (6–8) and the solvers.
+
+* capacity safety: no seller ever exceeds Θᵢ (constraint 11),
+* per-round primal feasibility (Theorem 6),
+* the αβ/(β−1) competitive bound against the clairvoyant optimum
+  (Theorem 7),
+* individual rationality through the scaled prices (Theorem 8),
+* exact solver cross-validation (MILP ≡ branch-and-bound),
+* monotone ψ trajectories (the scarcity price never decreases).
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.msoa import run_msoa
+from repro.core.ssam import PaymentRule
+from repro.errors import InfeasibleInstanceError
+from repro.solvers.branch_bound import solve_wsp_branch_bound
+from repro.solvers.milp import solve_horizon_optimal, solve_wsp_optimal
+
+from tests.properties.strategies import wsp_instances
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@st.composite
+def horizons(draw, max_rounds: int = 4):
+    """A short online horizon over one instance family + ample capacities.
+
+    Capacities are drawn generously (each seller can win most rounds) so
+    the offline problem is feasible by construction; tighter-capacity
+    behaviour is exercised by the unit tests.
+    """
+    rounds = [
+        draw(wsp_instances(max_sellers=6, max_buyers=3, max_demand=2))
+        for _ in range(draw(st.integers(1, max_rounds)))
+    ]
+    sellers = {bid.seller for instance in rounds for bid in instance.bids}
+    max_size = max(
+        (bid.size for instance in rounds for bid in instance.bids), default=1
+    )
+    capacities = {
+        seller: draw(st.integers(max_size * len(rounds), max_size * len(rounds) + 10))
+        for seller in sellers
+    }
+    return rounds, capacities
+
+
+@COMMON
+@given(data=horizons())
+def test_capacity_safety_and_feasibility(data):
+    """Theorem 6: every round primal feasible, χᵢ ≤ Θᵢ throughout."""
+    rounds, capacities = data
+    outcome = run_msoa(rounds, capacities, on_infeasible="best_effort")
+    outcome.verify_capacities()
+    for round_result in outcome.rounds:
+        round_result.outcome.verify()
+
+
+@COMMON
+@given(data=horizons())
+def test_competitive_bound(data):
+    """Theorem 7: online cost ≤ (αβ/(β−1)) × offline optimum."""
+    rounds, capacities = data
+    try:
+        outcome = run_msoa(rounds, capacities, on_infeasible="raise")
+        offline = solve_horizon_optimal(rounds, capacities)
+    except InfeasibleInstanceError:
+        return
+    if offline.objective <= 0:
+        return
+    bound = outcome.competitive_bound
+    if math.isinf(bound):
+        return
+    assert outcome.social_cost <= bound * offline.objective + 1e-6
+
+
+@COMMON
+@given(data=horizons())
+def test_online_ir_through_scaling(data):
+    """Theorem 8: payments cover announced prices despite price scaling."""
+    rounds, capacities = data
+    outcome = run_msoa(rounds, capacities, on_infeasible="best_effort")
+    for round_result in outcome.rounds:
+        for winner in round_result.outcome.winners:
+            original = round_result.original_bids[winner.bid.key]
+            assert winner.payment >= original.price - 1e-9
+
+
+@COMMON
+@given(data=horizons())
+def test_psi_monotone_nondecreasing(data):
+    """The scarcity prices ψᵢ never decrease across rounds."""
+    rounds, capacities = data
+    outcome = run_msoa(rounds, capacities, on_infeasible="best_effort")
+    previous = {seller: 0.0 for seller in capacities}
+    for round_result in outcome.rounds:
+        for seller, psi in round_result.psi_after.items():
+            assert psi >= previous.get(seller, 0.0) - 1e-12
+        previous = dict(round_result.psi_after)
+
+
+@COMMON
+@given(data=horizons(max_rounds=2))
+def test_scaled_cost_dominates_announced_cost(data):
+    """Selection (scaled) cost is never below the announced social cost."""
+    rounds, capacities = data
+    outcome = run_msoa(
+        rounds, capacities,
+        payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+        on_infeasible="best_effort",
+    )
+    for round_result in outcome.rounds:
+        assert (
+            round_result.outcome.selection_cost
+            >= round_result.social_cost - 1e-9
+        )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(instance=wsp_instances(max_sellers=6, max_buyers=3))
+def test_exact_solvers_agree(instance):
+    """The HiGHS MILP and the pure-Python B&B find the same optimum."""
+    milp = solve_wsp_optimal(instance)
+    bb = solve_wsp_branch_bound(instance)
+    assert abs(milp.objective - bb.objective) <= 1e-6

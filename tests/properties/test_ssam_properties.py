@@ -1,0 +1,138 @@
+"""Property-based verification of SSAM's theorems (1–5).
+
+Each test is a direct empirical check of a claim from the paper on
+randomized feasible instances:
+
+* primal feasibility (Theorem 2),
+* dual feasibility of the fitted certificate (Lemma 1),
+* the W·Ξ approximation bound against the exact optimum (Theorem 3;
+  tested at J = 1 where the classical constrained-multicover analysis is
+  airtight),
+* allocation monotonicity (Lemma 2),
+* critical payments / truthfulness (Lemma 3, Theorem 4; J = 1 single-
+  parameter setting),
+* individual rationality (Theorem 5; all payment rules, all J).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.ratios import harmonic
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.errors import InfeasibleInstanceError
+from repro.solvers.milp import solve_wsp_optimal
+
+from tests.properties.strategies import single_bid_instances, wsp_instances
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@COMMON
+@given(instance=wsp_instances())
+def test_primal_feasibility(instance):
+    """Theorem 2: SSAM's winner set always satisfies constraints 13–15."""
+    outcome = run_ssam(instance)
+    outcome.verify()
+
+
+@COMMON
+@given(instance=wsp_instances())
+def test_dual_certificate_feasible_and_bounding(instance):
+    """Lemma 1: the fitted duals satisfy constraint (17) and lower-bound
+    the exact optimum."""
+    outcome = run_ssam(instance)
+    duals, objective = outcome.duals.fitted()
+    for bid in instance.bids:
+        load = sum(duals.get(b, 0.0) for b in bid.covered)
+        assert load <= bid.price * (1 + 1e-9) + 1e-12
+    optimum = solve_wsp_optimal(instance).objective
+    assert objective <= optimum + 1e-6
+
+
+@COMMON
+@given(instance=single_bid_instances())
+def test_approximation_bound_single_bid(instance):
+    """Theorem 3 (typical scenario): cost ≤ H(total demand) × optimum."""
+    outcome = run_ssam(instance)
+    optimum = solve_wsp_optimal(instance).objective
+    bound = harmonic(max(1, instance.total_demand))
+    assert outcome.social_cost <= bound * optimum + 1e-6
+
+
+@COMMON
+@given(instance=wsp_instances())
+def test_cost_at_least_optimum(instance):
+    """Sanity: no mechanism beats the exact optimum."""
+    outcome = run_ssam(instance)
+    optimum = solve_wsp_optimal(instance).objective
+    assert outcome.social_cost >= optimum - 1e-6
+
+
+@COMMON
+@given(instance=wsp_instances())
+@pytest.mark.parametrize("rule", list(PaymentRule))
+def test_individual_rationality(instance, rule):
+    """Theorem 5: every winner's payment covers its announced price."""
+    outcome = run_ssam(instance, payment_rule=rule)
+    for winner in outcome.winners:
+        assert winner.payment >= winner.bid.price - 1e-9
+
+
+@COMMON
+@given(instance=single_bid_instances())
+def test_monotonicity_winners_stay_with_lower_price(instance):
+    """Lemma 2: halving a winner's price never makes it lose."""
+    outcome = run_ssam(instance)
+    for winner in list(outcome.winners)[:3]:
+        cheaper = winner.bid.with_price(winner.bid.price * 0.5)
+        again = run_ssam(instance.replace_bid(cheaper))
+        assert cheaper.key in again.winner_keys
+
+
+@COMMON
+@given(instance=single_bid_instances())
+def test_critical_payment_is_threshold(instance):
+    """Lemma 3: bidding below the payment wins; above it loses (J = 1)."""
+    outcome = run_ssam(instance, payment_rule=PaymentRule.CRITICAL_RERUN)
+    ceiling = instance.effective_ceiling
+    for winner in list(outcome.winners)[:2]:
+        payment = winner.payment
+        below = winner.bid.with_price(payment * 0.95)
+        try:
+            outcome_below = run_ssam(instance.replace_bid(below))
+        except InfeasibleInstanceError:
+            continue
+        assert below.key in outcome_below.winner_keys
+        if payment * 1.05 >= ceiling:
+            # A payment in the ceiling region marks a (possibly pivotal)
+            # winner whose threshold was policy-capped; it can win at any
+            # admissible price, so there is nothing above it to probe.
+            continue
+        above = winner.bid.with_price(payment * 1.05)
+        try:
+            outcome_above = run_ssam(instance.replace_bid(above))
+        except InfeasibleInstanceError:
+            continue
+        assert above.key not in outcome_above.winner_keys
+
+
+@COMMON
+@given(instance=single_bid_instances())
+def test_truthfulness_no_profitable_deviation(instance):
+    """Theorem 4 (J = 1): unilateral price deviations never raise utility."""
+    truthful = run_ssam(instance, payment_rule=PaymentRule.CRITICAL_RERUN)
+    for bid in instance.bids[:4]:
+        honest_utility = truthful.utility_of(bid.seller)
+        for factor in (0.4, 0.8, 1.3, 2.5):
+            deviated = instance.replace_bid(bid.with_price(bid.cost * factor))
+            try:
+                outcome = run_ssam(
+                    deviated, payment_rule=PaymentRule.CRITICAL_RERUN
+                )
+            except InfeasibleInstanceError:
+                continue
+            assert outcome.utility_of(bid.seller) <= honest_utility + 1e-7

@@ -1,0 +1,109 @@
+"""Property-based tests for the substrates (fair share, AHP, estimation,
+market generation, reporting)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ssam import run_ssam
+from repro.demand.ahp import ahp_weights
+from repro.demand.estimator import NoisyOracleEstimator
+from repro.edge.fair_share import max_min_fair_share
+from repro.workload.bidgen import MarketConfig, generate_round
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(
+    capacity=st.floats(0.0, 1000.0),
+    demands=st.dictionaries(
+        st.integers(0, 20), st.floats(0.0, 100.0), min_size=1, max_size=10
+    ),
+)
+def test_fair_share_invariants(capacity, demands):
+    """Allocations are non-negative, demand-capped, and capacity-capped."""
+    allocation = max_min_fair_share(capacity, demands)
+    assert set(allocation) == set(demands)
+    total = 0.0
+    for claimant, amount in allocation.items():
+        assert amount >= -1e-9
+        assert amount <= demands[claimant] + 1e-9
+        total += amount
+    assert total <= capacity + 1e-6
+    # Work-conserving: either capacity or every demand is exhausted.
+    if sum(demands.values()) >= capacity:
+        assert total >= capacity - 1e-6 or all(
+            allocation[c] >= demands[c] - 1e-9 for c in demands
+        )
+
+
+@COMMON
+@given(
+    weights=st.lists(
+        st.floats(0.1, 10.0), min_size=2, max_size=6
+    )
+)
+def test_ahp_recovers_consistent_judgments(weights):
+    """A perfectly consistent matrix yields its generating weights, CR≈0."""
+    w = np.array(weights)
+    w = w / w.sum()
+    matrix = w[:, None] / w[None, :]
+    result = ahp_weights(matrix)
+    assert np.allclose(result.weights, w, atol=1e-6)
+    assert result.consistency_ratio < 1e-6
+
+
+@COMMON
+@given(
+    true_demand=st.dictionaries(
+        st.integers(0, 50), st.integers(0, 8), min_size=1, max_size=10
+    ),
+    sigma=st.floats(0.0, 1.5),
+    seed=st.integers(0, 2**31),
+)
+def test_conservative_estimator_dominates_truth(true_demand, sigma, seed):
+    """Conservative estimates never fall below true demand (when capped)."""
+    estimator = NoisyOracleEstimator(
+        rng=np.random.default_rng(seed), sigma=sigma, max_units=100
+    )
+    estimate = estimator.estimate(true_demand)
+    for buyer, units in true_demand.items():
+        if units > 0:
+            assert estimate[buyer] >= units
+        else:
+            assert buyer not in estimate
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 2**31),
+    n_sellers=st.integers(3, 12),
+    n_buyers=st.integers(1, 5),
+    bids_per_seller=st.integers(1, 3),
+)
+def test_generated_markets_always_clear(seed, n_sellers, n_buyers, bids_per_seller):
+    """Every generated market is feasible and SSAM clears it."""
+    config = MarketConfig(
+        n_sellers=n_sellers,
+        n_buyers=n_buyers,
+        bids_per_seller=bids_per_seller,
+        demand_units_range=(1, min(3, n_sellers)),
+        coverage_range=(1, min(3, n_buyers)),
+    )
+    instance = generate_round(config, np.random.default_rng(seed))
+    instance.check_feasible()
+    outcome = run_ssam(instance)
+    outcome.verify()
+    # Prices remain in the configured band.
+    for bid in instance.bids:
+        low, high = config.price_range
+        assert low <= bid.price <= high

@@ -1,0 +1,71 @@
+"""Unit tests for the pure-Python branch-and-bound solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.wsp import WSPInstance
+from repro.errors import InfeasibleInstanceError
+from repro.solvers.branch_bound import solve_wsp_branch_bound
+from repro.solvers.milp import solve_wsp_optimal
+from repro.workload.bidgen import MarketConfig, generate_round
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+class TestBranchBound:
+    def test_known_optimum(self):
+        instance = WSPInstance.from_bids(
+            [
+                bid(10, {1, 2}, 12.0),
+                bid(11, {1}, 5.0),
+                bid(12, {2, 3}, 9.0),
+                bid(13, {1, 2, 3}, 30.0),
+                bid(14, {3}, 4.0),
+            ],
+            {1: 1, 2: 1, 3: 2},
+        )
+        solution = solve_wsp_branch_bound(instance)
+        assert solution.objective == pytest.approx(18.0)
+        instance.verify_solution(solution.chosen)
+
+    def test_zero_demand(self):
+        instance = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 0})
+        assert solve_wsp_branch_bound(instance).objective == 0.0
+
+    def test_infeasible_raises(self):
+        instance = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 2})
+        with pytest.raises(InfeasibleInstanceError):
+            solve_wsp_branch_bound(instance)
+
+    def test_one_bid_per_seller_respected(self):
+        instance = WSPInstance.from_bids(
+            [
+                bid(10, {1}, 1.0, index=0),
+                bid(10, {2}, 1.0, index=1),
+                bid(11, {1, 2}, 100.0),
+                bid(12, {1}, 3.0),
+                bid(13, {2}, 3.0),
+            ],
+            {1: 1, 2: 1},
+        )
+        solution = solve_wsp_branch_bound(instance)
+        assert solution.objective == pytest.approx(4.0)
+
+    def test_node_limit_enforced(self):
+        rng = np.random.default_rng(0)
+        instance = generate_round(MarketConfig(n_sellers=10, n_buyers=5), rng)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            solve_wsp_branch_bound(instance, node_limit=3)
+
+    def test_agrees_with_milp_on_random_instances(self):
+        rng = np.random.default_rng(17)
+        for _ in range(10):
+            instance = generate_round(
+                MarketConfig(n_sellers=7, n_buyers=3, bids_per_seller=2), rng
+            )
+            bb = solve_wsp_branch_bound(instance)
+            milp = solve_wsp_optimal(instance)
+            assert bb.objective == pytest.approx(milp.objective, abs=1e-6)

@@ -1,0 +1,146 @@
+"""Unit tests for the exact MILP solvers (single round and horizon)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.wsp import WSPInstance
+from repro.errors import InfeasibleInstanceError
+from repro.solvers.milp import solve_horizon_optimal, solve_wsp_optimal
+from repro.workload.bidgen import MarketConfig, generate_round
+
+
+def bid(seller, covered, price, index=0):
+    return Bid(seller=seller, index=index, covered=frozenset(covered), price=price)
+
+
+@pytest.fixture
+def market():
+    return WSPInstance.from_bids(
+        [
+            bid(10, {1, 2}, 12.0),
+            bid(11, {1}, 5.0),
+            bid(12, {2, 3}, 9.0),
+            bid(13, {1, 2, 3}, 30.0),
+            bid(14, {3}, 4.0),
+        ],
+        {1: 1, 2: 1, 3: 2},
+    )
+
+
+class TestSingleRound:
+    def test_known_optimum(self, market):
+        solution = solve_wsp_optimal(market)
+        assert solution.objective == pytest.approx(18.0)
+        assert solution.chosen_keys == {(11, 0), (12, 0), (14, 0)}
+
+    def test_solution_is_feasible(self, market):
+        solution = solve_wsp_optimal(market)
+        market.verify_solution(solution.chosen)
+
+    def test_zero_demand_zero_cost(self):
+        instance = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 0})
+        assert solve_wsp_optimal(instance).objective == 0.0
+
+    def test_infeasible_raises(self):
+        instance = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 2})
+        with pytest.raises(InfeasibleInstanceError):
+            solve_wsp_optimal(instance)
+
+    def test_no_bids_positive_demand_raises(self):
+        instance = WSPInstance.from_bids([], {1: 1})
+        with pytest.raises(InfeasibleInstanceError):
+            solve_wsp_optimal(instance)
+
+    def test_respects_one_bid_per_seller(self):
+        instance = WSPInstance.from_bids(
+            [
+                bid(10, {1}, 1.0, index=0),
+                bid(10, {2}, 1.0, index=1),
+                bid(11, {1, 2}, 100.0),
+                bid(12, {1}, 3.0),
+                bid(13, {2}, 3.0),
+            ],
+            {1: 1, 2: 1},
+        )
+        solution = solve_wsp_optimal(instance)
+        sellers = [b.seller for b in solution.chosen]
+        assert len(sellers) == len(set(sellers))
+        # Cheapest legal combo: 10's one bid plus one 3.0 bid = 4.0.
+        assert solution.objective == pytest.approx(4.0)
+
+    def test_random_instances_solvable(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            instance = generate_round(
+                MarketConfig(n_sellers=8, n_buyers=4), rng
+            )
+            solution = solve_wsp_optimal(instance)
+            instance.verify_solution(solution.chosen)
+
+
+class TestHorizon:
+    CAPACITIES = {10: 6, 11: 4, 12: 6, 13: 8, 14: 4}
+
+    def test_horizon_at_least_sum_of_round_optima(self, market):
+        rounds = [market, market]
+        horizon = solve_horizon_optimal(rounds, self.CAPACITIES)
+        single = solve_wsp_optimal(market).objective
+        assert horizon.objective >= 2 * single - 1e-9
+
+    def test_without_capacities_equals_independent_rounds(self, market):
+        rounds = [market, market, market]
+        horizon = solve_horizon_optimal(rounds, None)
+        single = solve_wsp_optimal(market).objective
+        assert horizon.objective == pytest.approx(3 * single)
+
+    def test_capacity_coupling_forces_expensive_bids(self):
+        # Seller 10 is cheapest but can serve only one round.
+        round_ = WSPInstance.from_bids(
+            [bid(10, {1}, 1.0), bid(11, {1}, 10.0)], {1: 1}
+        )
+        horizon = solve_horizon_optimal([round_, round_], {10: 1, 11: 10})
+        assert horizon.objective == pytest.approx(11.0)
+
+    def test_capacity_infeasible_horizon_raises(self):
+        round_ = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 1})
+        with pytest.raises(InfeasibleInstanceError):
+            solve_horizon_optimal([round_, round_], {10: 1})
+
+    def test_round_indices_reported(self, market):
+        horizon = solve_horizon_optimal([market, market], self.CAPACITIES)
+        assert set(horizon.rounds) <= {0, 1}
+        assert len(horizon.rounds) == len(horizon.chosen)
+
+    def test_empty_horizon_zero(self):
+        empty = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 0})
+        assert solve_horizon_optimal([empty], {10: 5}).objective == 0.0
+
+
+class TestSolverOptions:
+    def test_feasibility_only_zero_objective(self, market):
+        solution = solve_horizon_optimal(
+            [market], {10: 6, 11: 4, 12: 6, 13: 8, 14: 4},
+            feasibility_only=True,
+        )
+        # Objective is reported at real prices even for feasibility probes.
+        market.verify_solution(solution.chosen)
+
+    def test_gap_limited_solution_close_to_exact(self, market):
+        rounds = [market] * 3
+        capacities = {10: 9, 11: 6, 12: 9, 13: 12, 14: 6}
+        exact = solve_horizon_optimal(
+            rounds, capacities, mip_rel_gap=1e-9
+        )
+        gapped = solve_horizon_optimal(
+            rounds, capacities, mip_rel_gap=0.05
+        )
+        assert gapped.objective >= exact.objective - 1e-6
+        assert gapped.objective <= exact.objective * 1.06
+
+    def test_infeasible_still_detected_with_options(self):
+        round_ = WSPInstance.from_bids([bid(10, {1}, 1.0)], {1: 1})
+        with pytest.raises(InfeasibleInstanceError):
+            solve_horizon_optimal(
+                [round_, round_], {10: 1}, feasibility_only=True
+            )

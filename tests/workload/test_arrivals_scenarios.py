@@ -1,0 +1,145 @@
+"""Unit tests for arrival processes, scenario presets, and traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import (
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.workload.scenarios import (
+    PAPER_DEFAULTS,
+    PaperScenario,
+    bids_sweep,
+    microservice_sweep,
+    rounds_sweep,
+)
+from repro.workload.traces import DiurnalTraceConfig, generate_demand_trace
+
+
+class TestPoissonArrivals:
+    def test_mean_count_close_to_rate_times_horizon(self):
+        rng = np.random.default_rng(1)
+        process = PoissonArrivals(rate=5.0)
+        counts = [len(process.sample(100.0, rng)) for _ in range(50)]
+        assert np.mean(counts) == pytest.approx(500, rel=0.1)
+
+    def test_sorted_within_horizon(self):
+        rng = np.random.default_rng(2)
+        times = PoissonArrivals(rate=10.0).sample(20.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= 0) & (times < 20.0))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=1.0).sample(0.0, np.random.default_rng(3))
+
+
+class TestDeterministicArrivals:
+    def test_even_spacing(self):
+        times = DeterministicArrivals(rate=2.0).sample(
+            5.0, np.random.default_rng(0)
+        )
+        assert np.allclose(np.diff(times), 0.5)
+        assert len(times) == 9  # 0.5, 1.0, ..., 4.5
+
+
+class TestMMPPArrivals:
+    def test_burst_phase_raises_rate(self):
+        rng = np.random.default_rng(4)
+        quiet = PoissonArrivals(rate=2.0)
+        bursty = MMPPArrivals(
+            quiet_rate=2.0, burst_rate=50.0, mean_quiet=2.0, mean_burst=2.0
+        )
+        horizon = 200.0
+        quiet_count = len(quiet.sample(horizon, np.random.default_rng(4)))
+        bursty_count = len(bursty.sample(horizon, rng))
+        assert bursty_count > quiet_count
+
+    def test_sorted_and_bounded(self):
+        rng = np.random.default_rng(5)
+        times = MMPPArrivals(quiet_rate=1.0, burst_rate=10.0).sample(30.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= 0) & (times <= 30.0))
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(quiet_rate=0.0, burst_rate=1.0)
+
+
+class TestScenarios:
+    def test_paper_defaults_match_section_va(self):
+        assert PAPER_DEFAULTS.n_users == 300
+        assert PAPER_DEFAULTS.n_base_stations == 10
+        assert PAPER_DEFAULTS.rounds == 10
+        assert PAPER_DEFAULTS.n_microservices == 25
+        assert PAPER_DEFAULTS.bids_per_seller == 2
+        assert PAPER_DEFAULTS.price_range == (10.0, 35.0)
+
+    def test_market_config_buyers_scale_with_requests(self):
+        low = PaperScenario(n_requests=100).market_config()
+        high = PaperScenario(n_requests=200).market_config()
+        assert high.n_buyers > low.n_buyers
+
+    def test_sweeps_vary_one_axis(self):
+        counts = [s.n_microservices for s in microservice_sweep()]
+        assert counts == [25, 35, 45, 55, 65, 75]
+        rounds = [s.rounds for s in rounds_sweep()]
+        assert rounds[0] == 1 and rounds[-1] == 15
+        bids = [s.bids_per_seller for s in bids_sweep()]
+        assert bids == [1, 2, 3, 4]
+
+    def test_invalid_scenarios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperScenario(n_microservices=1)
+        with pytest.raises(ConfigurationError):
+            PaperScenario(rounds=0)
+
+
+class TestTraces:
+    def test_positive_and_right_length(self):
+        trace = generate_demand_trace(
+            DiurnalTraceConfig(), 500, np.random.default_rng(1)
+        )
+        assert len(trace) == 500
+        assert np.all(trace > 0)
+
+    def test_diurnal_cycle_visible_without_noise(self):
+        config = DiurnalTraceConfig(
+            amplitude=0.5, noise_sigma=0.0, flash_probability=0.0, period=100.0
+        )
+        trace = generate_demand_trace(config, 100, np.random.default_rng(2))
+        assert trace.max() == pytest.approx(15.0, rel=0.05)
+        assert trace.min() == pytest.approx(5.0, rel=0.05)
+
+    def test_phase_shifts_peak(self):
+        config = DiurnalTraceConfig(
+            amplitude=0.5, noise_sigma=0.0, flash_probability=0.0, period=100.0
+        )
+        base = generate_demand_trace(config, 100, np.random.default_rng(3))
+        shifted = generate_demand_trace(
+            config, 100, np.random.default_rng(3), phase=50.0
+        )
+        assert int(np.argmax(base)) != int(np.argmax(shifted))
+
+    def test_flash_crowds_add_spikes(self):
+        calm = DiurnalTraceConfig(noise_sigma=0.0, flash_probability=0.0)
+        spiky = DiurnalTraceConfig(
+            noise_sigma=0.0, flash_probability=0.5, flash_multiplier=5.0
+        )
+        rng = np.random.default_rng(4)
+        calm_trace = generate_demand_trace(calm, 200, np.random.default_rng(4))
+        spiky_trace = generate_demand_trace(spiky, 200, rng)
+        assert spiky_trace.max() > calm_trace.max() * 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalTraceConfig(amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            generate_demand_trace(
+                DiurnalTraceConfig(), 0, np.random.default_rng(5)
+            )

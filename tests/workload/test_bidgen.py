@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic market generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.msoa import run_msoa
+from repro.errors import ConfigurationError
+from repro.solvers.milp import solve_horizon_optimal
+from repro.workload.bidgen import (
+    MarketConfig,
+    ensure_online_feasible,
+    generate_capacities,
+    generate_horizon,
+    generate_round,
+    repair_horizon_capacities,
+)
+
+
+class TestMarketConfig:
+    def test_defaults_valid(self):
+        MarketConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_sellers": 0},
+            {"bids_per_seller": 0},
+            {"price_range": (0.0, 5.0)},
+            {"price_range": (10.0, 5.0)},
+            {"demand_units_range": (0, 2)},
+            {"coverage_range": (0, 1)},
+            {"coverage_slack": -1},
+            {"n_sellers": 2, "demand_units_range": (1, 5)},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MarketConfig(**kwargs)
+
+
+class TestGenerateRound:
+    def test_instance_is_always_feasible(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            instance = generate_round(
+                MarketConfig(n_sellers=12, n_buyers=6), rng
+            )
+            instance.check_feasible()
+
+    def test_prices_within_declared_range(self):
+        rng = np.random.default_rng(12)
+        config = MarketConfig(price_range=(10.0, 35.0))
+        instance = generate_round(config, rng)
+        for bid in instance.bids:
+            assert 10.0 <= bid.price <= 35.0
+
+    def test_demand_within_declared_range(self):
+        rng = np.random.default_rng(13)
+        config = MarketConfig(demand_units_range=(2, 3))
+        instance = generate_round(config, rng)
+        assert all(2 <= u <= 3 for u in instance.demand.values())
+
+    def test_bid_count_bounded_by_alternatives(self):
+        rng = np.random.default_rng(14)
+        config = MarketConfig(n_sellers=10, bids_per_seller=2)
+        instance = generate_round(config, rng)
+        assert len(instance.bids) <= 20
+        assert len(instance.sellers) == 10
+
+    def test_deterministic_under_same_seed(self):
+        a = generate_round(MarketConfig(), np.random.default_rng(7))
+        b = generate_round(MarketConfig(), np.random.default_rng(7))
+        assert a.bids == b.bids
+        assert dict(a.demand) == dict(b.demand)
+
+    def test_buyers_and_sellers_disjoint(self):
+        instance = generate_round(MarketConfig(), np.random.default_rng(8))
+        assert not set(instance.buyers) & set(instance.sellers)
+
+
+class TestCapacitiesAndHorizon:
+    def test_capacities_within_range(self):
+        config = MarketConfig()
+        capacities = generate_capacities(
+            config, np.random.default_rng(1), capacity_range=(10, 40)
+        )
+        assert all(10 <= c <= 40 for c in capacities.values())
+        assert len(capacities) == config.n_sellers
+
+    def test_horizon_offline_feasible(self):
+        rng = np.random.default_rng(2)
+        horizon, capacities = generate_horizon(
+            MarketConfig(n_sellers=10, n_buyers=5), rng, rounds=5
+        )
+        solve_horizon_optimal(horizon, capacities)  # must not raise
+
+    def test_horizon_round_count(self):
+        horizon, _ = generate_horizon(
+            MarketConfig(), np.random.default_rng(3), rounds=4
+        )
+        assert len(horizon) == 4
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_horizon(MarketConfig(), np.random.default_rng(4), rounds=0)
+
+    def test_repair_preserves_or_inflates(self):
+        rng = np.random.default_rng(5)
+        horizon, _ = generate_horizon(
+            MarketConfig(n_sellers=8, n_buyers=4), rng, rounds=3,
+            ensure_feasible=False,
+        )
+        drawn = generate_capacities(MarketConfig(n_sellers=8, n_buyers=4), rng)
+        repaired = repair_horizon_capacities(horizon, drawn)
+        for seller, cap in repaired.items():
+            assert cap >= drawn[seller]
+
+    def test_ensure_online_feasible_allows_full_msoa_run(self):
+        rng = np.random.default_rng(6)
+        horizon, capacities = generate_horizon(
+            MarketConfig(n_sellers=10, n_buyers=5), rng, rounds=5
+        )
+        capacities = ensure_online_feasible(horizon, capacities)
+        outcome = run_msoa(horizon, capacities, on_infeasible="raise")
+        for round_result in outcome.rounds:
+            round_result.outcome.verify()

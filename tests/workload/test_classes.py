@@ -1,0 +1,112 @@
+"""Unit tests for the request-class profiles."""
+
+import numpy as np
+import pytest
+
+from repro.edge.microservice import DelayClass
+from repro.errors import ConfigurationError
+from repro.workload.classes import (
+    PAPER_CLASSES,
+    RequestClassProfile,
+    WorkDistribution,
+)
+
+
+class TestProfiles:
+    def test_paper_classes_match_section_va(self):
+        sensitive = PAPER_CLASSES[DelayClass.DELAY_SENSITIVE]
+        tolerant = PAPER_CLASSES[DelayClass.DELAY_TOLERANT]
+        assert sensitive.arrival_rate == 5.0
+        assert tolerant.arrival_rate == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival_rate": 0.0},
+            {"work_mean": 0.0},
+            {"pareto_shape": 1.0},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        defaults = dict(
+            delay_class=DelayClass.DELAY_TOLERANT, arrival_rate=1.0
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            RequestClassProfile(**defaults)
+
+
+class TestSampling:
+    def profile(self, distribution, **kwargs):
+        return RequestClassProfile(
+            delay_class=DelayClass.DELAY_TOLERANT,
+            arrival_rate=1.0,
+            work_mean=2.0,
+            distribution=distribution,
+            **kwargs,
+        )
+
+    def test_deterministic_is_constant(self):
+        samples = self.profile(WorkDistribution.DETERMINISTIC).sample_work(
+            np.random.default_rng(1), size=10
+        )
+        assert np.allclose(samples, 2.0)
+
+    def test_exponential_mean(self):
+        samples = self.profile(WorkDistribution.EXPONENTIAL).sample_work(
+            np.random.default_rng(2), size=20000
+        )
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_pareto_mean_and_tail(self):
+        profile = self.profile(WorkDistribution.PARETO, pareto_shape=2.5)
+        samples = profile.sample_work(np.random.default_rng(3), size=50000)
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+        # Heavy tail: the max dwarfs the mean far more than exponential's.
+        assert np.max(samples) > 10 * np.mean(samples)
+
+    def test_all_samples_positive(self):
+        for dist in WorkDistribution:
+            samples = self.profile(dist).sample_work(
+                np.random.default_rng(4), size=100
+            )
+            assert np.all(samples > 0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.profile(WorkDistribution.EXPONENTIAL).sample_work(
+                np.random.default_rng(5), size=0
+            )
+
+
+class TestVariability:
+    def test_coefficient_of_variation_ordering(self):
+        det = RequestClassProfile(
+            delay_class=DelayClass.DELAY_TOLERANT,
+            arrival_rate=1.0,
+            distribution=WorkDistribution.DETERMINISTIC,
+        )
+        expo = RequestClassProfile(
+            delay_class=DelayClass.DELAY_TOLERANT,
+            arrival_rate=1.0,
+            distribution=WorkDistribution.EXPONENTIAL,
+        )
+        heavy = RequestClassProfile(
+            delay_class=DelayClass.DELAY_TOLERANT,
+            arrival_rate=1.0,
+            distribution=WorkDistribution.PARETO,
+            pareto_shape=1.5,
+        )
+        assert det.coefficient_of_variation == 0.0
+        assert expo.coefficient_of_variation == 1.0
+        assert heavy.coefficient_of_variation == float("inf")
+
+    def test_pareto_cv_finite_above_shape_two(self):
+        profile = RequestClassProfile(
+            delay_class=DelayClass.DELAY_TOLERANT,
+            arrival_rate=1.0,
+            distribution=WorkDistribution.PARETO,
+            pareto_shape=3.0,
+        )
+        cv = profile.coefficient_of_variation
+        assert 0.0 < cv < float("inf")

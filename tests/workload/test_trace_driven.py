@@ -1,0 +1,91 @@
+"""Unit tests for the trace-driven horizon generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.msoa import run_msoa
+from repro.errors import ConfigurationError
+from repro.solvers.milp import solve_horizon_optimal
+from repro.workload.trace_driven import (
+    TraceDrivenConfig,
+    generate_trace_driven_horizon,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TraceDrivenConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_microservices": 2},
+            {"rounds": 0},
+            {"needy_quantile": 0.4},
+            {"needy_quantile": 1.0},
+            {"max_units": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TraceDrivenConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_rounds_are_valid_instances(self):
+        rng = np.random.default_rng(5)
+        rounds, capacities = generate_trace_driven_horizon(
+            TraceDrivenConfig(n_microservices=12, rounds=6), rng
+        )
+        assert len(rounds) == 6
+        for instance in rounds:
+            if instance.total_demand > 0:
+                instance.check_feasible()
+
+    def test_offline_feasible_with_repaired_capacities(self):
+        rng = np.random.default_rng(6)
+        rounds, capacities = generate_trace_driven_horizon(
+            TraceDrivenConfig(n_microservices=12, rounds=5), rng
+        )
+        solve_horizon_optimal(rounds, capacities)  # must not raise
+
+    def test_buyer_seller_roles_rotate(self):
+        # With staggered diurnal phases, at least one microservice should
+        # appear as a buyer in some round and a seller in another.
+        rng = np.random.default_rng(7)
+        rounds, _ = generate_trace_driven_horizon(
+            TraceDrivenConfig(n_microservices=16, rounds=10), rng
+        )
+        buyer_rounds: dict[int, set[int]] = {}
+        seller_rounds: dict[int, set[int]] = {}
+        for t, instance in enumerate(rounds):
+            for b in instance.buyers:
+                buyer_rounds.setdefault(b, set()).add(t)
+            for s in instance.sellers:
+                seller_rounds.setdefault(s, set()).add(t)
+        both = set(buyer_rounds) & set(seller_rounds)
+        assert both, "expected role rotation across the horizon"
+
+    def test_msoa_runs_on_trace_horizon(self):
+        rng = np.random.default_rng(8)
+        rounds, capacities = generate_trace_driven_horizon(
+            TraceDrivenConfig(n_microservices=12, rounds=5), rng
+        )
+        outcome = run_msoa(rounds, capacities, on_infeasible="best_effort")
+        outcome.verify_capacities()
+        for result in outcome.rounds:
+            result.outcome.verify()
+
+    def test_deterministic_under_seed(self):
+        a, ca = generate_trace_driven_horizon(
+            TraceDrivenConfig(n_microservices=10, rounds=4),
+            np.random.default_rng(11),
+        )
+        b, cb = generate_trace_driven_horizon(
+            TraceDrivenConfig(n_microservices=10, rounds=4),
+            np.random.default_rng(11),
+        )
+        assert ca == cb
+        for ra, rb in zip(a, b):
+            assert ra.bids == rb.bids
+            assert dict(ra.demand) == dict(rb.demand)
