@@ -13,9 +13,8 @@ Run with::
 
 import numpy as np
 
-from repro import MarketConfig, generate_round, run_ssam
+from repro.api import MarketConfig, generate_round, run_ssam, solve_wsp_optimal
 from repro.baselines.vcg import run_vcg
-from repro.solvers import solve_wsp_optimal
 
 
 def main() -> None:

@@ -1,0 +1,96 @@
+"""The stable public API of the ``repro`` package.
+
+Import from here.  Internal module layout (``repro.core.ssam``,
+``repro.experiments.bench_engine``, ...) may shift between releases;
+this facade is the supported surface and follows deprecation policy —
+anything removed from it goes through a ``DeprecationWarning`` cycle
+first.
+
+One documented entry point per task:
+
+===========================  ==========================================
+Task                         Entry point
+===========================  ==========================================
+Run one auction round        :func:`run_ssam` on a :class:`WSPInstance`
+Run an online horizon        :func:`run_msoa` (or drive
+                             :class:`MultiStageOnlineAuction` round by
+                             round for streaming arrivals)
+Build a synthetic market     :func:`generate_round` /
+                             :func:`generate_horizon` with
+                             :class:`MarketConfig`
+Pick the payment rule        :class:`PaymentRule` (keyword
+                             ``payment_rule=``)
+Scale the payment phase      keyword ``parallelism=`` on
+                             :func:`run_ssam` / :func:`run_msoa`
+Compare vs the exact optimum :func:`solve_wsp_optimal`
+Persist / reload results     :meth:`AuctionOutcome.to_dict` /
+                             :meth:`AuctionOutcome.from_dict` (same for
+                             :class:`OnlineOutcome`), or
+                             :func:`save_outcome` / :func:`load_outcome`
+Time the engine              :func:`run_engine_bench` (CLI:
+                             ``repro-edge-auction bench``)
+===========================  ==========================================
+
+Mechanism options are keyword-only and share one vocabulary everywhere:
+``payment_rule=``, ``parallelism=``, ``guard=``, ``engine=``.
+
+>>> import numpy as np
+>>> from repro.api import MarketConfig, generate_round, run_ssam
+>>> instance = generate_round(MarketConfig(), np.random.default_rng(7))
+>>> outcome = run_ssam(instance)
+>>> outcome.total_payment >= outcome.social_cost
+True
+"""
+
+from __future__ import annotations
+
+from repro.core.bids import Bid, BidderProfile
+from repro.core.msoa import MultiStageOnlineAuction, run_msoa
+from repro.core.outcomes import (
+    AuctionOutcome,
+    OnlineOutcome,
+    RoundResult,
+    WinningBid,
+)
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleInstanceError,
+    MechanismError,
+    ReproError,
+)
+from repro.experiments.bench_engine import run_engine_bench
+from repro.experiments.storage import load_outcome, save_outcome
+from repro.solvers import solve_wsp_optimal
+from repro.workload import MarketConfig, generate_horizon, generate_round
+
+__all__ = [
+    # mechanisms
+    "run_ssam",
+    "run_msoa",
+    "MultiStageOnlineAuction",
+    "PaymentRule",
+    # market model
+    "Bid",
+    "BidderProfile",
+    "WSPInstance",
+    "MarketConfig",
+    "generate_round",
+    "generate_horizon",
+    # outcomes & persistence
+    "AuctionOutcome",
+    "OnlineOutcome",
+    "RoundResult",
+    "WinningBid",
+    "save_outcome",
+    "load_outcome",
+    # references & tooling
+    "solve_wsp_optimal",
+    "run_engine_bench",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleInstanceError",
+    "MechanismError",
+]

@@ -5,6 +5,8 @@ Usage::
     repro-edge-auction list                  # show available experiments
     repro-edge-auction fig 3a                # regenerate Figure 3(a)
     repro-edge-auction fig all --quick       # all figures, reduced sweep
+    repro-edge-auction fig 4b --parallelism 8  # parallel payment replays
+    repro-edge-auction bench                 # engine perf harness
     repro-edge-auction quickstart            # a tiny end-to-end demo
 
 (Equivalently: ``python -m repro ...``.)
@@ -18,6 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.experiments import FULL, QUICK, fig3a, fig3b, fig4a, fig4b, fig5a, fig6a, fig6b
 
 FIGURES = {
@@ -40,7 +43,11 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_fig(args: argparse.Namespace) -> int:
+    import dataclasses
+
     config = QUICK if args.quick else FULL
+    if args.parallelism != 1:
+        config = dataclasses.replace(config, parallelism=args.parallelism)
     keys = list(FIGURES) if args.panel == "all" else [args.panel]
     for key in keys:
         if key not in FIGURES:
@@ -135,6 +142,26 @@ def _cmd_explain(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_engine import (
+        render_engine_bench,
+        run_engine_bench,
+        write_engine_bench,
+    )
+
+    payload = run_engine_bench(
+        parallelism=args.parallelism, quick=args.quick
+    )
+    print(render_engine_bench(payload))
+    target = write_engine_bench(payload, args.out)
+    print(f"\nwrote {target}")
+    if not all(row["equivalent"] for row in payload["cases"]):
+        print("ERROR: fast engine diverged from the reference oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_quickstart(_: argparse.Namespace) -> int:
     from repro import MarketConfig, generate_horizon, run_msoa, run_ssam
     from repro.solvers import solve_wsp_optimal
@@ -174,7 +201,35 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument(
         "--quick", action="store_true", help="reduced sweep (faster)"
     )
+    fig.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for critical-payment replays (default 1)",
+    )
     fig.set_defaults(fn=_cmd_fig)
+    bench = sub.add_parser(
+        "bench",
+        help="time the fast engine vs the reference oracle "
+        "(writes BENCH_engine.json)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="CI-sized cases (faster)"
+    )
+    bench.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for critical-payment replays (default 1)",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        help="output JSON path (default: BENCH_engine.json)",
+    )
+    bench.set_defaults(fn=_cmd_bench)
     sub.add_parser(
         "quickstart", help="tiny end-to-end demo"
     ).set_defaults(fn=_cmd_quickstart)
@@ -193,7 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

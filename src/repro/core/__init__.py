@@ -5,6 +5,8 @@ multi-stage auction mechanisms for resource sharing among microservices.
   the NP-hard winner-selection problem (ILP 12–15).
 * :mod:`repro.core.ssam` — Algorithm 1, the greedy primal–dual single-stage
   auction with critical payments.
+* :mod:`repro.core.engine` — the fast path: incremental bookkeeping plus
+  parallel critical payments, bit-identical to the reference loops.
 * :mod:`repro.core.msoa` — Algorithm 2, the online framework with
   capacity-aware price scaling.
 * :mod:`repro.core.variants` — the MSOA-DA / -RC / -OA evaluation variants.
@@ -15,6 +17,11 @@ multi-stage auction mechanisms for resource sharing among microservices.
 from repro.core.bids import Bid, BidderProfile, group_bids_by_seller, validate_bids
 from repro.core.budgeted import BudgetedOutcome, run_budgeted_ssam
 from repro.core.duals import DualSolution
+from repro.core.engine import (
+    compute_critical_payments,
+    fast_critical_payment,
+    fast_greedy_selection,
+)
 from repro.core.explain import (
     IterationExplanation,
     explain_outcome,
@@ -38,7 +45,7 @@ from repro.core.variants import (
     run_msoa_oa,
     run_msoa_rc,
 )
-from repro.core.wsp import CoverageState, WSPInstance
+from repro.core.wsp import ActiveBidIndex, CoverageState, WSPInstance
 
 __all__ = [
     "Bid",
@@ -48,6 +55,9 @@ __all__ = [
     "BudgetedOutcome",
     "run_budgeted_ssam",
     "DualSolution",
+    "compute_critical_payments",
+    "fast_critical_payment",
+    "fast_greedy_selection",
     "IterationExplanation",
     "explain_outcome",
     "render_explanation",
@@ -72,6 +82,7 @@ __all__ = [
     "run_msoa_da",
     "run_msoa_oa",
     "run_msoa_rc",
+    "ActiveBidIndex",
     "CoverageState",
     "WSPInstance",
 ]

@@ -12,7 +12,7 @@ at most one bid per round.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
@@ -93,6 +93,31 @@ class Bid:
             covered=self.covered,
             price=price,
             true_cost=self.cost,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        data: dict = {
+            "seller": self.seller,
+            "index": self.index,
+            "covered": sorted(self.covered),
+            "price": self.price,
+        }
+        if self.true_cost is not None:
+            data["true_cost"] = self.true_cost
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Bid":
+        """Rebuild a bid from its :meth:`to_dict` form (validates afresh)."""
+        return Bid(
+            seller=int(data["seller"]),
+            index=int(data["index"]),
+            covered=frozenset(int(b) for b in data["covered"]),
+            price=float(data["price"]),
+            true_cost=(
+                float(data["true_cost"]) if data.get("true_cost") is not None else None
+            ),
         )
 
 

@@ -41,6 +41,26 @@ class DualSolution:
     instance: WSPInstance
     unit_prices: dict[int, list[float]] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible unit-price tags (the instance is stored alongside)."""
+        return {
+            "unit_prices": {
+                str(buyer): list(prices)
+                for buyer, prices in self.unit_prices.items()
+            }
+        }
+
+    @staticmethod
+    def from_dict(data: dict, instance: WSPInstance) -> "DualSolution":
+        """Rebuild a certificate from :meth:`to_dict` output and its instance."""
+        return DualSolution(
+            instance=instance,
+            unit_prices={
+                int(buyer): [float(p) for p in prices]
+                for buyer, prices in data["unit_prices"].items()
+            },
+        )
+
     def record_unit(self, buyer: int, average_price: float) -> None:
         """Tag buyer ``b``'s next covered unit with the greedy average price."""
         if average_price < 0:

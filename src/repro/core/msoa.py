@@ -54,6 +54,15 @@ class MultiStageOnlineAuction:
         first round's Theorem-3 bound ``W·Ξ``.
     payment_rule:
         Forwarded to each round's SSAM run.
+    parallelism:
+        Worker processes for each round's critical-payment replays
+        (forwarded to :func:`~repro.core.ssam.run_ssam`).
+    guard:
+        Whether rounds run with the stranding-lookahead feasibility
+        guard (forwarded to :func:`~repro.core.ssam.run_ssam`).
+    engine:
+        Selection engine for every round: ``"fast"`` (default,
+        incremental) or ``"reference"`` (the naive oracle loop).
     on_infeasible:
         ``"raise"`` (default) propagates an infeasible round;
         ``"skip"`` records the round with an empty winner set instead;
@@ -69,6 +78,9 @@ class MultiStageOnlineAuction:
         *,
         alpha: float | None = None,
         payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+        parallelism: int = 1,
+        guard: bool = True,
+        engine: str = "fast",
         on_infeasible: str = "raise",
     ) -> None:
         for seller, capacity in capacities.items():
@@ -86,6 +98,11 @@ class MultiStageOnlineAuction:
         self._capacities = dict(capacities)
         self._alpha = alpha
         self._payment_rule = payment_rule
+        self._ssam_options = {
+            "parallelism": parallelism,
+            "guard": guard,
+            "engine": engine,
+        }
         self._on_infeasible = on_infeasible
         self._psi: dict[int, float] = {seller: 0.0 for seller in capacities}
         self._chi: dict[int, int] = {seller: 0 for seller in capacities}
@@ -168,6 +185,7 @@ class MultiStageOnlineAuction:
                 original_prices={
                     key: original_by_key[key].price for key in scaled_prices
                 },
+                **self._ssam_options,
             )
         except InfeasibleInstanceError:
             if self._on_infeasible == "raise":
@@ -178,6 +196,7 @@ class MultiStageOnlineAuction:
                 outcome = run_ssam(
                     WSPInstance(bids=scaled_bids, demand={}, price_ceiling=None),
                     payment_rule=self._payment_rule,
+                    **self._ssam_options,
                 )
         self._beta_observed = min(
             self._beta_observed, capacity_margin(self._capacities, admissible)
@@ -229,6 +248,7 @@ class MultiStageOnlineAuction:
                     key: original_by_key[key].price
                     for key in (bid.key for bid in scaled_instance.bids)
                 },
+                **self._ssam_options,
             )
         except InfeasibleInstanceError:
             return run_ssam(
@@ -236,6 +256,7 @@ class MultiStageOnlineAuction:
                     bids=scaled_instance.bids, demand={}, price_ceiling=None
                 ),
                 payment_rule=self._payment_rule,
+                **self._ssam_options,
             )
 
     def _apply_win(self, bid: Bid) -> None:
@@ -271,18 +292,25 @@ def run_msoa(
     *,
     alpha: float | None = None,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    parallelism: int = 1,
+    guard: bool = True,
+    engine: str = "fast",
     on_infeasible: str = "raise",
 ) -> OnlineOutcome:
     """Convenience wrapper: feed a whole horizon through MSOA.
 
     The auctioneer still processes rounds strictly online — each round's
     decisions depend only on past rounds — this helper merely drives the
-    loop and finalizes the outcome.
+    loop and finalizes the outcome.  All options are keyword-only and
+    forwarded to :class:`MultiStageOnlineAuction`.
     """
     auction = MultiStageOnlineAuction(
         capacities,
         alpha=alpha,
         payment_rule=payment_rule,
+        parallelism=parallelism,
+        guard=guard,
+        engine=engine,
         on_infeasible=on_infeasible,
     )
     for instance in rounds:

@@ -10,7 +10,7 @@ recomputed ad hoc at call sites.
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.bids import Bid
 from repro.core.duals import DualSolution
@@ -18,6 +18,20 @@ from repro.core.wsp import WSPInstance
 from repro.errors import MechanismError
 
 __all__ = ["WinningBid", "AuctionOutcome", "RoundResult", "OnlineOutcome"]
+
+OUTCOME_SCHEMA_VERSION = 1
+"""Version tag embedded in every serialized outcome (bump on breaking
+changes to the ``to_dict`` schema)."""
+
+
+def _key_str(key: tuple[int, int]) -> str:
+    """Encode a ``(seller, index)`` bid key as a JSON-safe mapping key."""
+    return f"{key[0]}:{key[1]}"
+
+
+def _key_from_str(text: str) -> tuple[int, int]:
+    seller, _, index = text.partition(":")
+    return int(seller), int(index)
 
 
 @dataclass(frozen=True)
@@ -63,6 +77,29 @@ class WinningBid:
     def utility(self) -> float:
         """The seller's quasi-linear utility ``payment − true cost`` (Eq. 3)."""
         return self.payment - self.bid.cost
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "bid": self.bid.to_dict(),
+            "payment": self.payment,
+            "iteration": self.iteration,
+            "marginal_utility": self.marginal_utility,
+            "average_price": self.average_price,
+            "original_price": self.original_price,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "WinningBid":
+        """Rebuild a winning bid from its :meth:`to_dict` form."""
+        return WinningBid(
+            bid=Bid.from_dict(data["bid"]),
+            payment=float(data["payment"]),
+            iteration=int(data["iteration"]),
+            marginal_utility=int(data["marginal_utility"]),
+            average_price=float(data["average_price"]),
+            original_price=float(data["original_price"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -129,6 +166,39 @@ class AuctionOutcome:
         """Re-check primal feasibility of the winner set (Theorem 2)."""
         self.instance.verify_solution([w.bid for w in self.winners])
 
+    def to_dict(self) -> dict:
+        """One JSON-compatible schema for every outcome consumer.
+
+        Experiment storage, the CLI, and the engine bench harness all
+        serialize through this method (and :meth:`from_dict`) instead of
+        picking attributes ad hoc, so saved outcomes stay comparable
+        across tools and releases.
+        """
+        return {
+            "kind": "auction",
+            "schema_version": OUTCOME_SCHEMA_VERSION,
+            "instance": self.instance.to_dict(),
+            "winners": [w.to_dict() for w in self.winners],
+            "duals": self.duals.to_dict(),
+            "ratio_bound": self.ratio_bound,
+            "payment_rule": self.payment_rule,
+            "iterations": self.iterations,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "AuctionOutcome":
+        """Rebuild an outcome from its :meth:`to_dict` form."""
+        _check_schema(data, "auction")
+        instance = WSPInstance.from_dict(data["instance"])
+        return AuctionOutcome(
+            instance=instance,
+            winners=tuple(WinningBid.from_dict(w) for w in data["winners"]),
+            duals=DualSolution.from_dict(data["duals"], instance),
+            ratio_bound=float(data["ratio_bound"]),
+            payment_rule=str(data["payment_rule"]),
+            iterations=int(data["iterations"]),
+        )
+
 
 @dataclass(frozen=True)
 class RoundResult:
@@ -160,6 +230,42 @@ class RoundResult:
     def total_payment(self) -> float:
         """Round payments (computed by SSAM on the scaled prices)."""
         return self.outcome.total_payment
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "round_index": self.round_index,
+            "outcome": self.outcome.to_dict(),
+            "original_bids": [
+                bid.to_dict() for _, bid in sorted(self.original_bids.items())
+            ],
+            "scaled_prices": {
+                _key_str(key): price
+                for key, price in sorted(self.scaled_prices.items())
+            },
+            "psi_after": {str(s): psi for s, psi in self.psi_after.items()},
+            "capacity_used": {
+                str(s): used for s, used in self.capacity_used.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "RoundResult":
+        """Rebuild a round result from its :meth:`to_dict` form."""
+        original = [Bid.from_dict(item) for item in data["original_bids"]]
+        return RoundResult(
+            round_index=int(data["round_index"]),
+            outcome=AuctionOutcome.from_dict(data["outcome"]),
+            original_bids={bid.key: bid for bid in original},
+            scaled_prices={
+                _key_from_str(key): float(price)
+                for key, price in data["scaled_prices"].items()
+            },
+            psi_after={int(s): float(p) for s, p in data["psi_after"].items()},
+            capacity_used={
+                int(s): int(u) for s, u in data["capacity_used"].items()
+            },
+        )
 
 
 @dataclass(frozen=True)
@@ -203,3 +309,47 @@ class OnlineOutcome:
                     f"seller {seller} used {used} units, exceeding capacity "
                     f"{capacity}"
                 )
+
+    def to_dict(self) -> dict:
+        """One JSON-compatible schema for every outcome consumer.
+
+        The online counterpart of :meth:`AuctionOutcome.to_dict`; note
+        ``beta`` may be infinite (an unconstrained horizon), which the
+        JSON writer emits as ``Infinity`` and :meth:`from_dict` reads
+        back losslessly.
+        """
+        return {
+            "kind": "online",
+            "schema_version": OUTCOME_SCHEMA_VERSION,
+            "rounds": [r.to_dict() for r in self.rounds],
+            "capacities": {str(s): cap for s, cap in self.capacities.items()},
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "competitive_bound": self.competitive_bound,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "OnlineOutcome":
+        """Rebuild an online outcome from its :meth:`to_dict` form."""
+        _check_schema(data, "online")
+        return OnlineOutcome(
+            rounds=tuple(RoundResult.from_dict(r) for r in data["rounds"]),
+            capacities={int(s): int(c) for s, c in data["capacities"].items()},
+            alpha=float(data["alpha"]),
+            beta=float(data["beta"]),
+            competitive_bound=float(data["competitive_bound"]),
+        )
+
+
+def _check_schema(data: Mapping, kind: str) -> None:
+    found_kind = data.get("kind")
+    if found_kind != kind:
+        raise MechanismError(
+            f"serialized outcome has kind {found_kind!r}, expected {kind!r}"
+        )
+    version = data.get("schema_version")
+    if version != OUTCOME_SCHEMA_VERSION:
+        raise MechanismError(
+            f"unsupported outcome schema version {version!r} "
+            f"(this build reads version {OUTCOME_SCHEMA_VERSION})"
+        )

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import enum
 import math
+import warnings
 from dataclasses import dataclass
 
 from repro.core.bids import Bid
@@ -41,7 +42,7 @@ from repro.core.duals import DualSolution
 from repro.core.outcomes import AuctionOutcome, WinningBid
 from repro.core.ratios import ssam_ratio_bound
 from repro.core.wsp import CoverageState, WSPInstance
-from repro.errors import InfeasibleInstanceError
+from repro.errors import ConfigurationError, InfeasibleInstanceError
 
 __all__ = ["PaymentRule", "run_ssam", "greedy_selection", "GreedyStep"]
 
@@ -226,7 +227,11 @@ def greedy_selection(
 
 
 def _critical_payment(
-    instance: WSPInstance, winner: Bid, *, exact_guard: bool = False
+    instance: WSPInstance,
+    winner: Bid,
+    *,
+    exact_guard: bool = False,
+    guard_feasibility: bool = True,
 ) -> float:
     """The exact critical value of ``winner`` (PaymentRule.CRITICAL_RERUN).
 
@@ -271,23 +276,26 @@ def _critical_payment(
             break
         candidates.sort(key=lambda item: item[0])
         chosen_pos = 0
-        for pos, (_, candidate, _) in enumerate(candidates):
-            if _selection_strands(candidate, active, coverage):
-                continue
-            if exact_guard and not _residual_feasible(
-                candidate, active, coverage
-            ):
-                continue
-            chosen_pos = pos
-            break
+        if guard_feasibility:
+            for pos, (_, candidate, _) in enumerate(candidates):
+                if _selection_strands(candidate, active, coverage):
+                    continue
+                if exact_guard and not _residual_feasible(
+                    candidate, active, coverage
+                ):
+                    continue
+                chosen_pos = pos
+                break
         key, chosen, _ = candidates[chosen_pos]
         if chosen.key == winner.key:
             # Only the winner serves the remaining demand: pivotal.
             if winner_utility > 0:
                 threshold = max(threshold, winner_utility * ceiling)
             break
-        winner_safe = not _selection_strands(infinite, active, coverage)
-        if winner_safe and exact_guard:
+        winner_safe = not guard_feasibility or not _selection_strands(
+            infinite, active, coverage
+        )
+        if winner_safe and guard_feasibility and exact_guard:
             winner_safe = _residual_feasible(infinite, active, coverage)
         if winner_utility > 0 and winner_safe:
             threshold = max(threshold, winner_utility * key[0])
@@ -319,8 +327,11 @@ def _runner_up_payment(
 
 def run_ssam(
     instance: WSPInstance,
+    *deprecated_args: PaymentRule,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
-    *,
+    parallelism: int = 1,
+    guard: bool = True,
+    engine: str = "fast",
     original_prices: dict[tuple[int, int], float] | None = None,
 ) -> AuctionOutcome:
     """Execute the single-stage auction on ``instance``.
@@ -331,6 +342,21 @@ def run_ssam(
         The round's winner-selection problem.  Must be feasible.
     payment_rule:
         Which critical-value realization to pay winners with.
+    parallelism:
+        Worker processes for the per-winner critical-payment replays
+        (``PaymentRule.CRITICAL_RERUN`` only; the replays are mutually
+        independent).  1 (default) computes them serially.
+    guard:
+        Whether the stranding-lookahead feasibility guard steers the
+        greedy away from choices that provably dead-end a buyer.  Disable
+        only for paper-literal ablations; an unguarded run may raise
+        :class:`~repro.errors.InfeasibleInstanceError` on feasible
+        instances.
+    engine:
+        ``"fast"`` (default) runs the incremental
+        :mod:`repro.core.engine` hot path; ``"reference"`` runs the
+        naive rescan-everything loop kept as the correctness oracle.
+        Both produce identical outcomes (a property test enforces this).
     original_prices:
         When SSAM runs inside the online framework, bid prices have been
         *scaled*; this maps bid keys back to the announced prices so the
@@ -342,7 +368,36 @@ def run_ssam(
     AuctionOutcome
         Winners with payments, dual-fitting certificate, and the
         ``W·Ξ`` ratio bound of Theorem 3.
+
+    .. deprecated:: 1.1
+        Passing ``payment_rule`` positionally is deprecated; use the
+        keyword form ``run_ssam(instance, payment_rule=...)``.
     """
+    if deprecated_args:
+        if len(deprecated_args) > 1:
+            raise TypeError(
+                "run_ssam() takes one positional argument (the instance); "
+                "pass options by keyword"
+            )
+        warnings.warn(
+            "passing payment_rule positionally to run_ssam() is deprecated; "
+            "use run_ssam(instance, payment_rule=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        payment_rule = deprecated_args[0]
+    if engine not in ("fast", "reference"):
+        raise ConfigurationError(
+            f"engine must be 'fast' or 'reference', got {engine!r}"
+        )
+    if parallelism < 1:
+        raise ConfigurationError(
+            f"parallelism must be a positive integer, got {parallelism}"
+        )
+    from repro.core.engine import compute_critical_payments, fast_greedy_selection
+
+    use_fast = engine == "fast"
+    select = fast_greedy_selection if use_fast else greedy_selection
     demand = {b: u for b, u in instance.demand.items() if u > 0}
     duals = DualSolution(instance=instance)
     if not demand:
@@ -355,25 +410,34 @@ def run_ssam(
             iterations=0,
         )
     try:
-        steps = greedy_selection(instance.bids, demand)
+        steps = select(instance.bids, demand, guard_feasibility=guard)
         exact_guard = False
     except InfeasibleInstanceError:
+        if not guard:
+            raise
         # The cheap lookahead could not keep the greedy on a completing
         # trajectory; escalate to the exact residual-feasibility guard
         # (which completes whenever the instance is feasible at all).
-        steps = greedy_selection(instance.bids, demand, exact_guard=True)
+        steps = select(instance.bids, demand, exact_guard=True)
         exact_guard = True
+    if payment_rule is PaymentRule.CRITICAL_RERUN:
+        payments = compute_critical_payments(
+            instance,
+            [step.bid for step in steps],
+            exact_guard=exact_guard,
+            guard_feasibility=guard,
+            parallelism=parallelism,
+            use_fast=use_fast,
+        )
+    else:
+        payments = [_runner_up_payment(instance, step) for step in steps]
     winners: list[WinningBid] = []
-    for step in steps:
+    for step, payment in zip(steps, payments):
         # Tag every unit this bid newly covers with its average price
         # (the dual-fitting bookkeeping behind Lemma 1 / Theorem 3).
         for buyer in step.bid.covered:
             if step.coverage_before.get(buyer, 0) < demand.get(buyer, 0):
                 duals.record_unit(buyer, step.ratio)
-        if payment_rule is PaymentRule.CRITICAL_RERUN:
-            payment = _critical_payment(instance, step.bid, exact_guard=exact_guard)
-        else:
-            payment = _runner_up_payment(instance, step)
         key = step.bid.key
         original = (
             original_prices[key]

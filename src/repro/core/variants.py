@@ -79,6 +79,7 @@ def run_msoa_base(
     scenario: HorizonScenario,
     *,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    parallelism: int = 1,
     on_infeasible: str = "best_effort",
 ) -> OnlineOutcome:
     """Plain MSOA: estimated demands, baseline capacities."""
@@ -86,6 +87,7 @@ def run_msoa_base(
         scenario.rounds_estimated,
         scenario.capacities,
         payment_rule=payment_rule,
+        parallelism=parallelism,
         on_infeasible=on_infeasible,
     )
 
@@ -94,6 +96,7 @@ def run_msoa_da(
     scenario: HorizonScenario,
     *,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    parallelism: int = 1,
     on_infeasible: str = "best_effort",
 ) -> OnlineOutcome:
     """MSOA-DA: oracle demands, baseline capacities."""
@@ -101,6 +104,7 @@ def run_msoa_da(
         scenario.rounds_true,
         scenario.capacities,
         payment_rule=payment_rule,
+        parallelism=parallelism,
         on_infeasible=on_infeasible,
     )
 
@@ -110,6 +114,7 @@ def run_msoa_rc(
     *,
     relaxation: float = 2.0,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    parallelism: int = 1,
     on_infeasible: str = "best_effort",
 ) -> OnlineOutcome:
     """MSOA-RC: estimated demands, capacities inflated by ``relaxation``."""
@@ -117,6 +122,7 @@ def run_msoa_rc(
         scenario.rounds_estimated,
         _relaxed(scenario.capacities, relaxation),
         payment_rule=payment_rule,
+        parallelism=parallelism,
         on_infeasible=on_infeasible,
     )
 
@@ -126,6 +132,7 @@ def run_msoa_oa(
     *,
     relaxation: float = 2.0,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    parallelism: int = 1,
     on_infeasible: str = "best_effort",
 ) -> OnlineOutcome:
     """MSOA-OA: oracle demands *and* relaxed capacities."""
@@ -133,6 +140,7 @@ def run_msoa_oa(
         scenario.rounds_true,
         _relaxed(scenario.capacities, relaxation),
         payment_rule=payment_rule,
+        parallelism=parallelism,
         on_infeasible=on_infeasible,
     )
 

@@ -5,6 +5,11 @@
 presets.
 """
 
+from repro.experiments.bench_engine import (
+    EngineBenchCase,
+    run_engine_bench,
+    write_engine_bench,
+)
 from repro.experiments.config import FULL, QUICK, ExperimentConfig
 from repro.experiments.figures import fig3a, fig3b, fig4a, fig4b, fig5a, fig6a, fig6b
 from repro.experiments.report import (
@@ -15,8 +20,10 @@ from repro.experiments.report import (
 )
 from repro.experiments.storage import (
     diff_tables,
+    load_outcome,
     load_table,
     save_csv,
+    save_outcome,
     save_table,
 )
 from repro.experiments.runner import (
@@ -47,4 +54,9 @@ __all__ = [
     "load_table",
     "save_csv",
     "save_table",
+    "load_outcome",
+    "save_outcome",
+    "EngineBenchCase",
+    "run_engine_bench",
+    "write_engine_bench",
 ]

@@ -38,6 +38,10 @@ class ExperimentConfig:
         variant always gets 0).
     capacity_relaxation:
         The Θ inflation factor of the RC/OA variants.
+    parallelism:
+        Worker processes for critical-payment replays inside every
+        mechanism run of the sweep (forwarded to ``run_ssam``/``run_msoa``;
+        1 = serial).
     """
 
     seeds: tuple[int, ...] = (11, 23, 37, 53, 71)
@@ -48,6 +52,7 @@ class ExperimentConfig:
     horizon_rounds: int = 10
     estimation_sigma: float = 0.35
     capacity_relaxation: float = 2.0
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -58,6 +63,8 @@ class ExperimentConfig:
             raise ConfigurationError("estimation_sigma must be non-negative")
         if self.capacity_relaxation < 1.0:
             raise ConfigurationError("capacity_relaxation must be >= 1")
+        if self.parallelism < 1:
+            raise ConfigurationError("parallelism must be a positive integer")
 
 
 FULL = ExperimentConfig()

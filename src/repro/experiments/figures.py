@@ -66,13 +66,15 @@ def fig3a(config: ExperimentConfig = FULL) -> ResultTable:
 
             def ratio_for(seed: int) -> float:
                 instance = build_single_round(scenario, seed)
-                outcome = run_ssam(instance)
+                outcome = run_ssam(instance, parallelism=config.parallelism)
                 optimum = solve_wsp_optimal(instance).objective
                 return outcome.social_cost / optimum if optimum > 0 else 1.0
 
             def bound_for(seed: int) -> float:
                 instance = build_single_round(scenario, seed)
-                return run_ssam(instance).ratio_bound
+                return run_ssam(
+                    instance, parallelism=config.parallelism
+                ).ratio_bound
 
             table.add_row(
                 microservices=count,
@@ -108,7 +110,7 @@ def fig3b(config: ExperimentConfig = FULL) -> ResultTable:
             rows = []
             for seed in config.seeds:
                 instance = build_single_round(scenario, seed)
-                outcome = run_ssam(instance)
+                outcome = run_ssam(instance, parallelism=config.parallelism)
                 optimum = solve_wsp_optimal(instance).objective
                 rows.append(
                     (outcome.social_cost, outcome.total_payment, optimum)
@@ -135,7 +137,7 @@ def fig4a(
         columns=["winner", "price", "payment", "payment_covers_price"],
     )
     instance = build_single_round(PAPER_DEFAULTS, config.seeds[0])
-    outcome = run_ssam(instance)
+    outcome = run_ssam(instance, parallelism=config.parallelism)
     for i, (price, payment) in enumerate(payment_price_pairs(outcome)):
         if i >= max_winners:
             break
@@ -173,7 +175,11 @@ def fig4b(
         for rule in PaymentRule:
             start = time.perf_counter()
             for _ in range(repeats):
-                run_ssam(instance, payment_rule=rule)
+                run_ssam(
+                    instance,
+                    payment_rule=rule,
+                    parallelism=config.parallelism,
+                )
             timings[rule] = (time.perf_counter() - start) / repeats * 1000.0
         table.add_row(
             microservices=count,
@@ -222,6 +228,7 @@ def fig5a(config: ExperimentConfig = FULL) -> ResultTable:
                     outcome = runner(
                         horizon,
                         payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+                        parallelism=config.parallelism,
                     )
                     per_variant[name].append(
                         outcome.social_cost / offline.social_cost
@@ -258,7 +265,9 @@ def fig6a(config: ExperimentConfig = FULL) -> ResultTable:
                     scenario, seed, estimation_sigma=0.0
                 )
                 outcome = VARIANT_RUNNERS["MSOA"](
-                    horizon, payment_rule=PaymentRule.ITERATION_RUNNER_UP
+                    horizon,
+                    payment_rule=PaymentRule.ITERATION_RUNNER_UP,
+                    parallelism=config.parallelism,
                 )
                 offline = run_offline_optimal(
                     horizon.rounds_true, horizon.capacities
@@ -307,7 +316,9 @@ def fig6b(config: ExperimentConfig = FULL) -> ResultTable:
                 horizon = build_horizon_scenario(
                     scenario, seed, estimation_sigma=0.0
                 )
-                outcome = VARIANT_RUNNERS["MSOA"](horizon)
+                outcome = VARIANT_RUNNERS["MSOA"](
+                    horizon, parallelism=config.parallelism
+                )
                 offline = run_offline_optimal(
                     horizon.rounds_true, horizon.capacities
                 )

@@ -8,7 +8,7 @@ measurements into the means the result tables report.
 from __future__ import annotations
 
 import statistics
-from collections.abc import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 

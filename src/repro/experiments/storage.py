@@ -14,9 +14,17 @@ import json
 import pathlib
 
 from repro.analysis.reporting import ResultTable
+from repro.core.outcomes import AuctionOutcome, OnlineOutcome
 from repro.errors import ConfigurationError
 
-__all__ = ["save_table", "load_table", "save_csv", "diff_tables"]
+__all__ = [
+    "save_table",
+    "load_table",
+    "save_csv",
+    "diff_tables",
+    "save_outcome",
+    "load_outcome",
+]
 
 _FORMAT_VERSION = 1
 
@@ -52,6 +60,37 @@ def load_table(path: str | pathlib.Path) -> ResultTable:
     for row in payload["rows"]:
         table.add_row(**row)
     return table
+
+
+def save_outcome(
+    outcome: AuctionOutcome | OnlineOutcome, path: str | pathlib.Path
+) -> None:
+    """Persist an auction or online outcome through the one shared schema.
+
+    Everything flows through ``outcome.to_dict()`` — the same schema the
+    CLI and the engine bench harness use — so a saved outcome can be
+    reloaded with :func:`load_outcome` regardless of which tool wrote it.
+    """
+    payload = outcome.to_dict()
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_outcome(path: str | pathlib.Path) -> AuctionOutcome | OnlineOutcome:
+    """Read an outcome previously written by :func:`save_outcome`."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(
+            f"cannot load outcome from {path}: {error}"
+        ) from error
+    kind = payload.get("kind")
+    if kind == "auction":
+        return AuctionOutcome.from_dict(payload)
+    if kind == "online":
+        return OnlineOutcome.from_dict(payload)
+    raise ConfigurationError(
+        f"unknown outcome kind {kind!r} in {path} (expected 'auction' or 'online')"
+    )
 
 
 def save_csv(table: ResultTable, path: str | pathlib.Path) -> None:

@@ -11,7 +11,7 @@ Section-III demand estimator keys on.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,11 +1,13 @@
 """Unit tests for the outcome containers."""
 
+import json
+
 import pytest
 
 from repro.core.bids import Bid
 from repro.core.msoa import run_msoa
-from repro.core.outcomes import OnlineOutcome, WinningBid
-from repro.core.ssam import run_ssam
+from repro.core.outcomes import AuctionOutcome, OnlineOutcome, WinningBid
+from repro.core.ssam import PaymentRule, run_ssam
 from repro.core.wsp import WSPInstance
 from repro.errors import MechanismError
 
@@ -127,3 +129,49 @@ class TestOnlineOutcome:
         )
         assert outcome.social_cost == 0.0
         assert outcome.capacity_used == {}
+
+
+class TestSerde:
+    """to_dict()/from_dict() round-trips survive a JSON encode cycle."""
+
+    @pytest.mark.parametrize("rule", list(PaymentRule))
+    def test_auction_outcome_round_trip(self, market, rule):
+        outcome = run_ssam(market, payment_rule=rule)
+        payload = json.loads(json.dumps(outcome.to_dict()))
+        again = AuctionOutcome.from_dict(payload)
+        assert again.to_dict() == outcome.to_dict()
+        assert again.winner_keys == outcome.winner_keys
+        assert again.total_payment == pytest.approx(outcome.total_payment)
+        assert again.duals.certified_lower_bound() == pytest.approx(
+            outcome.duals.certified_lower_bound()
+        )
+        again.verify()
+
+    def test_online_outcome_round_trip(self, market):
+        capacities = {10: 6, 11: 4, 12: 6, 14: 4}
+        outcome = run_msoa([market, market], capacities)
+        payload = json.loads(json.dumps(outcome.to_dict()))
+        again = OnlineOutcome.from_dict(payload)
+        assert again.to_dict() == outcome.to_dict()
+        assert again.social_cost == pytest.approx(outcome.social_cost)
+        assert len(again.rounds) == len(outcome.rounds)
+        again.verify_capacities()
+
+    def test_infinite_beta_survives(self, market):
+        outcome = run_msoa([market], {10: 6, 11: 4, 12: 6, 14: 4})
+        data = outcome.to_dict()
+        data["beta"] = float("inf")
+        again = OnlineOutcome.from_dict(json.loads(json.dumps(data)))
+        assert again.beta == float("inf")
+
+    def test_wrong_kind_rejected(self, market):
+        data = run_ssam(market).to_dict()
+        data["kind"] = "online"
+        with pytest.raises(MechanismError):
+            AuctionOutcome.from_dict(data)
+
+    def test_future_schema_rejected(self, market):
+        data = run_ssam(market).to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(MechanismError):
+            AuctionOutcome.from_dict(data)

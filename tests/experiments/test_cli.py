@@ -30,8 +30,30 @@ class TestParser:
         args = build_parser().parse_args(["fig", "3a", "--quick"])
         assert args.panel == "3a" and args.quick is True
 
+    def test_fig_parallelism_flag_parsed(self):
+        args = build_parser().parse_args(["fig", "4b", "--parallelism", "4"])
+        assert args.parallelism == 4
+        assert build_parser().parse_args(["fig", "4b"]).parallelism == 1
+
+    def test_bench_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--parallelism", "2", "--out", "x.json"]
+        )
+        assert args.quick is True
+        assert args.parallelism == 2
+        assert args.out == "x.json"
+        assert build_parser().parse_args(["bench"]).out == "BENCH_engine.json"
+
     def test_all_figures_registered(self):
         assert set(FIGURES) == {"3a", "3b", "4a", "4b", "5a", "6a", "6b"}
+
+    def test_invalid_parallelism_reports_cleanly(self, capsys):
+        # Configuration errors surface as one-line messages, not
+        # tracebacks, on every subcommand.
+        assert main(["fig", "4a", "--parallelism", "0"]) == 2
+        assert "parallelism" in capsys.readouterr().err
+        assert main(["bench", "--quick", "--parallelism", "0"]) == 2
+        assert "parallelism" in capsys.readouterr().err
 
 
 class TestFigureExecution:
@@ -41,6 +63,33 @@ class TestFigureExecution:
         out = capsys.readouterr().out
         assert "Figure 4(a)" in out
         assert "payment" in out
+
+
+class TestBenchCommand:
+    def test_bench_writes_payload(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.experiments import bench_engine
+        from repro.workload.bidgen import MarketConfig
+
+        monkeypatch.setattr(
+            bench_engine,
+            "default_cases",
+            lambda *, quick=False: [
+                bench_engine.EngineBenchCase(
+                    name="tiny",
+                    config=MarketConfig(n_sellers=8, n_buyers=3),
+                    repeats=1,
+                )
+            ],
+        )
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "engine bench" in printed and str(out) in printed
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "engine"
+        assert payload["cases"][0]["equivalent"] is True
 
 
 class TestExtraCommands:

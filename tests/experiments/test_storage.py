@@ -2,11 +2,23 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.analysis.reporting import ResultTable
+from repro.core.msoa import run_msoa
+from repro.core.outcomes import AuctionOutcome, OnlineOutcome
+from repro.core.ssam import run_ssam
 from repro.errors import ConfigurationError
-from repro.experiments.storage import diff_tables, load_table, save_csv, save_table
+from repro.experiments.storage import (
+    diff_tables,
+    load_outcome,
+    load_table,
+    save_csv,
+    save_outcome,
+    save_table,
+)
+from repro.workload import MarketConfig, generate_horizon, generate_round
 
 
 def make_table():
@@ -44,6 +56,40 @@ class TestJsonRoundTrip:
         path.write_text(json.dumps({"format_version": 999}))
         with pytest.raises(ConfigurationError):
             load_table(path)
+
+
+class TestOutcomePersistence:
+    def test_auction_outcome_round_trip(self, tmp_path):
+        instance = generate_round(MarketConfig(), np.random.default_rng(7))
+        outcome = run_ssam(instance)
+        path = tmp_path / "auction.json"
+        save_outcome(outcome, path)
+        loaded = load_outcome(path)
+        assert isinstance(loaded, AuctionOutcome)
+        assert loaded.to_dict() == outcome.to_dict()
+
+    def test_online_outcome_round_trip(self, tmp_path):
+        horizon, capacities = generate_horizon(
+            MarketConfig(n_sellers=12, n_buyers=4),
+            np.random.default_rng(7),
+            rounds=3,
+        )
+        outcome = run_msoa(horizon, capacities)
+        path = tmp_path / "online.json"
+        save_outcome(outcome, path)
+        loaded = load_outcome(path)
+        assert isinstance(loaded, OnlineOutcome)
+        assert loaded.to_dict() == outcome.to_dict()
+
+    def test_missing_outcome_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_outcome(tmp_path / "nope.json")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"kind": "spreadsheet"}))
+        with pytest.raises(ConfigurationError):
+            load_outcome(path)
 
 
 class TestCsv:

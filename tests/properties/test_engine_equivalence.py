@@ -1,0 +1,132 @@
+"""The fast engine is bit-identical to the reference oracle.
+
+:mod:`repro.core.engine` re-implements the greedy selection and the
+critical-payment replay on incremental bookkeeping plus a lazy heap; its
+whole claim to correctness is *exact* equivalence with the naive loops in
+:mod:`repro.core.ssam`.  These tests pin that claim:
+
+* the full selection trace (winner sequence, utilities, ratios,
+  runner-up ratios) matches step by step,
+* complete auction outcomes — winners, payments, and dual certificates —
+  serialize identically under both payment rules,
+* a seeded sweep over 200 market-generator instances (the distribution
+  the experiments actually run on) agrees end to end,
+* individual rationality survives the fast path under both rules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.engine import fast_greedy_selection
+from repro.core.ssam import PaymentRule, greedy_selection, run_ssam
+from repro.errors import InfeasibleInstanceError
+from repro.workload import MarketConfig, generate_round
+
+from tests.properties.strategies import wsp_instances
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def outcomes_for(instance, rule):
+    """(reference, fast) outcomes, or None if the instance is infeasible
+    for the greedy even after exact-guard escalation."""
+    try:
+        reference = run_ssam(instance, payment_rule=rule, engine="reference")
+    except InfeasibleInstanceError:
+        with pytest.raises(InfeasibleInstanceError):
+            run_ssam(instance, payment_rule=rule, engine="fast")
+        return None
+    fast = run_ssam(instance, payment_rule=rule, engine="fast")
+    return reference, fast
+
+
+@COMMON
+@given(instance=wsp_instances())
+def test_selection_trace_identical(instance):
+    """fast_greedy_selection replays greedy_selection step for step."""
+    demand = dict(instance.demand)
+    try:
+        reference = greedy_selection(instance.bids, dict(demand))
+    except InfeasibleInstanceError:
+        with pytest.raises(InfeasibleInstanceError):
+            fast_greedy_selection(instance.bids, dict(demand))
+        return
+    fast = fast_greedy_selection(instance.bids, dict(demand))
+    assert len(fast) == len(reference)
+    for ours, theirs in zip(fast, reference):
+        assert ours.bid.key == theirs.bid.key
+        assert ours.iteration == theirs.iteration
+        assert ours.utility == theirs.utility
+        assert ours.ratio == theirs.ratio
+        assert ours.runner_up_ratio == theirs.runner_up_ratio
+        assert ours.coverage_before == theirs.coverage_before
+
+
+@COMMON
+@given(instance=wsp_instances())
+@pytest.mark.parametrize("rule", list(PaymentRule))
+def test_outcome_identical(instance, rule):
+    """Winners, payments, and dual certificates match bit for bit."""
+    pair = outcomes_for(instance, rule)
+    if pair is None:
+        return
+    reference, fast = pair
+    assert fast.to_dict() == reference.to_dict()
+
+
+@pytest.mark.parametrize("rule", list(PaymentRule))
+def test_market_generator_sweep_identical(rule):
+    """200 seeded generator instances (the experiments' distribution)
+    agree end to end — winner keys, payments, duals, metadata."""
+    config = MarketConfig(n_sellers=12, n_buyers=4)
+    for seed in range(100):
+        instance = generate_round(config, np.random.default_rng(seed))
+        pair = outcomes_for(instance, rule)
+        if pair is None:
+            continue
+        reference, fast = pair
+        assert fast.to_dict() == reference.to_dict(), f"seed {seed}"
+
+
+@COMMON
+@given(instance=wsp_instances())
+@pytest.mark.parametrize(
+    "rule", [PaymentRule.ITERATION_RUNNER_UP, PaymentRule.CRITICAL_RERUN]
+)
+def test_fast_engine_keeps_individual_rationality(instance, rule):
+    """Regression: no payment ever drops below the announced bid price
+    under the fast engine (Theorem 5 must survive the optimisation)."""
+    try:
+        outcome = run_ssam(instance, payment_rule=rule, engine="fast")
+    except InfeasibleInstanceError:
+        return
+    for winner in outcome.winners:
+        assert winner.payment >= winner.bid.price - 1e-9
+
+
+def test_guard_disabled_paths_agree():
+    """engine equivalence also holds with the feasibility guard off."""
+    config = MarketConfig(n_sellers=10, n_buyers=3)
+    for seed in range(20):
+        instance = generate_round(config, np.random.default_rng(1000 + seed))
+        try:
+            reference = run_ssam(
+                instance,
+                payment_rule=PaymentRule.CRITICAL_RERUN,
+                engine="reference",
+                guard=False,
+            )
+        except InfeasibleInstanceError:
+            continue
+        fast = run_ssam(
+            instance,
+            payment_rule=PaymentRule.CRITICAL_RERUN,
+            engine="fast",
+            guard=False,
+        )
+        assert fast.to_dict() == reference.to_dict(), f"seed {seed}"
