@@ -12,6 +12,9 @@ One documented entry point per task:
 Task                         Entry point
 ===========================  ==========================================
 Run one auction round        :func:`run_ssam` on a :class:`WSPInstance`
+Run any mechanism by name    :func:`get_mechanism` /
+                             :func:`list_mechanisms` (the registry also
+                             backs ``repro-edge-auction run/mechanisms``)
 Run an online horizon        :func:`run_msoa` (or drive
                              :class:`MultiStageOnlineAuction` round by
                              round for streaming arrivals)
@@ -40,17 +43,33 @@ Mechanism options are keyword-only and share one vocabulary everywhere:
 >>> outcome = run_ssam(instance)
 >>> outcome.total_payment >= outcome.social_cost
 True
+
+Every mechanism — SSAM and all baselines — returns the same
+:class:`AuctionOutcome` (tagged with ``outcome.mechanism``), so results
+compare and persist uniformly:
+
+>>> from repro.api import get_mechanism
+>>> get_mechanism("vcg")(instance).mechanism
+'vcg'
 """
 
 from __future__ import annotations
 
 from repro.core.bids import Bid, BidderProfile
+from repro.core.mechanism import Mechanism, OnlineMechanism
 from repro.core.msoa import MultiStageOnlineAuction, run_msoa
 from repro.core.outcomes import (
     AuctionOutcome,
     OnlineOutcome,
     RoundResult,
     WinningBid,
+)
+from repro.core.registry import (
+    MechanismSpec,
+    get_mechanism,
+    list_mechanisms,
+    make_online,
+    mechanism_specs,
 )
 from repro.core.ssam import PaymentRule, run_ssam
 from repro.core.wsp import WSPInstance
@@ -71,6 +90,14 @@ __all__ = [
     "run_msoa",
     "MultiStageOnlineAuction",
     "PaymentRule",
+    # the mechanism protocol + registry
+    "Mechanism",
+    "OnlineMechanism",
+    "MechanismSpec",
+    "get_mechanism",
+    "list_mechanisms",
+    "mechanism_specs",
+    "make_online",
     # market model
     "Bid",
     "BidderProfile",

@@ -8,24 +8,36 @@
 * :mod:`repro.baselines.vcg` — the exact truthful gold standard.
 * :mod:`repro.baselines.offline` — the clairvoyant horizon optimum
   (competitive-ratio denominator).
+
+Every single-round baseline emits the uniform
+:class:`~repro.core.outcomes.AuctionOutcome`; prefer addressing them
+through the registry (:func:`repro.core.registry.get_mechanism`).  The
+old per-mechanism result classes remain importable as deprecated aliases.
 """
 
-from repro.baselines.fixed_pricing import PostedPriceResult, run_posted_price
+from repro.baselines.fixed_pricing import PostedPriceOutcome, run_posted_price
 from repro.baselines.greedy_variants import (
     VARIANT_KEYS,
-    GreedyVariantResult,
+    GreedyVariantOutcome,
     run_greedy_variant,
 )
-from repro.baselines.offline import OfflineResult, run_offline_greedy, run_offline_optimal
-from repro.baselines.pay_as_bid import PayAsBidResult, run_pay_as_bid
-from repro.baselines.random_mechanism import RandomSelectionResult, run_random_selection
-from repro.baselines.vcg import VCGResult, run_vcg
+from repro.baselines.offline import (
+    OfflineOutcome,
+    run_offline_greedy,
+    run_offline_optimal,
+)
+from repro.baselines.pay_as_bid import run_pay_as_bid
+from repro.baselines.random_mechanism import run_random_selection
+from repro.baselines.vcg import run_vcg
 
 __all__ = [
+    "PostedPriceOutcome",
     "PostedPriceResult",
     "run_posted_price",
+    "OfflineOutcome",
     "OfflineResult",
     "VARIANT_KEYS",
+    "GreedyVariantOutcome",
     "GreedyVariantResult",
     "run_greedy_variant",
     "run_offline_greedy",
@@ -37,3 +49,24 @@ __all__ = [
     "VCGResult",
     "run_vcg",
 ]
+
+# Deprecated result-class aliases resolve lazily through the defining
+# module's own __getattr__, so the DeprecationWarning fires at use, not
+# at package import.
+_DEPRECATED_HOMES = {
+    "PostedPriceResult": "repro.baselines.fixed_pricing",
+    "GreedyVariantResult": "repro.baselines.greedy_variants",
+    "OfflineResult": "repro.baselines.offline",
+    "PayAsBidResult": "repro.baselines.pay_as_bid",
+    "RandomSelectionResult": "repro.baselines.random_mechanism",
+    "VCGResult": "repro.baselines.vcg",
+}
+
+
+def __getattr__(name: str):
+    home = _DEPRECATED_HOMES.get(name)
+    if home is not None:
+        import importlib
+
+        return getattr(importlib.import_module(home), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,45 +14,34 @@ overpays — is exactly what the posted-price benchmark quantifies.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.bids import Bid
+from repro.core.mechanism import outcome_from_selection
+from repro.core.outcomes import AuctionOutcome
 from repro.core.wsp import CoverageState, WSPInstance
 from repro.errors import ConfigurationError
 
-__all__ = ["PostedPriceResult", "run_posted_price"]
+__all__ = ["PostedPriceOutcome", "PostedPriceResult", "run_posted_price"]
 
 
 @dataclass(frozen=True)
-class PostedPriceResult:
-    """Outcome of the posted-price baseline on one round.
+class PostedPriceOutcome(AuctionOutcome):
+    """A posted-price outcome, remembering the posted per-unit price.
 
     ``satisfied`` is False when the posted price attracted too few sellers
     to cover demand; the remaining units are in ``unmet_units``.  Social
-    cost counts the winners' true costs; payments are posted-price.
+    cost counts the winners' true costs (their original prices here);
+    payments are posted-price per contributed unit.
     """
 
-    posted_unit_price: float
-    winners: tuple[Bid, ...]
-    satisfied: bool
-    unmet_units: int
-
-    @property
-    def social_cost(self) -> float:
-        """Σ true costs of accepted offers."""
-        return float(sum(bid.cost for bid in self.winners))
-
-    @property
-    def total_payment(self) -> float:
-        """Posted price × units contributed, summed over winners."""
-        return float(
-            sum(self.posted_unit_price * bid.size for bid in self.winners)
-        )
+    posted_unit_price: float = 0.0
 
 
 def run_posted_price(
     instance: WSPInstance, unit_price: float
-) -> PostedPriceResult:
+) -> PostedPriceOutcome:
     """Run the flat-price baseline at the posted per-unit ``unit_price``.
 
     A seller accepts iff the posted revenue ``unit_price · |covered|``
@@ -81,9 +70,35 @@ def run_posted_price(
         if coverage.utility_of(bid) > 0:
             coverage.apply(bid)
             winners.append(bid)
-    return PostedPriceResult(
-        posted_unit_price=unit_price,
-        winners=tuple(winners),
-        satisfied=coverage.satisfied,
-        unmet_units=coverage.unmet,
+    base = outcome_from_selection(
+        instance,
+        tuple(winners),
+        mechanism="posted-price",
+        payment_rule="posted-price",
+        payments={bid.key: unit_price * bid.size for bid in winners},
+        # Market efficiency under posted pricing is measured at true costs.
+        original_prices={bid.key: bid.cost for bid in winners},
+        require_cover=False,
     )
+    return PostedPriceOutcome(
+        instance=base.instance,
+        winners=base.winners,
+        duals=base.duals,
+        ratio_bound=base.ratio_bound,
+        payment_rule=base.payment_rule,
+        iterations=base.iterations,
+        mechanism=base.mechanism,
+        posted_unit_price=unit_price,
+    )
+
+
+def __getattr__(name: str):
+    if name == "PostedPriceResult":
+        warnings.warn(
+            "PostedPriceResult is deprecated; run_posted_price now returns "
+            "PostedPriceOutcome (a repro.core.outcomes.AuctionOutcome)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PostedPriceOutcome
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,15 +16,23 @@ bench reports their social-cost gap against SSAM and the optimum.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.core.bids import Bid
+from repro.core.mechanism import outcome_from_selection
+from repro.core.outcomes import AuctionOutcome
 from repro.core.ssam import _selection_strands  # shared guard, one source of truth
 from repro.core.wsp import CoverageState, WSPInstance
 from repro.errors import InfeasibleInstanceError
 
-__all__ = ["GreedyVariantResult", "run_greedy_variant", "VARIANT_KEYS"]
+__all__ = [
+    "GreedyVariantOutcome",
+    "GreedyVariantResult",
+    "run_greedy_variant",
+    "VARIANT_KEYS",
+]
 
 
 #: ranking keys: smaller sorts first; utility is the marginal contribution.
@@ -36,21 +44,15 @@ VARIANT_KEYS: dict[str, Callable[[Bid, int], tuple]] = {
 
 
 @dataclass(frozen=True)
-class GreedyVariantResult:
-    """Winners of one alternative-greedy run."""
+class GreedyVariantOutcome(AuctionOutcome):
+    """Winners of one alternative-greedy run, remembering the variant."""
 
-    variant: str
-    winners: tuple[Bid, ...]
-
-    @property
-    def social_cost(self) -> float:
-        """Σ winning prices."""
-        return float(sum(bid.price for bid in self.winners))
+    variant: str = "density"
 
 
 def run_greedy_variant(
     instance: WSPInstance, variant: str = "density"
-) -> GreedyVariantResult:
+) -> GreedyVariantOutcome:
     """Cover the demand with the chosen ranking rule.
 
     ``"density"`` reproduces SSAM's allocation (asserted in tests);
@@ -91,4 +93,32 @@ def run_greedy_variant(
         coverage.apply(chosen)
         winners.append(chosen)
         active = [bid for bid in active if bid.seller != chosen.seller]
-    return GreedyVariantResult(variant=variant, winners=tuple(winners))
+    base = outcome_from_selection(
+        instance,
+        tuple(winners),
+        mechanism=f"greedy-{variant.replace('_', '-')}",
+        payment_rule="pay-as-bid",
+    )
+    return GreedyVariantOutcome(
+        instance=base.instance,
+        winners=base.winners,
+        duals=base.duals,
+        ratio_bound=base.ratio_bound,
+        payment_rule=base.payment_rule,
+        iterations=base.iterations,
+        mechanism=base.mechanism,
+        variant=variant,
+    )
+
+
+def __getattr__(name: str):
+    if name == "GreedyVariantResult":
+        warnings.warn(
+            "GreedyVariantResult is deprecated; run_greedy_variant now "
+            "returns GreedyVariantOutcome (a repro.core.outcomes."
+            "AuctionOutcome)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return GreedyVariantOutcome
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,6 +12,7 @@ runtime.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
@@ -20,16 +21,28 @@ from repro.errors import SolverError
 from repro.core.wsp import WSPInstance
 from repro.solvers.milp import solve_horizon_optimal
 
-__all__ = ["OfflineResult", "run_offline_optimal", "run_offline_greedy"]
+__all__ = [
+    "OfflineOutcome",
+    "OfflineResult",
+    "run_offline_optimal",
+    "run_offline_greedy",
+]
 
 
 @dataclass(frozen=True)
-class OfflineResult:
-    """Social cost of a clairvoyant solution over a horizon."""
+class OfflineOutcome:
+    """Social cost of a clairvoyant solution over a horizon.
+
+    Horizon benchmarks are a cost denominator, not an auction: no
+    payments or per-round winner sets survive the MILP, so this stays a
+    slim cost record.  The :attr:`mechanism` tag keeps it addressable
+    through the registry like every other outcome.
+    """
 
     social_cost: float
     per_round_cost: tuple[float, ...]
     exact: bool
+    mechanism: str = "offline-milp"
 
     @property
     def rounds(self) -> int:
@@ -40,7 +53,7 @@ class OfflineResult:
 def run_offline_optimal(
     rounds: Sequence[WSPInstance],
     capacities: Mapping[int, int] | None = None,
-) -> OfflineResult:
+) -> OfflineOutcome:
     """Solve the horizon ILP (7)–(11) (the ratio denominator).
 
     Solved to a 1% MIP gap by default.  Pathological instances can defy
@@ -68,17 +81,18 @@ def run_offline_optimal(
     per_round = [0.0] * len(rounds)
     for bid, round_index in zip(solution.chosen, solution.rounds):
         per_round[round_index] += bid.price
-    return OfflineResult(
+    return OfflineOutcome(
         social_cost=solution.objective,
         per_round_cost=tuple(per_round),
         exact=True,
+        mechanism="offline-milp",
     )
 
 
 def run_offline_greedy(
     rounds: Sequence[WSPInstance],
     capacities: Mapping[int, int],
-) -> OfflineResult:
+) -> OfflineOutcome:
     """A fast offline heuristic: MSOA with the ψ scaling disabled.
 
     Running the per-round greedy with an enormous α freezes the scarcity
@@ -89,8 +103,20 @@ def run_offline_greedy(
     outcome = run_msoa(
         rounds, capacities, alpha=1e12, on_infeasible="skip"
     )
-    return OfflineResult(
+    return OfflineOutcome(
         social_cost=outcome.social_cost,
         per_round_cost=tuple(r.social_cost for r in outcome.rounds),
         exact=False,
+        mechanism="offline-greedy",
     )
+
+
+def __getattr__(name: str):
+    if name == "OfflineResult":
+        warnings.warn(
+            "OfflineResult has been renamed to OfflineOutcome",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return OfflineOutcome
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,36 +10,35 @@ social cost).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.core.bids import Bid
+from repro.core.mechanism import outcome_from_selection
+from repro.core.outcomes import AuctionOutcome
 from repro.core.ssam import greedy_selection
 from repro.core.wsp import WSPInstance
 
 __all__ = ["PayAsBidResult", "run_pay_as_bid"]
 
 
-@dataclass(frozen=True)
-class PayAsBidResult:
-    """Outcome of the pay-as-bid baseline on one round."""
-
-    winners: tuple[Bid, ...]
-
-    @property
-    def social_cost(self) -> float:
-        """Σ announced prices (equals the SSAM allocation's social cost)."""
-        return float(sum(bid.price for bid in self.winners))
-
-    @property
-    def total_payment(self) -> float:
-        """Pay-as-bid: payment = announced price."""
-        return self.social_cost
-
-
-def run_pay_as_bid(instance: WSPInstance) -> PayAsBidResult:
+def run_pay_as_bid(instance: WSPInstance) -> AuctionOutcome:
     """Greedy winner selection, pay-as-bid payments."""
     demand = {b: u for b, u in instance.demand.items() if u > 0}
-    if not demand:
-        return PayAsBidResult(winners=())
-    steps = greedy_selection(instance.bids, demand)
-    return PayAsBidResult(winners=tuple(step.bid for step in steps))
+    steps = greedy_selection(instance.bids, demand) if demand else ()
+    return outcome_from_selection(
+        instance,
+        tuple(step.bid for step in steps),
+        mechanism="pay-as-bid",
+        payment_rule="pay-as-bid",
+    )
+
+
+def __getattr__(name: str):
+    if name == "PayAsBidResult":
+        warnings.warn(
+            "PayAsBidResult is deprecated; run_pay_as_bid now returns the "
+            "uniform repro.core.outcomes.AuctionOutcome",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return AuctionOutcome
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -8,37 +8,22 @@ benchmarks use it as the floor of the comparison band.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
 import numpy as np
 
 from repro.core.bids import Bid, group_bids_by_seller
+from repro.core.mechanism import outcome_from_selection
+from repro.core.outcomes import AuctionOutcome
 from repro.core.wsp import CoverageState, WSPInstance
 from repro.errors import InfeasibleInstanceError
 
 __all__ = ["RandomSelectionResult", "run_random_selection"]
 
 
-@dataclass(frozen=True)
-class RandomSelectionResult:
-    """Outcome of the random baseline on one round."""
-
-    winners: tuple[Bid, ...]
-
-    @property
-    def social_cost(self) -> float:
-        """Σ announced prices of the selected bids."""
-        return float(sum(bid.price for bid in self.winners))
-
-    @property
-    def total_payment(self) -> float:
-        """Pay-as-bid: payments equal the announced prices."""
-        return self.social_cost
-
-
 def run_random_selection(
     instance: WSPInstance, rng: np.random.Generator
-) -> RandomSelectionResult:
+) -> AuctionOutcome:
     """Cover the demand with randomly ordered sellers' random bids.
 
     Useful bids (positive marginal utility) are taken as sellers come up
@@ -66,4 +51,21 @@ def run_random_selection(
         raise InfeasibleInstanceError(
             f"random selection could not cover {coverage.unmet} demand units"
         )
-    return RandomSelectionResult(winners=tuple(winners))
+    return outcome_from_selection(
+        instance,
+        tuple(winners),
+        mechanism="random",
+        payment_rule="pay-as-bid",
+    )
+
+
+def __getattr__(name: str):
+    if name == "RandomSelectionResult":
+        warnings.warn(
+            "RandomSelectionResult is deprecated; run_random_selection now "
+            "returns the uniform repro.core.outcomes.AuctionOutcome",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return AuctionOutcome
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

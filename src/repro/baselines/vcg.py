@@ -11,9 +11,10 @@ social cost and what it saves in runtime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.core.bids import Bid
+from repro.core.mechanism import outcome_from_selection
+from repro.core.outcomes import AuctionOutcome
 from repro.core.wsp import WSPInstance
 from repro.errors import InfeasibleInstanceError
 from repro.solvers.milp import solve_wsp_optimal
@@ -21,32 +22,7 @@ from repro.solvers.milp import solve_wsp_optimal
 __all__ = ["VCGResult", "run_vcg"]
 
 
-@dataclass(frozen=True)
-class VCGResult:
-    """Outcome of the VCG mechanism on one round."""
-
-    winners: tuple[Bid, ...]
-    payments: dict[tuple[int, int], float]
-
-    @property
-    def social_cost(self) -> float:
-        """Σ announced prices of the optimal winner set."""
-        return float(sum(bid.price for bid in self.winners))
-
-    @property
-    def total_payment(self) -> float:
-        """Σ VCG payments."""
-        return float(sum(self.payments.values()))
-
-    def utility_of(self, seller: int) -> float:
-        """Quasi-linear utility of ``seller`` under VCG."""
-        for bid in self.winners:
-            if bid.seller == seller:
-                return self.payments[bid.key] - bid.cost
-        return 0.0
-
-
-def run_vcg(instance: WSPInstance) -> VCGResult:
+def run_vcg(instance: WSPInstance) -> AuctionOutcome:
     """Run VCG: optimal allocation + Clarke-pivot payments.
 
     A winner whose removal makes the instance infeasible is pivotal for
@@ -67,4 +43,23 @@ def run_vcg(instance: WSPInstance) -> VCGResult:
         except InfeasibleInstanceError:
             without = others_cost[bid.key] + instance.effective_ceiling * bid.size
         payments[bid.key] = without - others_cost[bid.key]
-    return VCGResult(winners=winners, payments=payments)
+    return outcome_from_selection(
+        instance,
+        winners,
+        mechanism="vcg",
+        payment_rule="clarke-pivot",
+        payments=payments,
+        ratio_bound=1.0,
+    )
+
+
+def __getattr__(name: str):
+    if name == "VCGResult":
+        warnings.warn(
+            "VCGResult is deprecated; run_vcg now returns the uniform "
+            "repro.core.outcomes.AuctionOutcome",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return AuctionOutcome
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -8,6 +8,8 @@ Usage::
     repro-edge-auction fig 4b --parallelism 8  # parallel payment replays
     repro-edge-auction bench                 # engine perf harness
     repro-edge-auction quickstart            # a tiny end-to-end demo
+    repro-edge-auction mechanisms            # list the mechanism registry
+    repro-edge-auction run --mechanism vcg   # one mechanism, one market
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -48,6 +50,8 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     config = QUICK if args.quick else FULL
     if args.parallelism != 1:
         config = dataclasses.replace(config, parallelism=args.parallelism)
+    if args.engine != "fast":
+        config = dataclasses.replace(config, engine=args.engine)
     keys = list(FIGURES) if args.panel == "all" else [args.panel]
     for key in keys:
         if key not in FIGURES:
@@ -142,6 +146,75 @@ def _cmd_explain(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mechanisms(_: argparse.Namespace) -> int:
+    from repro.analysis.reporting import ResultTable
+    from repro.core.registry import mechanism_specs
+
+    table = ResultTable(
+        title="Registered mechanisms",
+        columns=[
+            "name", "kind", "truthful", "payment_rule", "paper_ref",
+        ],
+    )
+    for spec in mechanism_specs():
+        table.add_row(
+            name=spec.name,
+            kind=spec.kind,
+            truthful=spec.truthful,
+            payment_rule=spec.payment_rule,
+            paper_ref=spec.paper_ref,
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.registry import get_mechanism, get_spec
+    from repro.experiments.storage import save_outcome
+    from repro.workload.bidgen import (
+        MarketConfig,
+        generate_horizon,
+        generate_round,
+    )
+
+    spec = get_spec(args.mechanism)
+    mechanism = get_mechanism(args.mechanism)
+    rng = np.random.default_rng(args.seed)
+    if spec.kind == "single":
+        instance = generate_round(MarketConfig(), rng)
+        outcome = mechanism(instance)
+        print(f"{spec.name} on one paper-default round (seed {args.seed}):")
+        print(f"  {len(instance.bids)} bids, demand "
+              f"{instance.total_demand} units")
+        print(f"  social cost   {outcome.social_cost:.2f}")
+        print(f"  total payment {outcome.total_payment:.2f} across "
+              f"{len(outcome.winners)} winners")
+        if not outcome.satisfied:
+            print(f"  UNMET demand: {outcome.unmet_units} units")
+    else:
+        horizon, capacities = generate_horizon(
+            MarketConfig(), rng, rounds=args.rounds
+        )
+        if spec.kind == "online":
+            outcome = mechanism(horizon, capacities, on_infeasible="skip")
+            print(f"{spec.name} over {args.rounds} rounds (seed {args.seed}):")
+            print(f"  social cost   {outcome.social_cost:.2f}")
+            print(f"  total payment {outcome.total_payment:.2f}")
+        else:  # horizon benchmark
+            outcome = mechanism(horizon, capacities)
+            print(f"{spec.name} over {args.rounds} rounds (seed {args.seed}):")
+            print(f"  social cost {outcome.social_cost:.2f} "
+                  f"(exact={outcome.exact})")
+    if args.out:
+        if not hasattr(outcome, "to_dict"):
+            print(f"--out is not supported for {spec.kind} benchmarks",
+                  file=sys.stderr)
+            return 2
+        save_outcome(outcome, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench_engine import (
         render_engine_bench,
@@ -208,7 +281,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for critical-payment replays (default 1)",
     )
+    fig.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="selection engine for every mechanism run (default fast)",
+    )
     fig.set_defaults(fn=_cmd_fig)
+    run = sub.add_parser(
+        "run", help="run one mechanism by registry name on a default market"
+    )
+    run.add_argument(
+        "--mechanism",
+        default="ssam",
+        metavar="NAME",
+        help="registry name (see 'mechanisms'; default ssam)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=7, metavar="N",
+        help="market generator seed (default 7)",
+    )
+    run.add_argument(
+        "--rounds", type=int, default=5, metavar="T",
+        help="horizon length for online/horizon mechanisms (default 5)",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="save the outcome JSON here (single/online mechanisms)",
+    )
+    run.set_defaults(fn=_cmd_run)
+    sub.add_parser(
+        "mechanisms", help="list the mechanism registry"
+    ).set_defaults(fn=_cmd_mechanisms)
     bench = sub.add_parser(
         "bench",
         help="time the fast engine vs the reference oracle "

@@ -12,6 +12,9 @@ multi-stage auction mechanisms for resource sharing among microservices.
 * :mod:`repro.core.variants` — the MSOA-DA / -RC / -OA evaluation variants.
 * :mod:`repro.core.duals` / :mod:`repro.core.ratios` — the primal–dual
   certificates and the Theorem-3 / Theorem-7 bounds.
+* :mod:`repro.core.mechanism` / :mod:`repro.core.registry` — the shared
+  mechanism protocol and the string-keyed registry dispatching SSAM, the
+  baselines, and MSOA by name.
 """
 
 from repro.core.bids import Bid, BidderProfile, group_bids_by_seller, validate_bids
@@ -27,6 +30,12 @@ from repro.core.explain import (
     explain_outcome,
     render_explanation,
 )
+from repro.core.mechanism import (
+    Mechanism,
+    OnlineMechanism,
+    SingleRoundOnlineAdapter,
+    outcome_from_selection,
+)
 from repro.core.msoa import MultiStageOnlineAuction, run_msoa
 from repro.core.outcomes import AuctionOutcome, OnlineOutcome, RoundResult, WinningBid
 from repro.core.ratios import (
@@ -35,6 +44,15 @@ from repro.core.ratios import (
     msoa_competitive_bound,
     price_spread,
     ssam_ratio_bound,
+)
+from repro.core.registry import (
+    MechanismSpec,
+    get_mechanism,
+    get_spec,
+    list_mechanisms,
+    make_online,
+    mechanism_specs,
+    register,
 )
 from repro.core.ssam import GreedyStep, PaymentRule, greedy_selection, run_ssam
 from repro.core.variants import (
@@ -61,6 +79,17 @@ __all__ = [
     "IterationExplanation",
     "explain_outcome",
     "render_explanation",
+    "Mechanism",
+    "OnlineMechanism",
+    "SingleRoundOnlineAdapter",
+    "outcome_from_selection",
+    "MechanismSpec",
+    "get_mechanism",
+    "get_spec",
+    "list_mechanisms",
+    "make_online",
+    "mechanism_specs",
+    "register",
     "MultiStageOnlineAuction",
     "run_msoa",
     "AuctionOutcome",

@@ -23,6 +23,7 @@ scaled price.
 from __future__ import annotations
 
 import math
+import warnings
 from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.bids import Bid
@@ -281,6 +282,7 @@ class MultiStageOnlineAuction:
             alpha=alpha,
             beta=beta,
             competitive_bound=msoa_competitive_bound(alpha, beta),
+            mechanism="msoa",
         )
         outcome.verify_capacities()
         return outcome
@@ -289,7 +291,7 @@ class MultiStageOnlineAuction:
 def run_msoa(
     rounds: Iterable[WSPInstance] | Sequence[WSPInstance],
     capacities: Mapping[int, int],
-    *,
+    *deprecated_args: PaymentRule,
     alpha: float | None = None,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
     parallelism: int = 1,
@@ -303,7 +305,24 @@ def run_msoa(
     decisions depend only on past rounds — this helper merely drives the
     loop and finalizes the outcome.  All options are keyword-only and
     forwarded to :class:`MultiStageOnlineAuction`.
+
+    .. deprecated:: 1.1
+        Passing ``payment_rule`` positionally is deprecated; use the
+        keyword form ``run_msoa(rounds, capacities, payment_rule=...)``.
     """
+    if deprecated_args:
+        if len(deprecated_args) > 1:
+            raise TypeError(
+                "run_msoa() takes two positional arguments (rounds and "
+                "capacities); pass options by keyword"
+            )
+        warnings.warn(
+            "passing payment_rule positionally to run_msoa() is deprecated; "
+            "use run_msoa(rounds, capacities, payment_rule=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        payment_rule = deprecated_args[0]
     auction = MultiStageOnlineAuction(
         capacities,
         alpha=alpha,

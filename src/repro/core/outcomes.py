@@ -78,6 +78,39 @@ class WinningBid:
         """The seller's quasi-linear utility ``payment − true cost`` (Eq. 3)."""
         return self.payment - self.bid.cost
 
+    # Bid delegation: a WinningBid can stand in wherever a plain Bid is
+    # expected (``verify_solution``, reporting code iterating winners), so
+    # call sites need not reach through ``.bid`` for the common fields.
+    @property
+    def key(self) -> tuple[int, int]:
+        """The underlying bid's ``(seller, index)`` key."""
+        return self.bid.key
+
+    @property
+    def seller(self) -> int:
+        """The underlying bid's seller id."""
+        return self.bid.seller
+
+    @property
+    def covered(self) -> frozenset[int]:
+        """The underlying bid's covered buyer set."""
+        return self.bid.covered
+
+    @property
+    def price(self) -> float:
+        """The underlying bid's (selection) price."""
+        return self.bid.price
+
+    @property
+    def size(self) -> int:
+        """The underlying bid's coverage size ``|Ŝᵢⱼ|``."""
+        return self.bid.size
+
+    @property
+    def cost(self) -> float:
+        """The underlying bid's private cost."""
+        return self.bid.cost
+
     def to_dict(self) -> dict:
         """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
         return {
@@ -104,7 +137,12 @@ class WinningBid:
 
 @dataclass(frozen=True)
 class AuctionOutcome:
-    """The full result of one single-stage auction (SSAM) run."""
+    """The full result of one single-stage auction run.
+
+    Every single-round mechanism in the registry (SSAM, VCG, the pricing
+    and greedy baselines) emits this type; :attr:`mechanism` records which
+    one produced it so saved outcomes stay self-describing.
+    """
 
     instance: WSPInstance
     winners: tuple[WinningBid, ...]
@@ -112,6 +150,7 @@ class AuctionOutcome:
     ratio_bound: float
     payment_rule: str
     iterations: int
+    mechanism: str = "ssam"
 
     @property
     def winner_keys(self) -> frozenset[tuple[int, int]]:
@@ -148,6 +187,29 @@ class AuctionOutcome:
                     granted[buyer] += 1
         return granted
 
+    @property
+    def payments(self) -> dict[tuple[int, int], float]:
+        """Payment per winning bid key (VCG's old result exposed this)."""
+        return {w.bid.key: w.payment for w in self.winners}
+
+    @property
+    def unmet_units(self) -> int:
+        """Demand units the winner set leaves uncovered (0 when complete).
+
+        Incomplete mechanisms (posted price with a too-low price) can
+        leave demand unmet; complete mechanisms always report 0 here.
+        """
+        coverage = self.coverage
+        return sum(
+            max(0, self.instance.demand[b] - coverage[b])
+            for b in self.instance.buyers
+        )
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the winner set covers every buyer's full demand."""
+        return self.unmet_units == 0
+
     def payment_of(self, seller: int) -> float:
         """Payment to ``seller`` (0 if it did not win)."""
         for winner in self.winners:
@@ -177,6 +239,7 @@ class AuctionOutcome:
         return {
             "kind": "auction",
             "schema_version": OUTCOME_SCHEMA_VERSION,
+            "mechanism": self.mechanism,
             "instance": self.instance.to_dict(),
             "winners": [w.to_dict() for w in self.winners],
             "duals": self.duals.to_dict(),
@@ -197,6 +260,8 @@ class AuctionOutcome:
             ratio_bound=float(data["ratio_bound"]),
             payment_rule=str(data["payment_rule"]),
             iterations=int(data["iterations"]),
+            # Pre-tag files (schema 1 before the registry) were all SSAM.
+            mechanism=str(data.get("mechanism", "ssam")),
         )
 
 
@@ -277,6 +342,7 @@ class OnlineOutcome:
     alpha: float
     beta: float
     competitive_bound: float
+    mechanism: str = "msoa"
 
     @property
     def social_cost(self) -> float:
@@ -321,6 +387,7 @@ class OnlineOutcome:
         return {
             "kind": "online",
             "schema_version": OUTCOME_SCHEMA_VERSION,
+            "mechanism": self.mechanism,
             "rounds": [r.to_dict() for r in self.rounds],
             "capacities": {str(s): cap for s, cap in self.capacities.items()},
             "alpha": self.alpha,
@@ -338,6 +405,8 @@ class OnlineOutcome:
             alpha=float(data["alpha"]),
             beta=float(data["beta"]),
             competitive_bound=float(data["competitive_bound"]),
+            # Pre-tag files (schema 1 before the registry) were all MSOA.
+            mechanism=str(data.get("mechanism", "msoa")),
         )
 
 

@@ -408,6 +408,7 @@ def run_ssam(
             ratio_bound=1.0,
             payment_rule=payment_rule.value,
             iterations=0,
+            mechanism="ssam",
         )
     try:
         steps = select(instance.bids, demand, guard_feasibility=guard)
@@ -461,6 +462,7 @@ def run_ssam(
         ratio_bound=ssam_ratio_bound(instance.total_demand, instance.bids),
         payment_rule=payment_rule.value,
         iterations=len(steps),
+        mechanism="ssam",
     )
     outcome.verify()
     return outcome

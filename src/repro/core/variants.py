@@ -80,6 +80,7 @@ def run_msoa_base(
     *,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
     parallelism: int = 1,
+    engine: str = "fast",
     on_infeasible: str = "best_effort",
 ) -> OnlineOutcome:
     """Plain MSOA: estimated demands, baseline capacities."""
@@ -88,6 +89,7 @@ def run_msoa_base(
         scenario.capacities,
         payment_rule=payment_rule,
         parallelism=parallelism,
+        engine=engine,
         on_infeasible=on_infeasible,
     )
 
@@ -97,6 +99,7 @@ def run_msoa_da(
     *,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
     parallelism: int = 1,
+    engine: str = "fast",
     on_infeasible: str = "best_effort",
 ) -> OnlineOutcome:
     """MSOA-DA: oracle demands, baseline capacities."""
@@ -105,6 +108,7 @@ def run_msoa_da(
         scenario.capacities,
         payment_rule=payment_rule,
         parallelism=parallelism,
+        engine=engine,
         on_infeasible=on_infeasible,
     )
 
@@ -115,6 +119,7 @@ def run_msoa_rc(
     relaxation: float = 2.0,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
     parallelism: int = 1,
+    engine: str = "fast",
     on_infeasible: str = "best_effort",
 ) -> OnlineOutcome:
     """MSOA-RC: estimated demands, capacities inflated by ``relaxation``."""
@@ -123,6 +128,7 @@ def run_msoa_rc(
         _relaxed(scenario.capacities, relaxation),
         payment_rule=payment_rule,
         parallelism=parallelism,
+        engine=engine,
         on_infeasible=on_infeasible,
     )
 
@@ -133,6 +139,7 @@ def run_msoa_oa(
     relaxation: float = 2.0,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
     parallelism: int = 1,
+    engine: str = "fast",
     on_infeasible: str = "best_effort",
 ) -> OnlineOutcome:
     """MSOA-OA: oracle demands *and* relaxed capacities."""
@@ -141,6 +148,7 @@ def run_msoa_oa(
         _relaxed(scenario.capacities, relaxation),
         payment_rule=payment_rule,
         parallelism=parallelism,
+        engine=engine,
         on_infeasible=on_infeasible,
     )
 

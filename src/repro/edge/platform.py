@@ -23,8 +23,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.bids import Bid
+from repro.core.mechanism import OnlineMechanism
 from repro.core.msoa import MultiStageOnlineAuction
 from repro.core.outcomes import RoundResult
+from repro.core.registry import get_spec, make_online
 from repro.core.ssam import PaymentRule
 from repro.core.wsp import WSPInstance
 from repro.demand.estimator import DemandEstimator
@@ -194,7 +196,15 @@ class PlatformRoundReport:
 
 
 class EdgePlatform:
-    """Drives the full simulate → estimate → auction → reallocate loop."""
+    """Drives the full simulate → estimate → auction → reallocate loop.
+
+    The per-round auction is pluggable through ``mechanism``: the default
+    (``None``) runs MSOA as in the paper; a registry name (``"pay-as-bid"``,
+    ``"vcg"``, ...) runs that mechanism under the same capacity discipline
+    (so a baseline can drive the full Figure-2 loop end-to-end); an
+    already-built :class:`~repro.core.mechanism.OnlineMechanism` is used
+    as-is.
+    """
 
     def __init__(
         self,
@@ -207,6 +217,7 @@ class EdgePlatform:
         bidding_policy: BiddingPolicy | None = None,
         rng: np.random.Generator | None = None,
         horizon_rounds: int = 10,
+        mechanism: str | OnlineMechanism | None = None,
     ) -> None:
         if not clouds:
             raise ConfigurationError("at least one edge cloud is required")
@@ -234,11 +245,26 @@ class EdgePlatform:
             for sid, s in self._services.items()
             if s.share_capacity is not None
         }
-        self.auction = MultiStageOnlineAuction(
-            capacities,
-            payment_rule=self.config.payment_rule,
-            on_infeasible="skip",
-        )
+        if mechanism is None:
+            self.auction: OnlineMechanism = MultiStageOnlineAuction(
+                capacities,
+                payment_rule=self.config.payment_rule,
+                on_infeasible="skip",
+            )
+        elif isinstance(mechanism, str):
+            # Forward the platform's payment rule only to mechanisms that
+            # understand it (per the registry spec); rounds where demand
+            # outstrips the admissible bid pool are skipped, as with MSOA.
+            options = (
+                {"payment_rule": self.config.payment_rule}
+                if "payment_rule" in get_spec(mechanism).options
+                else {}
+            )
+            self.auction = make_online(
+                mechanism, capacities, on_infeasible="skip", **options
+            )
+        else:
+            self.auction = mechanism
         self._engine = SimulationEngine()
         self._servers: dict[int, RequestServer] = {}
         self._arrivals: list[ArrivalProcess] = []

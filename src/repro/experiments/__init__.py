@@ -30,6 +30,7 @@ from repro.experiments.runner import (
     build_horizon_scenario,
     build_single_round,
     mean_over_seeds,
+    run_configured_mechanism,
 )
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "build_horizon_scenario",
     "build_single_round",
     "mean_over_seeds",
+    "run_configured_mechanism",
     "diff_tables",
     "load_table",
     "save_csv",

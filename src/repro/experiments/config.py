@@ -42,6 +42,12 @@ class ExperimentConfig:
         Worker processes for critical-payment replays inside every
         mechanism run of the sweep (forwarded to ``run_ssam``/``run_msoa``;
         1 = serial).
+    mechanism:
+        Registry name of the single-round mechanism the single-stage
+        panels (3a/3b/4a) run; ``"ssam"`` reproduces the paper.
+    engine:
+        Selection engine every mechanism run of the sweep uses where
+        applicable: ``"fast"`` (default) or ``"reference"``.
     """
 
     seeds: tuple[int, ...] = (11, 23, 37, 53, 71)
@@ -53,6 +59,8 @@ class ExperimentConfig:
     estimation_sigma: float = 0.35
     capacity_relaxation: float = 2.0
     parallelism: int = 1
+    mechanism: str = "ssam"
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -65,6 +73,19 @@ class ExperimentConfig:
             raise ConfigurationError("capacity_relaxation must be >= 1")
         if self.parallelism < 1:
             raise ConfigurationError("parallelism must be a positive integer")
+        if self.engine not in ("fast", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
+        # Resolve against the registry so a typo fails at configuration
+        # time (with the known names), not mid-sweep.
+        from repro.core.registry import get_spec
+
+        if get_spec(self.mechanism).kind != "single":
+            raise ConfigurationError(
+                f"mechanism {self.mechanism!r} is not a single-round "
+                "mechanism; the figure sweeps dispatch per round"
+            )
 
 
 FULL = ExperimentConfig()

@@ -20,10 +20,12 @@ from repro.baselines.offline import run_offline_optimal
 from repro.core.ssam import PaymentRule, run_ssam
 from repro.core.variants import VARIANT_RUNNERS
 from repro.experiments.config import ExperimentConfig, FULL
+from repro.errors import ConfigurationError
 from repro.experiments.runner import (
     build_horizon_scenario,
     build_single_round,
     mean_over_seeds,
+    run_configured_mechanism,
 )
 from repro.solvers.milp import solve_wsp_optimal
 from repro.workload.scenarios import PAPER_DEFAULTS, PaperScenario
@@ -51,13 +53,18 @@ def _scenario(
 # Figure 3(a): SSAM performance ratio vs number of microservices
 # ----------------------------------------------------------------------
 def fig3a(config: ExperimentConfig = FULL) -> ResultTable:
-    """SSAM's ratio to the exact optimum, J ∈ {1, 2}, S ∈ 25–75.
+    """Mechanism's ratio to the exact optimum, J ∈ {1, 2}, S ∈ 25–75.
 
-    Paper shape: ratio grows with S; with one bid per seller the ratio
-    stays ≈ 1; everything respects the W·Ξ bound.
+    Paper shape (for SSAM, the default mechanism): ratio grows with S;
+    with one bid per seller the ratio stays ≈ 1; everything respects the
+    W·Ξ bound.  Baselines without an a-priori bound leave the bound
+    column empty.
     """
     table = ResultTable(
-        title="Figure 3(a): SSAM performance ratio vs #microservices",
+        title=(
+            f"Figure 3(a): {config.mechanism} performance ratio "
+            "vs #microservices"
+        ),
         columns=["microservices", "bids_per_seller", "ratio", "bound_WXi"],
     )
     for count in config.microservice_counts:
@@ -66,21 +73,27 @@ def fig3a(config: ExperimentConfig = FULL) -> ResultTable:
 
             def ratio_for(seed: int) -> float:
                 instance = build_single_round(scenario, seed)
-                outcome = run_ssam(instance, parallelism=config.parallelism)
+                outcome = run_configured_mechanism(
+                    config, instance, seed=seed
+                )
                 optimum = solve_wsp_optimal(instance).objective
                 return outcome.social_cost / optimum if optimum > 0 else 1.0
 
             def bound_for(seed: int) -> float:
                 instance = build_single_round(scenario, seed)
-                return run_ssam(
-                    instance, parallelism=config.parallelism
+                return run_configured_mechanism(
+                    config, instance, seed=seed
                 ).ratio_bound
 
+            try:
+                bound = mean_over_seeds(config.seeds, bound_for)
+            except ConfigurationError:
+                bound = None  # mechanism carries no approximation bound
             table.add_row(
                 microservices=count,
                 bids_per_seller=bids,
                 ratio=mean_over_seeds(config.seeds, ratio_for),
-                bound_WXi=mean_over_seeds(config.seeds, bound_for),
+                bound_WXi=bound,
             )
     return table
 
@@ -95,7 +108,10 @@ def fig3b(config: ExperimentConfig = FULL) -> ResultTable:
     the 200-request series sits above the 100-request one.
     """
     table = ResultTable(
-        title="Figure 3(b): SSAM social cost, payment, and optimum",
+        title=(
+            f"Figure 3(b): {config.mechanism} social cost, payment, "
+            "and optimum"
+        ),
         columns=[
             "microservices",
             "requests",
@@ -110,7 +126,7 @@ def fig3b(config: ExperimentConfig = FULL) -> ResultTable:
             rows = []
             for seed in config.seeds:
                 instance = build_single_round(scenario, seed)
-                outcome = run_ssam(instance, parallelism=config.parallelism)
+                outcome = run_configured_mechanism(config, instance, seed=seed)
                 optimum = solve_wsp_optimal(instance).objective
                 rows.append(
                     (outcome.social_cost, outcome.total_payment, optimum)
@@ -137,7 +153,7 @@ def fig4a(
         columns=["winner", "price", "payment", "payment_covers_price"],
     )
     instance = build_single_round(PAPER_DEFAULTS, config.seeds[0])
-    outcome = run_ssam(instance, parallelism=config.parallelism)
+    outcome = run_configured_mechanism(config, instance, seed=config.seeds[0])
     for i, (price, payment) in enumerate(payment_price_pairs(outcome)):
         if i >= max_winners:
             break
@@ -179,6 +195,7 @@ def fig4b(
                     instance,
                     payment_rule=rule,
                     parallelism=config.parallelism,
+                    engine=config.engine,
                 )
             timings[rule] = (time.perf_counter() - start) / repeats * 1000.0
         table.add_row(
@@ -229,6 +246,7 @@ def fig5a(config: ExperimentConfig = FULL) -> ResultTable:
                         horizon,
                         payment_rule=PaymentRule.ITERATION_RUNNER_UP,
                         parallelism=config.parallelism,
+                        engine=config.engine,
                     )
                     per_variant[name].append(
                         outcome.social_cost / offline.social_cost
@@ -268,6 +286,7 @@ def fig6a(config: ExperimentConfig = FULL) -> ResultTable:
                     horizon,
                     payment_rule=PaymentRule.ITERATION_RUNNER_UP,
                     parallelism=config.parallelism,
+                    engine=config.engine,
                 )
                 offline = run_offline_optimal(
                     horizon.rounds_true, horizon.capacities
@@ -317,7 +336,9 @@ def fig6b(config: ExperimentConfig = FULL) -> ResultTable:
                     scenario, seed, estimation_sigma=0.0
                 )
                 outcome = VARIANT_RUNNERS["MSOA"](
-                    horizon, parallelism=config.parallelism
+                    horizon,
+                    parallelism=config.parallelism,
+                    engine=config.engine,
                 )
                 offline = run_offline_optimal(
                     horizon.rounds_true, horizon.capacities

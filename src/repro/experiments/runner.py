@@ -7,15 +7,20 @@ measurements into the means the result tables report.
 
 from __future__ import annotations
 
+import math
 import statistics
 from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
+from repro.core.outcomes import AuctionOutcome
+from repro.core.registry import get_spec
 from repro.core.variants import HorizonScenario
 from repro.core.wsp import WSPInstance
 from repro.demand.estimator import NoisyOracleEstimator
 from repro.errors import ConfigurationError, SolverError
+from repro.experiments.config import ExperimentConfig
 from repro.workload.bidgen import (
     ensure_online_feasible,
     generate_capacities,
@@ -28,6 +33,7 @@ __all__ = [
     "mean_over_seeds",
     "build_single_round",
     "build_horizon_scenario",
+    "run_configured_mechanism",
 ]
 
 
@@ -43,11 +49,36 @@ def mean_over_seeds(
     values = []
     for seed in seeds:
         value = measure(seed)
-        if value == value and not np.isinf(value):  # not NaN / inf
+        if math.isfinite(value):
             values.append(value)
     if not values:
         raise ConfigurationError("no seed produced a finite measurement")
     return statistics.fmean(values)
+
+
+def run_configured_mechanism(
+    config: ExperimentConfig,
+    instance: WSPInstance,
+    *,
+    seed: int = 0,
+    **overrides: Any,
+) -> AuctionOutcome:
+    """Run the config's single-round mechanism on one instance.
+
+    The sweep-wide knobs (``parallelism``, ``engine``, the seed for
+    stochastic mechanisms) and any ``overrides`` are filtered against the
+    registry spec's declared options, so the same dispatch call serves
+    SSAM and every baseline without per-mechanism plumbing.
+    """
+    spec = get_spec(config.mechanism)
+    options: dict[str, Any] = {
+        "parallelism": config.parallelism,
+        "engine": config.engine,
+        "seed": seed,
+    }
+    options.update(overrides)
+    accepted = {k: v for k, v in options.items() if k in spec.options}
+    return spec.loader()(instance, **accepted)
 
 
 def build_single_round(

@@ -1,0 +1,122 @@
+"""Tests for the deprecation shims kept through the mechanism refactor.
+
+Two families: positional ``payment_rule`` on :func:`run_ssam` /
+:func:`run_msoa` (now keyword-only, with a warning-and-forward shim), and
+the old per-baseline result dataclasses (now aliases of the uniform
+outcome types, warning at attribute access).  Both must keep old call
+sites working bit-for-bit while announcing the new spelling.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.msoa import run_msoa
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.workload.bidgen import MarketConfig, generate_horizon, generate_round
+
+
+def small_instance(seed=7):
+    config = MarketConfig(n_sellers=10, n_buyers=4, bids_per_seller=2)
+    return generate_round(config, np.random.default_rng(seed))
+
+
+class TestPositionalPaymentRuleShim:
+    def test_run_ssam_warns_and_forwards(self):
+        instance = small_instance()
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            old_style = run_ssam(instance, PaymentRule.ITERATION_RUNNER_UP)
+        new_style = run_ssam(
+            instance, payment_rule=PaymentRule.ITERATION_RUNNER_UP
+        )
+        assert old_style.payment_rule == new_style.payment_rule
+        assert old_style.total_payment == pytest.approx(
+            new_style.total_payment
+        )
+
+    def test_run_ssam_rejects_extra_positionals(self):
+        with pytest.raises(TypeError, match="positional"):
+            run_ssam(
+                small_instance(),
+                PaymentRule.ITERATION_RUNNER_UP,
+                PaymentRule.CRITICAL_RERUN,
+            )
+
+    def test_run_msoa_warns_and_forwards(self):
+        config = MarketConfig(n_sellers=10, n_buyers=4, bids_per_seller=2)
+        rounds, capacities = generate_horizon(
+            config, np.random.default_rng(11), rounds=2
+        )
+        with pytest.warns(DeprecationWarning, match="run_msoa"):
+            old_style = run_msoa(
+                rounds, capacities, PaymentRule.ITERATION_RUNNER_UP
+            )
+        new_style = run_msoa(
+            rounds, capacities, payment_rule=PaymentRule.ITERATION_RUNNER_UP
+        )
+        assert old_style.social_cost == pytest.approx(new_style.social_cost)
+
+    def test_run_msoa_rejects_extra_positionals(self):
+        with pytest.raises(TypeError, match="positional"):
+            run_msoa(
+                [],
+                {1: 5},
+                PaymentRule.ITERATION_RUNNER_UP,
+                PaymentRule.CRITICAL_RERUN,
+            )
+
+    def test_keyword_calls_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_ssam(
+                small_instance(), payment_rule=PaymentRule.CRITICAL_RERUN
+            )
+
+
+class TestDeprecatedResultAliases:
+    # (alias, canonical name) pairs — every old result class must still
+    # import from both its home module and the baselines package, warn
+    # once at access, and resolve to the uniform outcome type.
+    CASES = [
+        ("VCGResult", "AuctionOutcome"),
+        ("PayAsBidResult", "AuctionOutcome"),
+        ("RandomSelectionResult", "AuctionOutcome"),
+        ("PostedPriceResult", "PostedPriceOutcome"),
+        ("GreedyVariantResult", "GreedyVariantOutcome"),
+        ("OfflineResult", "OfflineOutcome"),
+    ]
+
+    @pytest.mark.parametrize("alias,canonical", CASES)
+    def test_alias_warns_and_resolves(self, alias, canonical):
+        import repro.baselines as baselines
+
+        with pytest.warns(DeprecationWarning, match=alias):
+            resolved = getattr(baselines, alias)
+        canonical_type = self._canonical(canonical)
+        assert resolved is canonical_type
+
+    def _canonical(self, name):
+        if name == "AuctionOutcome":
+            from repro.core.outcomes import AuctionOutcome
+
+            return AuctionOutcome
+        import repro.baselines as baselines
+
+        return getattr(baselines, name)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.baselines as baselines
+
+        with pytest.raises(AttributeError):
+            baselines.NoSuchResult
+
+    def test_old_isinstance_checks_keep_working(self):
+        # The pattern old downstream code used: run a baseline, check the
+        # result against the legacy class name.
+        from repro.baselines.pay_as_bid import run_pay_as_bid
+
+        outcome = run_pay_as_bid(small_instance())
+        with pytest.warns(DeprecationWarning):
+            from repro.baselines.pay_as_bid import PayAsBidResult
+        assert isinstance(outcome, PayAsBidResult)

@@ -92,6 +92,74 @@ class TestBenchCommand:
         assert payload["cases"][0]["equivalent"] is True
 
 
+class TestMechanismCommands:
+    def test_mechanisms_lists_the_registry(self, capsys):
+        from repro.core.registry import list_mechanisms
+
+        assert main(["mechanisms"]) == 0
+        out = capsys.readouterr().out
+        for name in list_mechanisms():
+            assert name in out
+        assert "critical-value" in out and "clarke-pivot" in out
+
+    def test_run_default_is_ssam(self, capsys):
+        assert main(["run"]) == 0
+        out = capsys.readouterr().out
+        assert "ssam on one paper-default round" in out
+        assert "social cost" in out and "winners" in out
+
+    def test_run_dispatches_a_baseline(self, capsys):
+        assert main(["run", "--mechanism", "pay-as-bid"]) == 0
+        out = capsys.readouterr().out
+        assert "pay-as-bid" in out
+
+    def test_run_online_mechanism_over_horizon(self, capsys):
+        assert main(["run", "--mechanism", "msoa", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "msoa over 2 rounds" in out
+
+    def test_run_horizon_benchmark(self, capsys):
+        assert main(
+            ["run", "--mechanism", "offline-greedy", "--rounds", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "offline-greedy over 2 rounds" in out and "exact=" in out
+
+    def test_run_writes_outcome_with_mechanism_tag(self, tmp_path, capsys):
+        from repro.experiments.storage import load_outcome
+
+        out_path = tmp_path / "vcg.json"
+        assert main(
+            ["run", "--mechanism", "vcg", "--out", str(out_path)]
+        ) == 0
+        assert f"wrote {out_path}" in capsys.readouterr().out
+        assert load_outcome(out_path).mechanism == "vcg"
+
+    def test_run_out_rejected_for_horizon_benchmarks(self, tmp_path, capsys):
+        out_path = tmp_path / "offline.json"
+        assert main(
+            [
+                "run", "--mechanism", "offline-greedy",
+                "--rounds", "2", "--out", str(out_path),
+            ]
+        ) == 2
+        assert "not supported" in capsys.readouterr().err
+        assert not out_path.exists()
+
+    def test_run_unknown_mechanism_reports_cleanly(self, capsys):
+        assert main(["run", "--mechanism", "nope"]) == 2
+        assert "unknown mechanism" in capsys.readouterr().err
+
+    def test_fig_engine_flag_parsed(self):
+        args = build_parser().parse_args(["fig", "4a", "--engine", "reference"])
+        assert args.engine == "reference"
+        assert build_parser().parse_args(["fig", "4a"]).engine == "fast"
+
+    def test_fig_runs_on_reference_engine(self, capsys):
+        assert main(["fig", "4a", "--quick", "--engine", "reference"]) == 0
+        assert "Figure 4(a)" in capsys.readouterr().out
+
+
 class TestExtraCommands:
     def test_compare_prints_mechanism_table(self, capsys):
         assert main(["compare"]) == 0

@@ -1,0 +1,102 @@
+"""Integration tests: baseline mechanisms driving the full platform loop.
+
+The refactor made the per-round auction pluggable — ``EdgePlatform``
+accepts a registry name (or a prebuilt online mechanism) instead of
+always running MSOA.  These tests run the whole Figure-2 stack with a
+baseline in the auction slot and check the loop's invariants survive:
+feasible rounds, capacity discipline, budget-balanced ledger, and
+outcomes tagged with the mechanism that produced them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import OnlineMechanism
+from repro.core.registry import make_online
+from repro.errors import ConfigurationError
+from tests.integration.test_platform import build_platform
+
+
+def build_platform_with(mechanism, seed=5):
+    """The standard two-cloud deployment, with a pluggable auction."""
+    import repro.edge.platform as platform_mod
+
+    base = build_platform(seed=seed)
+    return platform_mod.EdgePlatform(
+        list(base.clouds.values()),
+        base.network,
+        list(base.users),
+        base.estimator,
+        config=base.config,
+        rng=np.random.default_rng(seed),
+        horizon_rounds=4,
+        mechanism=mechanism,
+    )
+
+
+class TestPlatformWithBaselineMechanism:
+    def test_pay_as_bid_runs_the_full_loop(self):
+        platform = build_platform_with("pay-as-bid")
+        reports = platform.run(4)
+        auctions = [r.auction for r in reports if r.auction is not None]
+        assert auctions, "expected at least one auction round"
+        cleared = [r for r in auctions if r.outcome.winners]
+        assert cleared, "expected at least one cleared (non-skipped) round"
+        for result in auctions:
+            assert result.outcome.mechanism == "pay-as-bid"
+        for result in cleared:
+            result.outcome.verify()
+            # Pay-as-bid pays exactly the announced price.
+            for winner in result.outcome.winners:
+                assert winner.payment == pytest.approx(winner.bid.price)
+
+    def test_finalize_tags_online_outcome(self):
+        platform = build_platform_with("pay-as-bid")
+        platform.run(4)
+        online = platform.finalize()
+        assert online.mechanism == "pay-as-bid"
+        online.verify_capacities()
+
+    def test_greedy_baseline_respects_share_capacities(self):
+        platform = build_platform_with("greedy-cheapest-price")
+        platform.run(4)
+        online = platform.finalize()
+        assert online.mechanism == "greedy-cheapest-price"
+        online.verify_capacities()
+
+    def test_ledger_stays_budget_balanced_under_baseline(self):
+        platform = build_platform_with("pay-as-bid")
+        platform.run(4)
+        ledger = platform.ledger
+        if ledger.total_paid > 0:
+            assert ledger.is_budget_balanced
+            assert ledger.total_charged == pytest.approx(ledger.total_paid)
+
+    def test_msoa_by_name_matches_default(self):
+        by_name = build_platform_with("msoa", seed=11)
+        default = build_platform_with(None, seed=11)
+        costs_by_name = [r.social_cost for r in by_name.run(3)]
+        costs_default = [r.social_cost for r in default.run(3)]
+        assert costs_by_name == pytest.approx(costs_default)
+
+    def test_prebuilt_online_mechanism_used_as_is(self):
+        base = build_platform(seed=5)
+        capacities = {
+            sid: s.share_capacity
+            for sid, s in base._services.items()
+            if s.share_capacity is not None
+        }
+        prebuilt = make_online("pay-as-bid", capacities, on_infeasible="skip")
+        platform = build_platform_with(prebuilt)
+        assert platform.auction is prebuilt
+        assert isinstance(platform.auction, OnlineMechanism)
+        platform.run(3)
+        assert platform.finalize().mechanism == "pay-as-bid"
+
+    def test_unknown_mechanism_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown mechanism"):
+            build_platform_with("made-up-auction")
+
+    def test_horizon_benchmark_rejected_as_platform_mechanism(self):
+        with pytest.raises(ConfigurationError, match="cannot"):
+            build_platform_with("offline-milp")
