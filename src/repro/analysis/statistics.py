@@ -42,6 +42,24 @@ class SummaryStats:
         return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
 
 
+def _finite_array(values: Sequence[float], what: str) -> np.ndarray:
+    """Validate a series is non-empty and finite before aggregating.
+
+    Every aggregator here funnels input through this check: a NaN or
+    ``inf`` in a measured series is an upstream bug (a diverged run, a
+    ratio against a zero optimum), and letting it slip through produces
+    NaN means/CIs that render as blank table cells instead of failing
+    the experiment — the silent-aggregation bug class fixed piecemeal in
+    ``mean_over_seeds`` and stamped out here for good.
+    """
+    if len(values) == 0:
+        raise ConfigurationError(f"{what} needs at least one value")
+    data = np.asarray(list(values), dtype=float)
+    if np.any(~np.isfinite(data)):
+        raise ConfigurationError(f"{what} got non-finite values in its series")
+    return data
+
+
 def bootstrap_ci(
     values: Sequence[float],
     *,
@@ -54,11 +72,9 @@ def bootstrap_ci(
     Deterministic for a given ``rng``; with one observation the interval
     degenerates to that point.
     """
-    if len(values) == 0:
-        raise ConfigurationError("bootstrap needs at least one value")
     if not 0.0 < confidence < 1.0:
         raise ConfigurationError(f"confidence must be in (0,1), got {confidence}")
-    data = np.asarray(list(values), dtype=float)
+    data = _finite_array(values, "bootstrap")
     if len(data) == 1:
         return float(data[0]), float(data[0])
     rng = rng if rng is not None else np.random.default_rng(0)
@@ -79,11 +95,7 @@ def summarize(
     rng: np.random.Generator | None = None,
 ) -> SummaryStats:
     """Full summary (mean/std/min/max/CI) of a measured series."""
-    if len(values) == 0:
-        raise ConfigurationError("cannot summarize an empty series")
-    data = np.asarray(list(values), dtype=float)
-    if np.any(~np.isfinite(data)):
-        raise ConfigurationError("series contains non-finite values")
+    data = _finite_array(values, "summarize")
     low, high = bootstrap_ci(data, confidence=confidence, rng=rng)
     return SummaryStats(
         mean=float(np.mean(data)),
@@ -110,14 +122,20 @@ def paired_delta(
             f"paired series must have equal length, got {len(baseline)} "
             f"vs {len(treatment)}"
         )
-    deltas = [t - b for b, t in zip(baseline, treatment)]
-    return summarize(deltas)
+    # Validate the inputs, not just the deltas: inf − inf = NaN would
+    # otherwise surface as a confusing complaint about the differences.
+    base = _finite_array(baseline, "paired_delta baseline")
+    treat = _finite_array(treatment, "paired_delta treatment")
+    return summarize(treat - base)
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean — the right average for performance *ratios*."""
-    if len(values) == 0:
-        raise ConfigurationError("geometric mean needs at least one value")
-    if any(v <= 0 for v in values):
+    """Geometric mean — the right average for performance *ratios*.
+
+    Rejects non-finite inputs outright: the old ``v <= 0`` screen let
+    NaN through (NaN compares false) and silently averaged ``inf``.
+    """
+    data = _finite_array(values, "geometric mean")
+    if np.any(data <= 0):
         raise ConfigurationError("geometric mean needs positive values")
-    return float(math.exp(np.mean(np.log(np.asarray(list(values))))))
+    return float(math.exp(np.mean(np.log(data))))

@@ -10,6 +10,7 @@ Usage::
     repro-edge-auction quickstart            # a tiny end-to-end demo
     repro-edge-auction mechanisms            # list the mechanism registry
     repro-edge-auction run --mechanism vcg   # one mechanism, one market
+    repro-edge-auction verify --mechanism ssam   # certify economic claims
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -235,6 +236,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify import certify, certify_all
+
+    if args.all:
+        reports = certify_all(instances=args.instances, seed=args.seed)
+    else:
+        reports = [
+            certify(
+                args.mechanism,
+                instances=args.instances,
+                seed=args.seed,
+                properties=args.properties or None,
+                engine=args.engine,
+            )
+        ]
+    for report in reports:
+        print(report.render())
+        print()
+    if args.report:
+        payload = (
+            [r.to_dict() for r in reports] if args.all
+            else reports[0].to_dict()
+        )
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    nonconforming = [r.mechanism for r in reports if not r.conforms]
+    if nonconforming:
+        print(
+            "certification FAILED (claims regressed): "
+            + ", ".join(nonconforming),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_quickstart(_: argparse.Namespace) -> int:
     from repro import MarketConfig, generate_horizon, run_msoa, run_ssam
     from repro.solvers import solve_wsp_optimal
@@ -334,6 +375,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: BENCH_engine.json)",
     )
     bench.set_defaults(fn=_cmd_bench)
+    verify = sub.add_parser(
+        "verify",
+        help="certify a mechanism's economic properties against its "
+        "declared claims",
+    )
+    verify.add_argument(
+        "--mechanism",
+        default="ssam",
+        metavar="NAME",
+        help="registry name to certify (see 'mechanisms'; default ssam)",
+    )
+    verify.add_argument(
+        "--all",
+        action="store_true",
+        help="certify every single/online registry mechanism (the CI sweep)",
+    )
+    verify.add_argument(
+        "--instances", type=int, default=50, metavar="N",
+        help="generated market instances per mechanism (default 50)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="root seed for the instance batch (default 0)",
+    )
+    verify.add_argument(
+        "--properties",
+        nargs="+",
+        default=None,
+        metavar="PROP",
+        help="restrict to these properties (default: all applicable)",
+    )
+    verify.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="selection engine for mechanisms that accept one",
+    )
+    verify.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the certification report JSON here",
+    )
+    verify.set_defaults(fn=_cmd_verify)
     sub.add_parser(
         "quickstart", help="tiny end-to-end demo"
     ).set_defaults(fn=_cmd_quickstart)

@@ -34,6 +34,7 @@ from typing import Any
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "CERTIFIABLE_PROPERTIES",
     "MechanismSpec",
     "register",
     "get_spec",
@@ -42,6 +43,20 @@ __all__ = [
     "mechanism_specs",
     "make_online",
 ]
+
+
+#: The economic properties :mod:`repro.verify` can certify.  A spec's
+#: ``claims`` set must be a subset; the certification suite asserts every
+#: claimed property PASSes and records failures of unclaimed properties
+#: as *expected* (pay-as-bid failing truthfulness is a feature, not a bug).
+CERTIFIABLE_PROPERTIES = frozenset({
+    "monotonicity",
+    "critical-payment",
+    "truthfulness",
+    "individual-rationality",
+    "feasibility",
+    "approximation",
+})
 
 
 @dataclass(frozen=True)
@@ -73,6 +88,11 @@ class MechanismSpec:
     loader:
         Zero-argument callable resolving the mechanism callable; imports
         live inside it so registration never pulls heavy modules.
+    claims:
+        Which :data:`CERTIFIABLE_PROPERTIES` the mechanism is *expected*
+        to satisfy.  :func:`repro.verify.certify` asserts every claimed
+        property holds on generated instances, and reports failures of
+        unclaimed properties as expected (both directions are checked).
     """
 
     name: str
@@ -85,6 +105,7 @@ class MechanismSpec:
     payment_rule: str
     loader: Callable[[], Callable[..., Any]]
     options: frozenset[str] = field(default_factory=frozenset)
+    claims: frozenset[str] = field(default_factory=frozenset)
 
 
 _REGISTRY: dict[str, MechanismSpec] = {}
@@ -100,6 +121,13 @@ def register(spec: MechanismSpec) -> MechanismSpec:
         raise ConfigurationError(
             f"mechanism kind must be 'single', 'online' or 'horizon', "
             f"got {spec.kind!r}"
+        )
+    unknown_claims = set(spec.claims) - CERTIFIABLE_PROPERTIES
+    if unknown_claims:
+        raise ConfigurationError(
+            f"mechanism {spec.name!r} claims unknown properties "
+            f"{sorted(unknown_claims)}; certifiable: "
+            f"{sorted(CERTIFIABLE_PROPERTIES)}"
         )
     _REGISTRY[spec.name] = spec
     return spec
@@ -290,6 +318,7 @@ register(MechanismSpec(
     payment_rule="critical-value",
     loader=_load_ssam,
     options=frozenset({"payment_rule", "parallelism", "guard", "engine"}),
+    claims=CERTIFIABLE_PROPERTIES,
 ))
 register(MechanismSpec(
     name="ssam-reference",
@@ -302,6 +331,7 @@ register(MechanismSpec(
     payment_rule="critical-value",
     loader=_load_ssam_reference,
     options=frozenset({"payment_rule", "parallelism", "guard"}),
+    claims=CERTIFIABLE_PROPERTIES,
 ))
 register(MechanismSpec(
     name="vcg",
@@ -313,6 +343,13 @@ register(MechanismSpec(
     complete=True,
     payment_rule="clarke-pivot",
     loader=_load_vcg,
+    # Clarke-pivot payments are computed against the whole *seller*'s
+    # removal, not one bid's price axis, so the per-bid bisection oracle
+    # does not apply (critical-payment deliberately unclaimed).
+    claims=frozenset({
+        "monotonicity", "truthfulness", "individual-rationality",
+        "feasibility", "approximation",
+    }),
 ))
 register(MechanismSpec(
     name="pay-as-bid",
@@ -324,6 +361,12 @@ register(MechanismSpec(
     complete=True,
     payment_rule="pay-as-bid",
     loader=_load_pay_as_bid,
+    # Same monotone allocation as SSAM, but paying announced prices is
+    # manipulable: truthfulness and critical payments are *expected* to
+    # fail, and the certification suite records exactly that.
+    claims=frozenset({
+        "monotonicity", "individual-rationality", "feasibility",
+    }),
 ))
 register(MechanismSpec(
     name="posted-price",
@@ -336,6 +379,10 @@ register(MechanismSpec(
     payment_rule="posted-price",
     loader=_load_posted_price,
     options=frozenset({"unit_price"}),
+    # Selection keys off true per-unit cost, never the announced price,
+    # so misreports are inert (truthful, monotone) — but the flat price
+    # can under-cover demand and underpay high-price bids.
+    claims=frozenset({"monotonicity", "truthfulness"}),
 ))
 register(MechanismSpec(
     name="random",
@@ -349,6 +396,9 @@ register(MechanismSpec(
     payment_rule="pay-as-bid",
     loader=_load_random,
     options=frozenset({"rng", "seed"}),
+    # Selection is price-blind (a seeded shuffle), so re-pricing a bid
+    # never costs it the win; payments equal announced prices.
+    claims=frozenset({"monotonicity", "individual-rationality"}),
 ))
 for _variant, _summary in (
     ("density", "SSAM's ranking key (reproduces its allocation)"),
@@ -365,6 +415,12 @@ for _variant, _summary in (
         complete=True,
         payment_rule="pay-as-bid",
         loader=_load_greedy(_variant),
+        # Every ranking key is non-increasing in the bid's own price, so
+        # allocation stays monotone; pay-as-bid payments break
+        # truthfulness exactly as they do for the pay-as-bid entry.
+        claims=frozenset({
+            "monotonicity", "individual-rationality", "feasibility",
+        }),
     ))
 register(MechanismSpec(
     name="msoa",
@@ -379,6 +435,11 @@ register(MechanismSpec(
     options=frozenset({
         "alpha", "payment_rule", "parallelism", "guard", "engine",
     }),
+    # Online certification drives whole horizons: per-round coverage plus
+    # capacity discipline (feasibility) and per-round IR are checkable;
+    # the single-round counterfactual probes are not (round t's scaled
+    # prices depend on rounds < t).
+    claims=frozenset({"individual-rationality", "feasibility"}),
 ))
 register(MechanismSpec(
     name="offline-milp",

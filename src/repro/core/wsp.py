@@ -139,6 +139,47 @@ class WSPInstance:
             bids=replaced, demand=self.demand, price_ceiling=self.price_ceiling
         )
 
+    def bid_by_key(self, key: tuple[int, int]) -> Bid:
+        """The bid with ``(seller, index)`` key ``key`` (ConfigurationError
+        if absent)."""
+        for bid in self.bids:
+            if bid.key == key:
+                return bid
+        raise ConfigurationError(f"no existing bid with key {key}")
+
+    def perturb_bid(self, key: tuple[int, int], price: float) -> "WSPInstance":
+        """The same instance with bid ``key`` re-priced at ``price``.
+
+        The bid's private cost is pinned to its current :attr:`Bid.cost`,
+        so the perturbation models a unilateral *misreport*: the economics
+        audits (monotonicity probes, the critical-payment bisection oracle,
+        truthfulness sweeps in :mod:`repro.verify`) all edit instances
+        through this one helper.
+        """
+        return self.replace_bid(self.bid_by_key(key).with_price(price))
+
+    def restrict_seller_to(self, key: tuple[int, int]) -> "WSPInstance":
+        """Drop the keyed bid's sibling alternatives (same seller).
+
+        This is the single-parameter projection behind the paper's
+        truthfulness proof (Theorem 4): with its alternative bids held
+        out, a seller's strategy space collapses to the one price of bid
+        ``key``, which is exactly the setting where monotone allocation
+        plus critical payments imply truthfulness.  With siblings left
+        in, a seller can inflate one alternative to prop up the critical
+        payment of another — a menu deviation the theorem does not cover.
+        """
+        anchor = self.bid_by_key(key)  # validates the key exists
+        return WSPInstance(
+            bids=tuple(
+                bid
+                for bid in self.bids
+                if bid.seller != anchor.seller or bid.key == key
+            ),
+            demand=self.demand,
+            price_ceiling=self.price_ceiling,
+        )
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------

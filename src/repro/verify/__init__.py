@@ -1,0 +1,52 @@
+"""Economic-property certification for registered mechanisms.
+
+The paper proves SSAM truthful (Theorem 4), individually rational
+(Theorem 5), and H(n)·Ξ-approximate (Theorem 3); this package turns
+those theorems into executable certificates.  :func:`certify` runs any
+registry mechanism over a seeded instance batch, checks each property
+empirically (including an engine-independent bisection oracle for
+critical payments), and reports conformance against the mechanism's
+declared :attr:`~repro.core.registry.MechanismSpec.claims`.
+
+Typical usage::
+
+    from repro.verify import certify
+
+    report = certify("ssam", instances=50, seed=7)
+    assert report.conforms
+    print(report.render())
+
+or from the shell: ``python -m repro verify --mechanism ssam``.
+"""
+
+from repro.verify.engine import (
+    PROPERTY_ORDER,
+    certifiable_mechanisms,
+    certify,
+    certify_all,
+)
+from repro.verify.oracle import CriticalPriceBracket, bisect_critical_price
+from repro.verify.properties import CheckSettings, MechanismUnderTest
+from repro.verify.report import (
+    REPORT_SCHEMA_VERSION,
+    CertificationReport,
+    PropertyResult,
+    PropertyStatus,
+    Violation,
+)
+
+__all__ = [
+    "certify",
+    "certify_all",
+    "certifiable_mechanisms",
+    "PROPERTY_ORDER",
+    "CertificationReport",
+    "PropertyResult",
+    "PropertyStatus",
+    "Violation",
+    "REPORT_SCHEMA_VERSION",
+    "CheckSettings",
+    "MechanismUnderTest",
+    "CriticalPriceBracket",
+    "bisect_critical_price",
+]

@@ -1,0 +1,141 @@
+"""Independent critical-payment oracle: bisection on the bid-price axis.
+
+Myerson's characterization (the paper's Lemmas 2–3) says a monotone
+mechanism is truthful iff each winner is paid its *critical value* — the
+supremum announced price at which its bid still wins, everything else
+held fixed.  SSAM's engines compute that value analytically by replaying
+the greedy (:func:`repro.core.ssam._critical_payment` and its fast
+counterpart); this module recovers the same number **without any engine
+internals**, by treating the mechanism as a black-box allocation function
+and bisecting the win/lose boundary along the bid's own price axis.
+
+Because the two computations share no code, their agreement (asserted by
+the certification suite on hundreds of generated instances, for both the
+fast and the reference engine) is the strongest correctness evidence the
+repo has for the payment rule — and the safety net that lets future
+performance work on the payment path prove it changed nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
+
+__all__ = ["CriticalPriceBracket", "bisect_critical_price"]
+
+#: An allocation function: instance → winning bid keys.  Payments are
+#: irrelevant here, so callers should wire the cheapest payment rule the
+#: mechanism supports (the oracle never reads them).
+Allocator = Callable[[WSPInstance], frozenset]
+
+
+@dataclass(frozen=True)
+class CriticalPriceBracket:
+    """The bisection oracle's verdict for one winning bid.
+
+    Attributes
+    ----------
+    key:
+        The probed bid's ``(seller, index)`` key.
+    threshold:
+        Midpoint of the final win/lose bracket — the supremum winning
+        price up to ``tolerance`` (``inf`` when :attr:`capped`).
+    lo / hi:
+        The final bracket: the bid still wins at ``lo`` and already
+        loses at ``hi``.
+    capped:
+        True when the bid wins even at the probe ceiling — it is pivotal
+        (no competitor can replace it), so its critical value is bounded
+        only by the instance's public price-ceiling policy, which the
+        oracle deliberately does not model.
+    evaluations:
+        How many allocation calls the probe consumed.
+    """
+
+    key: tuple[int, int]
+    threshold: float
+    lo: float
+    hi: float
+    capped: bool
+    evaluations: int
+
+
+def bisect_critical_price(
+    allocate: Allocator,
+    instance: WSPInstance,
+    key: tuple[int, int],
+    *,
+    probe_ceiling: float | None = None,
+    tolerance: float = 1e-6,
+    max_iterations: int = 80,
+) -> CriticalPriceBracket:
+    """Bisect the supremum price at which bid ``key`` still wins.
+
+    Requires the bid to win at its announced price (it should come from a
+    real outcome's winner list) — that win anchors the bracket's low end;
+    the probe ceiling anchors the high end.  Monotonicity of the
+    allocation (Lemma 2) is what makes the win predicate a step function
+    of the price, hence bisectable; the monotonicity property check
+    certifies that premise separately.
+
+    Parameters
+    ----------
+    allocate:
+        Black-box allocation: ``instance → frozenset of winning keys``.
+    probe_ceiling:
+        Upper end of the search.  Defaults to a price strictly above any
+        value the engines can pay (``size · effective_ceiling`` is their
+        pivotal cap), so "wins even here" cleanly identifies pivotal bids.
+    tolerance:
+        Absolute bracket width at which bisection stops.
+    """
+    bid = instance.bid_by_key(key)
+    if probe_ceiling is None:
+        probe_ceiling = bid.size * instance.effective_ceiling * 1.25 + 1.0
+    if probe_ceiling <= bid.price:
+        raise ConfigurationError(
+            f"probe ceiling {probe_ceiling} must exceed the bid's "
+            f"announced price {bid.price}"
+        )
+    evaluations = 0
+
+    def wins(price: float) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        return key in allocate(instance.perturb_bid(key, price))
+
+    if not wins(bid.price):
+        raise ConfigurationError(
+            f"bid {key} does not win at its announced price {bid.price}; "
+            "the oracle must be anchored on a real winner"
+        )
+    if wins(probe_ceiling):
+        return CriticalPriceBracket(
+            key=key,
+            threshold=math.inf,
+            lo=probe_ceiling,
+            hi=math.inf,
+            capped=True,
+            evaluations=evaluations,
+        )
+    lo, hi = bid.price, probe_ceiling
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance:
+            break
+        mid = 0.5 * (lo + hi)
+        if wins(mid):
+            lo = mid
+        else:
+            hi = mid
+    return CriticalPriceBracket(
+        key=key,
+        threshold=0.5 * (lo + hi),
+        lo=lo,
+        hi=hi,
+        capped=False,
+        evaluations=evaluations,
+    )

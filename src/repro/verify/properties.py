@@ -1,0 +1,384 @@
+"""The individual economic-property checks behind `repro verify`.
+
+Each function certifies one of the paper's claimed properties on one
+concrete instance/outcome pair and returns ``(assertions_evaluated,
+violations)``; the certification engine (:mod:`repro.verify.engine`)
+aggregates them over a seeded instance batch into a
+:class:`~repro.verify.report.CertificationReport`.
+
+Property ↔ theorem map
+----------------------
+``monotonicity``
+    Lemma 2: the allocation rule is monotone — a winner that *lowers*
+    its announced price keeps winning.  Checked by re-running the
+    allocation on price-perturbed instances.
+``critical-payment``
+    Lemma 3: each winner's payment equals the supremum price at which
+    its bid still wins.  Checked against the engine-independent
+    bisection oracle (:mod:`repro.verify.oracle`).
+``truthfulness``
+    Theorem 4: reporting the true cost is a dominant strategy.  Checked
+    by misreport sweeps over a multiplicative price grid in the
+    single-parameter projection (the deviating seller's alternative
+    bids held out, as in the theorem's proof) — the seller's
+    quasi-linear utility must be maximized at the truthful report.
+``individual-rationality``
+    Theorem 5: every winner is paid at least its announced price.
+``feasibility``
+    Theorem 2: the winner set covers every buyer's full demand (and, for
+    online runs, never exceeds any seller's long-run capacity — checked
+    by the engine's horizon driver).
+``approximation``
+    Theorem 3: the social cost stays within the ``W·Ξ`` (harmonic ×
+    price-spread) envelope of the LP-relaxation lower bound from
+    :mod:`repro.solvers.lp_relax`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.outcomes import AuctionOutcome, WinningBid
+from repro.core.ratios import ssam_ratio_bound
+from repro.core.wsp import WSPInstance
+from repro.errors import InfeasibleInstanceError, MechanismError
+from repro.solvers.lp_relax import solve_lp_relaxation
+from repro.verify.oracle import bisect_critical_price
+from repro.verify.report import Violation
+
+__all__ = [
+    "CheckSettings",
+    "MechanismUnderTest",
+    "check_monotonicity",
+    "check_critical_payment",
+    "check_truthfulness",
+    "check_individual_rationality",
+    "check_feasibility",
+    "check_approximation",
+    "SINGLE_ROUND_CHECKS",
+]
+
+
+@dataclass(frozen=True)
+class CheckSettings:
+    """Tunables of the per-instance probes (defaults fit CI budgets).
+
+    The counterfactual probes re-run the mechanism many times per
+    instance, so the ``max_*_bids`` caps bound the certification cost
+    per instance while the batch size (``--instances``) controls overall
+    statistical coverage.
+    """
+
+    tolerance: float = 1e-6
+    #: |payment − bisection threshold| allowed, absolute and relative.
+    payment_match_tolerance: float = 1e-4
+    #: Price multipliers for the monotonicity probe (all < 1: lowering
+    #: a winner's price must never cost it the win).
+    monotonicity_factors: tuple[float, ...] = (0.5, 0.05)
+    #: Price multipliers for the misreport sweep (straddling truth).
+    misreport_factors: tuple[float, ...] = (0.5, 0.8, 0.95, 1.1, 1.4, 2.0)
+    max_monotonicity_bids: int = 3
+    max_critical_bids: int = 2
+    max_truthfulness_bids: int = 3
+    bisection_tolerance: float = 1e-6
+
+
+@dataclass(frozen=True)
+class MechanismUnderTest:
+    """A mechanism wired for certification.
+
+    ``runner`` is the full mechanism (real payments); ``allocate`` is
+    the cheapest allocation-equivalent run the mechanism supports (the
+    oracle and the monotonicity probe never read payments, so e.g. SSAM
+    is probed under the runner-up rule to skip the critical re-runs).
+    Both must be deterministic for the probes to be meaningful —
+    stochastic mechanisms are pinned to a per-instance seed by the
+    engine.
+    """
+
+    name: str
+    runner: Callable[[WSPInstance], AuctionOutcome]
+    allocate: Callable[[WSPInstance], frozenset]
+
+
+CheckResult = tuple[int, list[Violation]]
+
+
+def _sample_winners(
+    outcome: AuctionOutcome, limit: int
+) -> Sequence[WinningBid]:
+    """The first ``limit`` winners in greedy-acceptance order."""
+    return outcome.winners[:limit]
+
+
+def check_individual_rationality(
+    mut: MechanismUnderTest,
+    instance: WSPInstance,
+    outcome: AuctionOutcome,
+    index: int,
+    settings: CheckSettings,
+) -> CheckResult:
+    """Theorem 5: no winner is ever paid below its announced price."""
+    violations = []
+    for winner in outcome.winners:
+        if winner.payment < winner.bid.price - settings.tolerance:
+            violations.append(Violation(
+                instance_index=index,
+                bid_key=winner.bid.key,
+                detail=(
+                    f"winner paid {winner.payment:.6f} below its announced "
+                    f"price {winner.bid.price:.6f}"
+                ),
+                observed=winner.payment,
+                expected=winner.bid.price,
+            ))
+    return len(outcome.winners), violations
+
+
+def check_feasibility(
+    mut: MechanismUnderTest,
+    instance: WSPInstance,
+    outcome: AuctionOutcome,
+    index: int,
+    settings: CheckSettings,
+) -> CheckResult:
+    """Theorem 2: the winner set is primal feasible (full coverage)."""
+    violations = []
+    try:
+        outcome.verify()
+    except (InfeasibleInstanceError, MechanismError) as error:
+        violations.append(Violation(
+            instance_index=index,
+            detail=f"winner set is not primal feasible: {error}",
+            observed=float(outcome.unmet_units),
+            expected=0.0,
+        ))
+    return 1, violations
+
+
+def check_monotonicity(
+    mut: MechanismUnderTest,
+    instance: WSPInstance,
+    outcome: AuctionOutcome,
+    index: int,
+    settings: CheckSettings,
+) -> CheckResult:
+    """Lemma 2: lowering a winner's announced price keeps it winning."""
+    checked = 0
+    violations = []
+    for winner in _sample_winners(outcome, settings.max_monotonicity_bids):
+        key = winner.bid.key
+        for factor in settings.monotonicity_factors:
+            lowered = winner.bid.price * factor
+            if lowered >= winner.bid.price:
+                continue  # only price *cuts* are monotonicity evidence
+            checked += 1
+            try:
+                still_wins = key in mut.allocate(
+                    instance.perturb_bid(key, lowered)
+                )
+            except InfeasibleInstanceError:
+                continue  # a stuck counterfactual proves nothing
+            if not still_wins:
+                violations.append(Violation(
+                    instance_index=index,
+                    bid_key=key,
+                    detail=(
+                        f"winner lost after lowering its price from "
+                        f"{winner.bid.price:.6f} to {lowered:.6f}"
+                    ),
+                    observed=lowered,
+                    expected=winner.bid.price,
+                ))
+    return checked, violations
+
+
+def check_critical_payment(
+    mut: MechanismUnderTest,
+    instance: WSPInstance,
+    outcome: AuctionOutcome,
+    index: int,
+    settings: CheckSettings,
+) -> CheckResult:
+    """Lemma 3: payments equal the bisection oracle's critical prices.
+
+    Pivotal winners (still winning at the probe ceiling) have no finite
+    bisection threshold; for them the engines apply the public
+    price-ceiling cap, so the check degrades to the cap's sanity range
+    ``[announced price, size · effective ceiling]``.
+    """
+    checked = 0
+    violations = []
+    ceiling = instance.effective_ceiling
+    for winner in _sample_winners(outcome, settings.max_critical_bids):
+        key = winner.bid.key
+        bracket = bisect_critical_price(
+            mut.allocate,
+            instance,
+            key,
+            tolerance=settings.bisection_tolerance,
+        )
+        checked += 1
+        if bracket.capped:
+            cap = winner.bid.size * ceiling
+            if not (
+                winner.bid.price - settings.tolerance
+                <= winner.payment
+                <= cap + settings.tolerance
+            ):
+                violations.append(Violation(
+                    instance_index=index,
+                    bid_key=key,
+                    detail=(
+                        f"pivotal winner paid {winner.payment:.6f} outside "
+                        f"the ceiling-cap range [{winner.bid.price:.6f}, "
+                        f"{cap:.6f}]"
+                    ),
+                    observed=winner.payment,
+                    expected=cap,
+                ))
+            continue
+        allowed = settings.payment_match_tolerance * max(
+            1.0, abs(bracket.threshold)
+        )
+        if abs(winner.payment - bracket.threshold) > allowed:
+            violations.append(Violation(
+                instance_index=index,
+                bid_key=key,
+                detail=(
+                    f"payment {winner.payment:.6f} disagrees with the "
+                    f"bisection critical price {bracket.threshold:.6f} "
+                    f"(bracket [{bracket.lo:.6f}, {bracket.hi:.6f}])"
+                ),
+                observed=winner.payment,
+                expected=bracket.threshold,
+            ))
+    return checked, violations
+
+
+def check_truthfulness(
+    mut: MechanismUnderTest,
+    instance: WSPInstance,
+    outcome: AuctionOutcome,
+    index: int,
+    settings: CheckSettings,
+) -> CheckResult:
+    """Theorem 4: no unilateral misreport beats the truthful report.
+
+    The sweep certifies the theorem in the model it is proved in — the
+    single-parameter projection: each sampled bid is probed on the
+    instance with its seller's *alternative* bids held out
+    (:meth:`WSPInstance.restrict_seller_to`), so the seller's strategy
+    is the one announced price.  (With siblings left in, any
+    critical-payment mechanism is gameable: inflating one alternative
+    props up the payment of the other — a menu deviation outside
+    Theorem 4.)  On the projected instance the truthful baseline is
+    re-run (generated bids are truthful, ``price == cost``), then each
+    misreport on the grid is run and the seller's quasi-linear utility —
+    evaluated at its *true* cost throughout, via
+    :meth:`WSPInstance.perturb_bid`'s cost pinning — must not improve.
+    """
+    checked = 0
+    violations = []
+    winner_keys = outcome.winner_keys
+    # Winners first (they can gain by over-asking under naive payments),
+    # then losers (they can gain by under-asking below cost).
+    ordered = sorted(
+        instance.bids, key=lambda bid: (bid.key not in winner_keys,) + bid.key
+    )
+    for bid in ordered[: settings.max_truthfulness_bids]:
+        projected = instance.restrict_seller_to(bid.key)
+        try:
+            truthful_utility = mut.runner(projected).utility_of(bid.seller)
+        except InfeasibleInstanceError:
+            continue  # the projection broke the market; nothing to probe
+        for factor in settings.misreport_factors:
+            misreport = bid.cost * factor
+            if abs(misreport - bid.price) <= settings.tolerance:
+                continue
+            checked += 1
+            try:
+                deviated = mut.runner(projected.perturb_bid(bid.key, misreport))
+            except InfeasibleInstanceError:
+                continue  # the deviation broke the market; no utility gained
+            gain = deviated.utility_of(bid.seller) - truthful_utility
+            scale = max(1.0, abs(truthful_utility))
+            if gain > settings.tolerance * scale:
+                violations.append(Violation(
+                    instance_index=index,
+                    bid_key=bid.key,
+                    detail=(
+                        f"misreporting {misreport:.6f} instead of the true "
+                        f"cost {bid.cost:.6f} raises the seller's utility "
+                        f"by {gain:.6f}"
+                    ),
+                    observed=deviated.utility_of(bid.seller),
+                    expected=truthful_utility,
+                ))
+    return checked, violations
+
+
+def check_approximation(
+    mut: MechanismUnderTest,
+    instance: WSPInstance,
+    outcome: AuctionOutcome,
+    index: int,
+    settings: CheckSettings,
+) -> CheckResult:
+    """Theorem 3: social cost ≤ bound × LP-relaxation lower bound.
+
+    Two assertions per instance: the outcome respects the ratio bound it
+    reports, and that reported bound never exceeds the independently
+    recomputed ``W·Ξ`` envelope (harmonic number of the demand units ×
+    the worst per-seller price spread).  Mechanisms that publish no
+    bound (``ratio_bound = nan``) are skipped.
+    """
+    if not math.isfinite(outcome.ratio_bound):
+        return 0, []
+    checked = 0
+    violations = []
+    lp = solve_lp_relaxation(instance)
+    envelope = ssam_ratio_bound(instance.total_demand, instance.bids)
+    checked += 1
+    limit = outcome.ratio_bound * lp.objective
+    if outcome.social_cost > limit + settings.tolerance * max(1.0, limit):
+        violations.append(Violation(
+            instance_index=index,
+            detail=(
+                f"social cost {outcome.social_cost:.6f} exceeds its ratio "
+                f"bound {outcome.ratio_bound:.4f} × LP lower bound "
+                f"{lp.objective:.6f}"
+            ),
+            observed=outcome.social_cost,
+            expected=limit,
+        ))
+    checked += 1
+    if (
+        math.isfinite(envelope)
+        and outcome.ratio_bound > envelope + settings.tolerance
+    ):
+        violations.append(Violation(
+            instance_index=index,
+            detail=(
+                f"reported ratio bound {outcome.ratio_bound:.6f} exceeds "
+                f"the W·Ξ envelope {envelope:.6f}"
+            ),
+            observed=outcome.ratio_bound,
+            expected=envelope,
+        ))
+    return checked, violations
+
+
+#: Property name → per-instance checker, in report order.  The engine's
+#: online driver handles ``feasibility``/``individual-rationality`` for
+#: horizon runs itself; everything here is single-round.
+SINGLE_ROUND_CHECKS: dict[str, Callable[..., CheckResult]] = {
+    "feasibility": check_feasibility,
+    "individual-rationality": check_individual_rationality,
+    "monotonicity": check_monotonicity,
+    "critical-payment": check_critical_payment,
+    "truthfulness": check_truthfulness,
+    "approximation": check_approximation,
+}

@@ -1,0 +1,308 @@
+"""Machine-readable certification reports (the `repro.verify` output).
+
+A :class:`CertificationReport` is the contract between the certification
+engine, the CLI, and CI: one :class:`PropertyResult` per economic
+property, each carrying its verdict, how many assertions were evaluated,
+and the first few concrete :class:`Violation` counterexamples.  Reports
+serialize to JSON (``to_dict``/``from_dict``) so CI can archive them as
+artifacts and diff a mechanism's behaviour against its declared
+:attr:`~repro.core.registry.MechanismSpec.claims` across commits.
+
+Verdict semantics
+-----------------
+``PASS``
+    Every evaluated assertion held.
+``FAIL``
+    At least one counterexample was found.  A FAIL on a property the
+    mechanism does not claim is *expected* (pay-as-bid failing
+    truthfulness is the paper's Figure 3(b) point, not a regression) and
+    does not break conformance.
+``SKIP``
+    The property was not evaluated (not applicable to the mechanism's
+    kind, or no theoretical bound to check against).  A *claimed*
+    property that SKIPs breaks conformance — a claim must be checkable.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.registry import CERTIFIABLE_PROPERTIES
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PropertyStatus",
+    "Violation",
+    "PropertyResult",
+    "CertificationReport",
+    "REPORT_SCHEMA_VERSION",
+]
+
+REPORT_SCHEMA_VERSION = 1
+"""Version tag embedded in every serialized report (bump on breaking
+changes to the ``to_dict`` schema)."""
+
+#: How many concrete counterexamples a property result retains; the
+#: total violation count is always exact (``violation_count``).
+MAX_RECORDED_VIOLATIONS = 5
+
+
+class PropertyStatus(enum.Enum):
+    """Verdict of one property over the whole instance batch."""
+
+    PASS = "PASS"
+    FAIL = "FAIL"
+    SKIP = "SKIP"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concrete counterexample to an economic property.
+
+    Attributes
+    ----------
+    instance_index:
+        Which generated instance (0-based within the batch) produced it;
+        together with the report's seed this reproduces the market.
+    bid_key:
+        The offending bid's ``(seller, index)`` key, when the violation
+        is bid-local (``None`` for instance-level violations such as
+        uncovered demand).
+    detail:
+        Human-readable description of what went wrong.
+    observed / expected:
+        The measured and required quantities, when numeric (``None``
+        otherwise); e.g. the engine payment vs. the bisection threshold.
+    """
+
+    instance_index: int
+    detail: str
+    bid_key: tuple[int, int] | None = None
+    observed: float | None = None
+    expected: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "instance_index": self.instance_index,
+            "detail": self.detail,
+            "bid_key": list(self.bid_key) if self.bid_key else None,
+            "observed": self.observed,
+            "expected": self.expected,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Violation":
+        """Rebuild a violation from its :meth:`to_dict` form."""
+        key = data.get("bid_key")
+        return Violation(
+            instance_index=int(data["instance_index"]),
+            detail=str(data["detail"]),
+            bid_key=(int(key[0]), int(key[1])) if key else None,
+            observed=data.get("observed"),
+            expected=data.get("expected"),
+        )
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """One property's verdict over the certified instance batch."""
+
+    name: str
+    status: PropertyStatus
+    checked: int
+    claimed: bool
+    violation_count: int = 0
+    violations: tuple[Violation, ...] = ()
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.name not in CERTIFIABLE_PROPERTIES:
+            raise ConfigurationError(
+                f"unknown property {self.name!r}; certifiable: "
+                f"{sorted(CERTIFIABLE_PROPERTIES)}"
+            )
+
+    @property
+    def conforms(self) -> bool:
+        """Whether this result is consistent with the mechanism's claim.
+
+        Claimed properties must PASS (a claimed SKIP is a broken claim);
+        unclaimed properties conform whatever their verdict — their FAILs
+        are recorded as expected, not punished.
+        """
+        if not self.claimed:
+            return True
+        return self.status is PropertyStatus.PASS
+
+    @property
+    def expected_failure(self) -> bool:
+        """A FAIL on an unclaimed property (informative, never gating)."""
+        return self.status is PropertyStatus.FAIL and not self.claimed
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "status": self.status.value,
+            "checked": self.checked,
+            "claimed": self.claimed,
+            "conforms": self.conforms,
+            "violation_count": self.violation_count,
+            "violations": [v.to_dict() for v in self.violations],
+            "note": self.note,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "PropertyResult":
+        """Rebuild a property result from its :meth:`to_dict` form."""
+        return PropertyResult(
+            name=str(data["name"]),
+            status=PropertyStatus(data["status"]),
+            checked=int(data["checked"]),
+            claimed=bool(data["claimed"]),
+            violation_count=int(data.get("violation_count", 0)),
+            violations=tuple(
+                Violation.from_dict(v) for v in data.get("violations", ())
+            ),
+            note=str(data.get("note", "")),
+        )
+
+
+def _result_from_violations(
+    name: str,
+    *,
+    checked: int,
+    claimed: bool,
+    violations: Sequence[Violation],
+    note: str = "",
+) -> PropertyResult:
+    """Fold raw violations into a :class:`PropertyResult` verdict."""
+    if checked == 0:
+        return PropertyResult(
+            name=name,
+            status=PropertyStatus.SKIP,
+            checked=0,
+            claimed=claimed,
+            note=note or "no assertions evaluated",
+        )
+    status = PropertyStatus.FAIL if violations else PropertyStatus.PASS
+    return PropertyResult(
+        name=name,
+        status=status,
+        checked=checked,
+        claimed=claimed,
+        violation_count=len(violations),
+        violations=tuple(violations[:MAX_RECORDED_VIOLATIONS]),
+        note=note,
+    )
+
+
+@dataclass(frozen=True)
+class CertificationReport:
+    """Certification of one mechanism against the paper's properties.
+
+    ``conforms`` is the CI gate: every property the registry spec
+    *claims* must PASS; unclaimed properties may fail freely (their
+    failures are surfaced through :attr:`expected_failures`).
+    """
+
+    mechanism: str
+    kind: str
+    seed: int
+    instances: int
+    results: tuple[PropertyResult, ...]
+    market: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def conforms(self) -> bool:
+        """Whether every claimed property PASSed (the CI gate)."""
+        return all(result.conforms for result in self.results)
+
+    @property
+    def expected_failures(self) -> tuple[str, ...]:
+        """Unclaimed properties that failed, as the claims predicted."""
+        return tuple(
+            result.name for result in self.results if result.expected_failure
+        )
+
+    def result_for(self, name: str) -> PropertyResult:
+        """The result for property ``name`` (ConfigurationError if absent)."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise ConfigurationError(
+            f"report for {self.mechanism!r} has no property {name!r}; "
+            f"present: {', '.join(r.name for r in self.results)}"
+        )
+
+    def to_dict(self) -> dict:
+        """One JSON-compatible schema for CI artifacts and the CLI."""
+        return {
+            "kind": "certification",
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "mechanism": self.mechanism,
+            "mechanism_kind": self.kind,
+            "seed": self.seed,
+            "instances": self.instances,
+            "conforms": self.conforms,
+            "expected_failures": list(self.expected_failures),
+            "market": dict(self.market),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "CertificationReport":
+        """Rebuild a report from its :meth:`to_dict` form."""
+        if data.get("kind") != "certification":
+            raise ConfigurationError(
+                f"serialized report has kind {data.get('kind')!r}, "
+                "expected 'certification'"
+            )
+        version = data.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported report schema version {version!r} "
+                f"(this build reads version {REPORT_SCHEMA_VERSION})"
+            )
+        return CertificationReport(
+            mechanism=str(data["mechanism"]),
+            kind=str(data["mechanism_kind"]),
+            seed=int(data["seed"]),
+            instances=int(data["instances"]),
+            results=tuple(
+                PropertyResult.from_dict(r) for r in data["results"]
+            ),
+            market=dict(data.get("market", {})),
+        )
+
+    def render(self) -> str:
+        """Plain-text verdict table for the CLI."""
+        lines = [
+            f"certification: {self.mechanism} ({self.kind}) — "
+            f"{self.instances} instances, seed {self.seed}",
+        ]
+        header = f"  {'property':<24} {'status':<6} {'checked':>7}  verdict"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for result in self.results:
+            if result.claimed:
+                verdict = "ok" if result.conforms else "REGRESSION"
+            elif result.status is PropertyStatus.FAIL:
+                verdict = "expected failure"
+            else:
+                verdict = "unclaimed"
+            lines.append(
+                f"  {result.name:<24} {result.status.value:<6} "
+                f"{result.checked:>7}  {verdict}"
+            )
+            for violation in result.violations[:2]:
+                lines.append(f"      #{violation.instance_index}: "
+                             f"{violation.detail}")
+        lines.append(
+            f"  => {'CONFORMS' if self.conforms else 'DOES NOT CONFORM'} "
+            "to declared claims"
+        )
+        return "\n".join(lines)

@@ -65,6 +65,27 @@ class TestSummaries:
         with pytest.raises(ConfigurationError):
             geometric_mean([])
 
+    # Regressions for the silent non-finite aggregation bug: every
+    # aggregator must raise loudly instead of emitting NaN summaries.
+    @pytest.mark.parametrize("poison", [float("nan"), float("inf"), -float("inf")])
+    def test_bootstrap_ci_rejects_nonfinite(self, poison):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            bootstrap_ci([1.0, 2.0, poison])
+
+    @pytest.mark.parametrize("poison", [float("nan"), float("inf")])
+    def test_geometric_mean_rejects_nonfinite(self, poison):
+        # NaN used to slip through the ``v <= 0`` screen (NaN compares
+        # false) and inf was averaged silently.
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            geometric_mean([1.0, 2.0, poison])
+
+    def test_paired_delta_rejects_nonfinite_inputs(self):
+        # inf − inf = NaN: the inputs must be rejected, not the deltas.
+        with pytest.raises(ConfigurationError, match="baseline"):
+            paired_delta([float("inf"), 1.0], [2.0, 2.0])
+        with pytest.raises(ConfigurationError, match="treatment"):
+            paired_delta([1.0, 1.0], [float("nan"), 2.0])
+
 
 class TestVisualize:
     def test_sparkline_shape(self):

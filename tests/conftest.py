@@ -1,0 +1,82 @@
+"""Shared fixtures: seeded RNGs and market-instance factories.
+
+Before these existed every test module hand-rolled its own
+``small_instance(seed)`` helper around :class:`MarketConfig` +
+:func:`generate_round`; the copies drifted in their defaults, and a
+change to the generator's signature meant touching a dozen files.  All
+instance construction in the suite now funnels through the factories
+below.  (Hypothesis-driven property tests are the exception: ``@given``
+cannot consume function-scoped fixtures, so they keep drawing from
+``tests/properties/strategies.py``.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload.bidgen import MarketConfig, generate_horizon, generate_round
+
+#: The suite-wide defaults for generated markets: small enough that MILP
+#: baselines and payment replays stay fast, rich enough (2 alternative
+#: bids per seller) to exercise the one-winning-bid-per-seller rule.
+DEFAULT_MARKET_KWARGS = dict(n_sellers=10, n_buyers=4, bids_per_seller=2)
+
+
+@pytest.fixture
+def rng():
+    """The suite's default seeded generator (seed 7)."""
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def make_rng():
+    """Factory for independent seeded generators: ``make_rng(42)``."""
+
+    def _make(seed=7):
+        return np.random.default_rng(seed)
+
+    return _make
+
+
+@pytest.fixture
+def make_market():
+    """Factory for :class:`MarketConfig` with the suite defaults."""
+
+    def _make(**overrides):
+        kwargs = dict(DEFAULT_MARKET_KWARGS)
+        kwargs.update(overrides)
+        return MarketConfig(**kwargs)
+
+    return _make
+
+
+@pytest.fixture
+def make_instance(make_market):
+    """Factory for one generated feasible round: ``make_instance(seed=7)``.
+
+    Keyword overrides are forwarded to :class:`MarketConfig`, so tests
+    spell only what they care about::
+
+        instance = make_instance(42, n_sellers=20, n_buyers=5)
+    """
+
+    def _make(seed=7, **overrides):
+        return generate_round(make_market(**overrides), np.random.default_rng(seed))
+
+    return _make
+
+
+@pytest.fixture
+def make_horizon(make_market):
+    """Factory for a generated multi-round horizon plus capacities.
+
+    Returns the ``(rounds, capacities)`` pair of
+    :func:`generate_horizon`; ``rounds=`` and generator keywords are
+    overridable the same way as :func:`make_instance`.
+    """
+
+    def _make(seed=11, *, rounds=3, **overrides):
+        return generate_horizon(
+            make_market(**overrides), np.random.default_rng(seed), rounds=rounds
+        )
+
+    return _make

@@ -9,22 +9,14 @@ sites working bit-for-bit while announcing the new spelling.
 
 import warnings
 
-import numpy as np
 import pytest
 
 from repro.core.msoa import run_msoa
 from repro.core.ssam import PaymentRule, run_ssam
-from repro.workload.bidgen import MarketConfig, generate_horizon, generate_round
-
-
-def small_instance(seed=7):
-    config = MarketConfig(n_sellers=10, n_buyers=4, bids_per_seller=2)
-    return generate_round(config, np.random.default_rng(seed))
-
 
 class TestPositionalPaymentRuleShim:
-    def test_run_ssam_warns_and_forwards(self):
-        instance = small_instance()
+    def test_run_ssam_warns_and_forwards(self, make_instance):
+        instance = make_instance()
         with pytest.warns(DeprecationWarning, match="positionally"):
             old_style = run_ssam(instance, PaymentRule.ITERATION_RUNNER_UP)
         new_style = run_ssam(
@@ -35,19 +27,16 @@ class TestPositionalPaymentRuleShim:
             new_style.total_payment
         )
 
-    def test_run_ssam_rejects_extra_positionals(self):
+    def test_run_ssam_rejects_extra_positionals(self, make_instance):
         with pytest.raises(TypeError, match="positional"):
             run_ssam(
-                small_instance(),
+                make_instance(),
                 PaymentRule.ITERATION_RUNNER_UP,
                 PaymentRule.CRITICAL_RERUN,
             )
 
-    def test_run_msoa_warns_and_forwards(self):
-        config = MarketConfig(n_sellers=10, n_buyers=4, bids_per_seller=2)
-        rounds, capacities = generate_horizon(
-            config, np.random.default_rng(11), rounds=2
-        )
+    def test_run_msoa_warns_and_forwards(self, make_horizon):
+        rounds, capacities = make_horizon(rounds=2)
         with pytest.warns(DeprecationWarning, match="run_msoa"):
             old_style = run_msoa(
                 rounds, capacities, PaymentRule.ITERATION_RUNNER_UP
@@ -66,11 +55,11 @@ class TestPositionalPaymentRuleShim:
                 PaymentRule.CRITICAL_RERUN,
             )
 
-    def test_keyword_calls_stay_silent(self):
+    def test_keyword_calls_stay_silent(self, make_instance):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             run_ssam(
-                small_instance(), payment_rule=PaymentRule.CRITICAL_RERUN
+                make_instance(), payment_rule=PaymentRule.CRITICAL_RERUN
             )
 
 
@@ -111,12 +100,12 @@ class TestDeprecatedResultAliases:
         with pytest.raises(AttributeError):
             baselines.NoSuchResult
 
-    def test_old_isinstance_checks_keep_working(self):
+    def test_old_isinstance_checks_keep_working(self, make_instance):
         # The pattern old downstream code used: run a baseline, check the
         # result against the legacy class name.
         from repro.baselines.pay_as_bid import run_pay_as_bid
 
-        outcome = run_pay_as_bid(small_instance())
+        outcome = run_pay_as_bid(make_instance())
         with pytest.warns(DeprecationWarning):
             from repro.baselines.pay_as_bid import PayAsBidResult
         assert isinstance(outcome, PayAsBidResult)

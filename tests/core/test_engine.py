@@ -8,7 +8,6 @@ fan-out, and the ``run_ssam`` option surface (validation + deprecation
 shim).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.bids import Bid
@@ -25,7 +24,6 @@ from repro.core.ssam import (
 )
 from repro.core.wsp import ActiveBidIndex, CoverageState, WSPInstance
 from repro.errors import ConfigurationError, InfeasibleInstanceError
-from repro.workload import MarketConfig, generate_round
 
 
 def bid(seller, covered, price, index=0):
@@ -33,10 +31,8 @@ def bid(seller, covered, price, index=0):
 
 
 @pytest.fixture
-def market():
-    return generate_round(
-        MarketConfig(n_sellers=20, n_buyers=5), np.random.default_rng(42)
-    )
+def market(make_instance):
+    return make_instance(42, n_sellers=20, n_buyers=5)
 
 
 class TestActiveBidIndex:

@@ -8,7 +8,6 @@ and the economics metadata (completeness, individual rationality) holds
 on random feasible instances for every registered mechanism at once.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 
@@ -19,7 +18,9 @@ from repro.core.mechanism import (
     outcome_from_selection,
 )
 from repro.core.outcomes import AuctionOutcome, OnlineOutcome
+from repro.core.bids import Bid
 from repro.core.registry import (
+    CERTIFIABLE_PROPERTIES,
     MechanismSpec,
     get_mechanism,
     get_spec,
@@ -29,9 +30,9 @@ from repro.core.registry import (
     register,
 )
 from repro.core.ssam import run_ssam
+from repro.core.wsp import WSPInstance
 from repro.errors import ConfigurationError, InfeasibleInstanceError
 from repro.experiments.storage import load_outcome, save_outcome
-from repro.workload.bidgen import MarketConfig, generate_horizon, generate_round
 from tests.properties.strategies import wsp_instances
 
 EXPECTED_NAMES = {
@@ -48,11 +49,6 @@ EXPECTED_NAMES = {
     "offline-milp",
     "offline-greedy",
 }
-
-
-def small_instance(seed=7):
-    config = MarketConfig(n_sellers=10, n_buyers=4, bids_per_seller=2)
-    return generate_round(config, np.random.default_rng(seed))
 
 
 class TestRegistryLookup:
@@ -108,38 +104,38 @@ class TestRegistryLookup:
 
 
 class TestSingleRoundDispatch:
-    def test_every_single_mechanism_emits_tagged_outcome(self):
-        instance = small_instance()
+    def test_every_single_mechanism_emits_tagged_outcome(self, make_instance):
+        instance = make_instance()
         for name in list_mechanisms("single"):
             outcome = get_mechanism(name)(instance)
             assert isinstance(outcome, AuctionOutcome)
             assert outcome.mechanism == name
 
-    def test_vcg_never_costs_more_than_ssam(self):
-        instance = small_instance()
+    def test_vcg_never_costs_more_than_ssam(self, make_instance):
+        instance = make_instance()
         vcg = get_mechanism("vcg")(instance)
         ssam = get_mechanism("ssam")(instance)
         assert vcg.social_cost <= ssam.social_cost + 1e-9
 
-    def test_reference_engine_entry_matches_fast_ssam(self):
-        instance = small_instance()
+    def test_reference_engine_entry_matches_fast_ssam(self, make_instance):
+        instance = make_instance()
         fast = get_mechanism("ssam")(instance)
         reference = get_mechanism("ssam-reference")(instance)
         assert reference.mechanism == "ssam-reference"
         assert reference.social_cost == pytest.approx(fast.social_cost)
         assert reference.total_payment == pytest.approx(fast.total_payment)
 
-    def test_random_mechanism_is_seeded(self):
-        instance = small_instance()
+    def test_random_mechanism_is_seeded(self, make_instance):
+        instance = make_instance()
         runner = get_mechanism("random")
         a = runner(instance, seed=3)
         b = runner(instance, seed=3)
         assert [w.bid.key for w in a.winners] == [w.bid.key for w in b.winners]
 
-    def test_outcome_round_trips_with_mechanism_tag(self, tmp_path):
+    def test_outcome_round_trips_with_mechanism_tag(self, tmp_path, make_instance):
         # Acceptance criterion: registry outcomes persist and reload
         # through the storage layer with the tag intact.
-        instance = small_instance()
+        instance = make_instance()
         for name in ("vcg", "ssam"):
             outcome = get_mechanism(name)(instance)
             path = tmp_path / f"{name}.json"
@@ -149,9 +145,9 @@ class TestSingleRoundDispatch:
             assert loaded.social_cost == pytest.approx(outcome.social_cost)
             assert loaded.total_payment == pytest.approx(outcome.total_payment)
 
-    def test_pre_tag_payloads_default_to_ssam(self, tmp_path):
+    def test_pre_tag_payloads_default_to_ssam(self, make_instance):
         # Files written before the mechanism tag existed must still load.
-        outcome = run_ssam(small_instance())
+        outcome = run_ssam(make_instance())
         payload = outcome.to_dict()
         del payload["mechanism"]
         restored = AuctionOutcome.from_dict(payload)
@@ -183,12 +179,6 @@ class TestRegistryProperties:
 
 
 class TestMakeOnline:
-    def horizon(self, seed=11, rounds=3):
-        config = MarketConfig(n_sellers=10, n_buyers=4, bids_per_seller=2)
-        return generate_horizon(
-            config, np.random.default_rng(seed), rounds=rounds
-        )
-
     def test_unknown_option_rejected_up_front(self):
         with pytest.raises(ConfigurationError, match="does not accept"):
             make_online("pay-as-bid", {1: 5}, banana=True)
@@ -197,8 +187,8 @@ class TestMakeOnline:
         with pytest.raises(ConfigurationError, match="horizon"):
             make_online("offline-milp", {1: 5})
 
-    def test_single_mechanism_drives_multi_round_loop(self):
-        horizon, capacities = self.horizon()
+    def test_single_mechanism_drives_multi_round_loop(self, make_horizon):
+        horizon, capacities = make_horizon()
         adapter = make_online("pay-as-bid", capacities, on_infeasible="skip")
         assert isinstance(adapter, SingleRoundOnlineAdapter)
         assert isinstance(adapter, OnlineMechanism)
@@ -210,8 +200,8 @@ class TestMakeOnline:
         assert online.mechanism == "pay-as-bid"
         online.verify_capacities()
 
-    def test_adapter_enforces_capacity_discipline(self):
-        horizon, capacities = self.horizon()
+    def test_adapter_enforces_capacity_discipline(self, make_horizon):
+        horizon, capacities = make_horizon()
         adapter = make_online("greedy-density", capacities, on_infeasible="skip")
         for instance in horizon:
             adapter.process_round(instance)
@@ -220,9 +210,99 @@ class TestMakeOnline:
             assert units <= capacities.get(seller, units)
 
 
+class TestRegistryErrorPaths:
+    def test_bad_engine_string_rejected(self, make_instance):
+        instance = make_instance()
+        with pytest.raises(ConfigurationError, match="engine"):
+            get_mechanism("ssam")(instance, engine="bogus")
+
+    def test_unknown_claim_rejected_at_registration(self):
+        bad = MechanismSpec(
+            name="test-bad-claim",
+            kind="single",
+            summary="",
+            paper_ref="",
+            truthful=False,
+            individually_rational=False,
+            complete=False,
+            payment_rule="",
+            loader=lambda: None,
+            claims=frozenset({"monotonicity", "telepathy"}),
+        )
+        with pytest.raises(ConfigurationError, match="telepathy"):
+            register(bad)
+
+    def test_builtin_claims_are_certifiable(self):
+        for spec in mechanism_specs():
+            assert spec.claims <= CERTIFIABLE_PROPERTIES, spec.name
+
+    def test_ssam_claims_every_property(self):
+        # The paper's headline: SSAM is the mechanism that certifies on
+        # all six axes (both engines must declare the same contract).
+        assert get_spec("ssam").claims == CERTIFIABLE_PROPERTIES
+        assert get_spec("ssam-reference").claims == CERTIFIABLE_PROPERTIES
+
+    def test_pay_as_bid_does_not_claim_truthfulness(self):
+        # Pay-as-bid is the paper's non-truthful strawman (Fig. 3(b));
+        # claiming truthfulness for it would defeat the conformance gate.
+        assert "truthfulness" not in get_spec("pay-as-bid").claims
+
+
+class TestAdapterCapacityExhaustion:
+    """χ accounting when sellers' long-run capacities run dry.
+
+    Two sellers, one buyer with unit demand, unit-size bids, capacity 1
+    each: the first two rounds each consume one seller; by round three
+    the capacity screen excludes every bid and the round is infeasible.
+    """
+
+    def exhausted_setup(self, on_infeasible):
+        bids = [
+            Bid(seller=101, index=0, covered=frozenset({1}), price=5.0),
+            Bid(seller=102, index=0, covered=frozenset({1}), price=6.0),
+        ]
+        instance = WSPInstance.from_bids(bids, {1: 1}, price_ceiling=20.0)
+        adapter = make_online(
+            "greedy-cheapest-price",
+            {101: 1, 102: 1},
+            on_infeasible=on_infeasible,
+        )
+        return instance, adapter
+
+    def test_rounds_consume_sellers_until_exhaustion(self):
+        instance, adapter = self.exhausted_setup("skip")
+        first = adapter.process_round(instance)
+        assert first.outcome.winner_keys == {(101, 0)}  # cheapest first
+        assert adapter.remaining_capacity(101) == 0
+        second = adapter.process_round(instance)
+        assert second.outcome.winner_keys == {(102, 0)}
+        assert adapter.remaining_capacity(102) == 0
+
+    def test_exhausted_round_skips_to_empty_outcome(self):
+        instance, adapter = self.exhausted_setup("skip")
+        adapter.process_round(instance)
+        adapter.process_round(instance)
+        third = adapter.process_round(instance)
+        assert third.outcome.winner_keys == frozenset()
+        assert not third.outcome.satisfied
+        assert third.outcome.unmet_units == 1
+        # χ must not move on a skipped round.
+        assert adapter.capacity_used == {101: 1, 102: 1}
+        online = adapter.finalize()
+        online.verify_capacities()
+        assert online.social_cost == pytest.approx(11.0)
+
+    def test_exhausted_round_raises_when_configured(self):
+        instance, adapter = self.exhausted_setup("raise")
+        adapter.process_round(instance)
+        adapter.process_round(instance)
+        with pytest.raises(InfeasibleInstanceError):
+            adapter.process_round(instance)
+
+
 class TestOutcomeFromSelection:
-    def test_zero_utility_bids_dropped(self):
-        instance = small_instance()
+    def test_zero_utility_bids_dropped(self, make_instance):
+        instance = make_instance()
         greedy = get_mechanism("greedy-density")(instance)
         chosen = [w.bid for w in greedy.winners]
         # Feeding the same winner twice: the replay must drop the
@@ -236,15 +316,15 @@ class TestOutcomeFromSelection:
         assert len(outcome.winners) == len(chosen)
         assert outcome.social_cost == pytest.approx(greedy.social_cost)
 
-    def test_infeasible_selection_fails_verification(self):
-        instance = small_instance()
+    def test_infeasible_selection_fails_verification(self, make_instance):
+        instance = make_instance()
         with pytest.raises(InfeasibleInstanceError):
             outcome_from_selection(
                 instance, [], mechanism="test", payment_rule="pay-as-bid"
             )
 
-    def test_require_cover_false_reports_shortfall(self):
-        instance = small_instance()
+    def test_require_cover_false_reports_shortfall(self, make_instance):
+        instance = make_instance()
         outcome = outcome_from_selection(
             instance,
             [],

@@ -1,5 +1,6 @@
 """Property-based tests for the budget-capped auction."""
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -7,6 +8,10 @@ from repro.core.budgeted import run_budgeted_ssam
 from repro.core.ssam import run_ssam
 
 from tests.properties.strategies import wsp_instances
+
+#: Hypothesis sweeps are the repo's statistical tier; 'pytest -m
+#: "not slow"' skips them for the quick signal, CI runs them in full.
+pytestmark = [pytest.mark.property, pytest.mark.slow]
 
 COMMON = settings(
     max_examples=40,

@@ -14,16 +14,18 @@ whole claim to correctness is *exact* equivalence with the naive loops in
 * individual rationality survives the fast path under both rules.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.core.engine import fast_greedy_selection
 from repro.core.ssam import PaymentRule, greedy_selection, run_ssam
 from repro.errors import InfeasibleInstanceError
-from repro.workload import MarketConfig, generate_round
 
 from tests.properties.strategies import wsp_instances
+
+#: Hypothesis sweeps are the repo's statistical tier; 'pytest -m
+#: "not slow"' skips them for the quick signal, CI runs them in full.
+pytestmark = [pytest.mark.property, pytest.mark.slow]
 
 COMMON = settings(
     max_examples=60,
@@ -80,12 +82,11 @@ def test_outcome_identical(instance, rule):
 
 
 @pytest.mark.parametrize("rule", list(PaymentRule))
-def test_market_generator_sweep_identical(rule):
+def test_market_generator_sweep_identical(rule, make_instance):
     """200 seeded generator instances (the experiments' distribution)
     agree end to end — winner keys, payments, duals, metadata."""
-    config = MarketConfig(n_sellers=12, n_buyers=4)
     for seed in range(100):
-        instance = generate_round(config, np.random.default_rng(seed))
+        instance = make_instance(seed, n_sellers=12, n_buyers=4)
         pair = outcomes_for(instance, rule)
         if pair is None:
             continue
@@ -109,11 +110,10 @@ def test_fast_engine_keeps_individual_rationality(instance, rule):
         assert winner.payment >= winner.bid.price - 1e-9
 
 
-def test_guard_disabled_paths_agree():
+def test_guard_disabled_paths_agree(make_instance):
     """engine equivalence also holds with the feasibility guard off."""
-    config = MarketConfig(n_sellers=10, n_buyers=3)
     for seed in range(20):
-        instance = generate_round(config, np.random.default_rng(1000 + seed))
+        instance = make_instance(1000 + seed, n_sellers=10, n_buyers=3)
         try:
             reference = run_ssam(
                 instance,

@@ -11,6 +11,7 @@
 
 import math
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -21,6 +22,10 @@ from repro.solvers.branch_bound import solve_wsp_branch_bound
 from repro.solvers.milp import solve_horizon_optimal, solve_wsp_optimal
 
 from tests.properties.strategies import wsp_instances
+
+#: Hypothesis sweeps are the repo's statistical tier; 'pytest -m
+#: "not slow"' skips them for the quick signal, CI runs them in full.
+pytestmark = [pytest.mark.property, pytest.mark.slow]
 
 COMMON = settings(
     max_examples=40,

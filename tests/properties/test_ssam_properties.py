@@ -24,6 +24,10 @@ from repro.solvers.milp import solve_wsp_optimal
 
 from tests.properties.strategies import single_bid_instances, wsp_instances
 
+#: Hypothesis sweeps are the repo's statistical tier; 'pytest -m
+#: "not slow"' skips them for the quick signal, CI runs them in full.
+pytestmark = [pytest.mark.property, pytest.mark.slow]
+
 COMMON = settings(
     max_examples=60,
     deadline=None,

@@ -2,6 +2,7 @@
 market generation, reporting)."""
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -10,6 +11,10 @@ from repro.demand.ahp import ahp_weights
 from repro.demand.estimator import NoisyOracleEstimator
 from repro.edge.fair_share import max_min_fair_share
 from repro.workload.bidgen import MarketConfig, generate_round
+
+#: Hypothesis sweeps are the repo's statistical tier; 'pytest -m
+#: "not slow"' skips them for the quick signal, CI runs them in full.
+pytestmark = [pytest.mark.property, pytest.mark.slow]
 
 COMMON = settings(
     max_examples=60,

@@ -1,0 +1,80 @@
+"""Unit tests for the critical-price bisection oracle on crafted markets.
+
+The certification suite cross-checks the oracle against the engines
+statistically; these tests pin its mechanics on hand-built instances
+where the critical price is known in closed form.
+"""
+
+import math
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
+from repro.verify.oracle import bisect_critical_price
+
+
+def allocate(instance):
+    return run_ssam(
+        instance, payment_rule=PaymentRule.ITERATION_RUNNER_UP
+    ).winner_keys
+
+
+def duopoly(winner_price=5.0, runner_up_price=9.0):
+    """One buyer, two interchangeable sellers: the cheap bid wins and its
+    critical price is exactly the runner-up's announced price."""
+    bids = [
+        Bid(seller=101, index=0, covered=frozenset({1}), price=winner_price),
+        Bid(seller=102, index=0, covered=frozenset({1}), price=runner_up_price),
+    ]
+    return WSPInstance.from_bids(bids, {1: 1}, price_ceiling=50.0)
+
+
+class TestBisection:
+    def test_threshold_is_the_runner_up_price(self):
+        instance = duopoly()
+        bracket = bisect_critical_price(allocate, instance, (101, 0))
+        assert not bracket.capped
+        assert bracket.threshold == pytest.approx(9.0, abs=1e-5)
+        # The bracket is a genuine win/lose sandwich.
+        assert bracket.lo <= bracket.threshold <= bracket.hi
+        assert bracket.hi - bracket.lo <= 1e-6 + 1e-12
+
+    def test_threshold_matches_engine_critical_payment(self):
+        instance = duopoly(winner_price=12.0, runner_up_price=31.0)
+        outcome = run_ssam(instance, payment_rule=PaymentRule.CRITICAL_RERUN)
+        (winner,) = outcome.winners
+        bracket = bisect_critical_price(allocate, instance, winner.bid.key)
+        assert winner.payment == pytest.approx(bracket.threshold, abs=1e-4)
+
+    def test_monopolist_is_reported_capped(self):
+        bids = [Bid(seller=101, index=0, covered=frozenset({1}), price=5.0)]
+        instance = WSPInstance.from_bids(bids, {1: 1}, price_ceiling=50.0)
+        bracket = bisect_critical_price(allocate, instance, (101, 0))
+        assert bracket.capped
+        assert math.isinf(bracket.threshold)
+
+    def test_evaluation_budget_is_logarithmic(self):
+        bracket = bisect_critical_price(allocate, duopoly(), (101, 0))
+        # bisecting a ~60-unit bracket to 1e-6 needs ~26 probes plus the
+        # two anchors; anything near max_iterations means no convergence.
+        assert bracket.evaluations < 40
+
+
+class TestAnchoring:
+    def test_losing_bid_rejected(self):
+        instance = duopoly()
+        with pytest.raises(ConfigurationError, match="does not win"):
+            bisect_critical_price(allocate, instance, (102, 0))
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="no existing bid"):
+            bisect_critical_price(allocate, duopoly(), (999, 0))
+
+    def test_ceiling_below_announced_price_rejected(self):
+        with pytest.raises(ConfigurationError, match="probe ceiling"):
+            bisect_critical_price(
+                allocate, duopoly(), (101, 0), probe_ceiling=4.0
+            )

@@ -1,0 +1,195 @@
+"""Unit tests for the per-property checkers and the instance editors.
+
+Each checker must (a) stay silent on a mechanism that honours the
+property and (b) produce a violation when fed a rigged mechanism that
+breaks it — a checker that can't fail is not a check.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.registry import get_mechanism
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.errors import ConfigurationError
+from repro.verify.properties import (
+    CheckSettings,
+    MechanismUnderTest,
+    check_approximation,
+    check_critical_payment,
+    check_feasibility,
+    check_individual_rationality,
+    check_monotonicity,
+    check_truthfulness,
+)
+
+SETTINGS = CheckSettings()
+
+
+def ssam_mut():
+    return MechanismUnderTest(
+        name="ssam",
+        runner=lambda instance: run_ssam(instance),
+        allocate=lambda instance: run_ssam(
+            instance, payment_rule=PaymentRule.ITERATION_RUNNER_UP
+        ).winner_keys,
+    )
+
+
+class TestInstanceEditors:
+    def test_perturb_bid_changes_price_and_pins_cost(self, make_instance):
+        instance = make_instance()
+        key = instance.bids[0].key
+        original = instance.bid_by_key(key)
+        edited = instance.perturb_bid(key, original.price * 2.0)
+        new_bid = edited.bid_by_key(key)
+        assert new_bid.price == pytest.approx(original.price * 2.0)
+        assert new_bid.cost == pytest.approx(original.cost)
+        # everything else untouched
+        assert len(edited.bids) == len(instance.bids)
+        assert edited.demand == instance.demand
+
+    def test_perturb_unknown_key_rejected(self, make_instance):
+        with pytest.raises(ConfigurationError, match="no existing bid"):
+            make_instance().perturb_bid((999, 9), 1.0)
+
+    def test_restrict_seller_to_drops_only_siblings(self, make_instance):
+        instance = make_instance()  # 2 bids per seller by default
+        key = instance.bids[0].key
+        projected = instance.restrict_seller_to(key)
+        assert len(projected.bids_of(key[0])) == 1
+        assert projected.bid_by_key(key) == instance.bid_by_key(key)
+        for other in instance.sellers:
+            if other != key[0]:
+                assert projected.bids_of(other) == instance.bids_of(other)
+
+
+class TestCheckersCatchViolations:
+    def test_ir_checker_flags_underpayment(self, make_instance):
+        instance = make_instance()
+        mut = ssam_mut()
+        outcome = mut.runner(instance)
+
+        underpaying = dataclasses.replace(
+            outcome,
+            winners=tuple(
+                dataclasses.replace(w, payment=w.bid.price - 1.0)
+                for w in outcome.winners
+            ),
+        )
+        checked, violations = check_individual_rationality(
+            mut, instance, underpaying, 0, SETTINGS
+        )
+        assert checked == len(outcome.winners)
+        assert len(violations) == len(outcome.winners)
+
+    def test_ir_checker_passes_ssam(self, make_instance):
+        instance = make_instance()
+        mut = ssam_mut()
+        _, violations = check_individual_rationality(
+            mut, instance, mut.runner(instance), 0, SETTINGS
+        )
+        assert violations == []
+
+    def test_feasibility_checker_flags_dropped_winner(self, make_instance):
+        instance = make_instance()
+        mut = ssam_mut()
+        outcome = mut.runner(instance)
+        gutted = dataclasses.replace(outcome, winners=outcome.winners[:1])
+        _, violations = check_feasibility(mut, instance, gutted, 0, SETTINGS)
+        assert len(violations) == 1
+        assert "feasible" in violations[0].detail
+
+    def test_monotonicity_checker_flags_price_punishing_allocator(
+        self, make_instance
+    ):
+        instance = make_instance()
+        honest = ssam_mut()
+        outcome = honest.runner(instance)
+
+        # Rig: a probed winner that lowers its price is kicked out of
+        # the allocation — the exact opposite of Lemma 2.
+        probed = {w.bid.key for w in outcome.winners[:SETTINGS.max_monotonicity_bids]}
+
+        def spiteful_allocate(edited):
+            winners = honest.allocate(edited)
+            lowered = {
+                bid.key
+                for bid in edited.bids
+                if bid.key in probed
+                and bid.price < instance.bid_by_key(bid.key).price
+            }
+            return frozenset(winners - lowered)
+
+        rigged = MechanismUnderTest(
+            name="rigged", runner=honest.runner, allocate=spiteful_allocate
+        )
+        checked, violations = check_monotonicity(
+            rigged, instance, outcome, 0, SETTINGS
+        )
+        assert checked > 0
+        assert violations
+
+    def test_critical_payment_checker_flags_pay_as_bid(self, make_instance):
+        instance = make_instance()
+        honest = ssam_mut()
+        pay_as_bid = MechanismUnderTest(
+            name="pay-as-bid",
+            runner=get_mechanism("pay-as-bid"),
+            allocate=honest.allocate,  # same greedy allocation
+        )
+        outcome = pay_as_bid.runner(instance)
+        checked, violations = check_critical_payment(
+            pay_as_bid, instance, outcome, 0, SETTINGS
+        )
+        assert checked > 0
+        # Winners paid their announced price sit strictly below the
+        # runner-up threshold on this market.
+        assert violations
+
+    def test_truthfulness_checker_flags_pay_as_bid(self, make_instance):
+        instance = make_instance()
+        honest = ssam_mut()
+        pay_as_bid = MechanismUnderTest(
+            name="pay-as-bid",
+            runner=get_mechanism("pay-as-bid"),
+            allocate=honest.allocate,
+        )
+        outcome = pay_as_bid.runner(instance)
+        checked, violations = check_truthfulness(
+            pay_as_bid, instance, outcome, 0, SETTINGS
+        )
+        assert checked > 0
+        assert violations
+
+    def test_truthfulness_checker_passes_ssam(self, make_instance):
+        instance = make_instance()
+        mut = ssam_mut()
+        _, violations = check_truthfulness(
+            mut, instance, mut.runner(instance), 0, SETTINGS
+        )
+        assert violations == []
+
+    def test_approximation_checker_skips_unbounded_mechanisms(
+        self, make_instance
+    ):
+        instance = make_instance()
+        mut = MechanismUnderTest(
+            name="pay-as-bid",
+            runner=get_mechanism("pay-as-bid"),
+            allocate=ssam_mut().allocate,
+        )
+        outcome = mut.runner(instance)  # ratio_bound is nan
+        checked, violations = check_approximation(
+            mut, instance, outcome, 0, SETTINGS
+        )
+        assert checked == 0 and violations == []
+
+    def test_approximation_checker_passes_ssam(self, make_instance):
+        instance = make_instance()
+        mut = ssam_mut()
+        checked, violations = check_approximation(
+            mut, instance, mut.runner(instance), 0, SETTINGS
+        )
+        assert checked == 2
+        assert violations == []

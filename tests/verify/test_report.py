@@ -1,0 +1,155 @@
+"""Unit tests for the certification report model and its JSON schema."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.verify.report import (
+    MAX_RECORDED_VIOLATIONS,
+    REPORT_SCHEMA_VERSION,
+    CertificationReport,
+    PropertyResult,
+    PropertyStatus,
+    Violation,
+    _result_from_violations,
+)
+
+
+def result(name="monotonicity", status=PropertyStatus.PASS, claimed=True,
+           checked=5, **kwargs):
+    return PropertyResult(
+        name=name, status=status, claimed=claimed, checked=checked, **kwargs
+    )
+
+
+def report(results, mechanism="ssam"):
+    return CertificationReport(
+        mechanism=mechanism,
+        kind="single",
+        seed=7,
+        instances=10,
+        results=tuple(results),
+        market={"n_sellers": 8},
+    )
+
+
+class TestConformanceSemantics:
+    def test_claimed_pass_conforms(self):
+        assert result(status=PropertyStatus.PASS).conforms
+
+    def test_claimed_fail_is_a_regression(self):
+        assert not result(status=PropertyStatus.FAIL).conforms
+
+    def test_claimed_skip_breaks_conformance(self):
+        # A claim must be checkable; silently skipping it would let a
+        # broken check masquerade as a certified property.
+        assert not result(status=PropertyStatus.SKIP, checked=0).conforms
+
+    def test_unclaimed_fail_is_expected_not_punished(self):
+        r = result(status=PropertyStatus.FAIL, claimed=False)
+        assert r.conforms
+        assert r.expected_failure
+
+    def test_report_gates_on_every_result(self):
+        good = result()
+        bad = result(name="truthfulness", status=PropertyStatus.FAIL)
+        assert report([good]).conforms
+        assert not report([good, bad]).conforms
+
+    def test_expected_failures_listed(self):
+        r = report([
+            result(),
+            result(name="truthfulness", status=PropertyStatus.FAIL,
+                   claimed=False),
+        ])
+        assert r.conforms
+        assert r.expected_failures == ("truthfulness",)
+
+    def test_unknown_property_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="telepathy"):
+            result(name="telepathy")
+
+
+class TestResultFolding:
+    def test_zero_checked_folds_to_skip(self):
+        r = _result_from_violations(
+            "approximation", checked=0, claimed=False, violations=[]
+        )
+        assert r.status is PropertyStatus.SKIP
+        assert r.note
+
+    def test_violations_fold_to_fail_with_exact_count(self):
+        violations = [
+            Violation(instance_index=i, detail=f"v{i}")
+            for i in range(MAX_RECORDED_VIOLATIONS + 3)
+        ]
+        r = _result_from_violations(
+            "monotonicity", checked=20, claimed=True, violations=violations
+        )
+        assert r.status is PropertyStatus.FAIL
+        assert r.violation_count == MAX_RECORDED_VIOLATIONS + 3
+        assert len(r.violations) == MAX_RECORDED_VIOLATIONS
+
+    def test_clean_run_folds_to_pass(self):
+        r = _result_from_violations(
+            "feasibility", checked=10, claimed=True, violations=[]
+        )
+        assert r.status is PropertyStatus.PASS
+
+
+class TestSerialization:
+    def full_report(self):
+        return report([
+            result(violations=(
+                Violation(instance_index=3, detail="boom",
+                          bid_key=(1001, 0), observed=1.5, expected=2.0),
+            ), violation_count=1, status=PropertyStatus.FAIL),
+            result(name="truthfulness", status=PropertyStatus.SKIP,
+                   claimed=False, checked=0, note="n/a"),
+        ])
+
+    def test_roundtrip_preserves_everything(self):
+        original = self.full_report()
+        restored = CertificationReport.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_schema_is_tagged_and_versioned(self):
+        data = self.full_report().to_dict()
+        assert data["kind"] == "certification"
+        assert data["schema_version"] == REPORT_SCHEMA_VERSION
+        assert data["conforms"] is False
+
+    def test_wrong_kind_rejected(self):
+        data = self.full_report().to_dict()
+        data["kind"] = "benchmark"
+        with pytest.raises(ConfigurationError, match="kind"):
+            CertificationReport.from_dict(data)
+
+    def test_future_schema_version_rejected(self):
+        data = self.full_report().to_dict()
+        data["schema_version"] = REPORT_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            CertificationReport.from_dict(data)
+
+    def test_result_for_unknown_property_raises(self):
+        with pytest.raises(ConfigurationError, match="no property"):
+            self.full_report().result_for("approximation")
+
+
+class TestRender:
+    def test_render_shows_verdicts_and_gate(self):
+        text = report([
+            result(),
+            result(name="truthfulness", status=PropertyStatus.FAIL,
+                   claimed=False, violations=(
+                       Violation(instance_index=2, detail="gained utility"),
+                   ), violation_count=1),
+        ]).render()
+        assert "ssam" in text
+        assert "expected failure" in text
+        assert "gained utility" in text
+        assert "CONFORMS" in text
+
+    def test_render_flags_regressions(self):
+        text = report([result(status=PropertyStatus.FAIL)]).render()
+        assert "REGRESSION" in text
+        assert "DOES NOT CONFORM" in text
