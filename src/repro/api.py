@@ -32,6 +32,9 @@ Persist / reload results     :meth:`AuctionOutcome.to_dict` /
                              :func:`save_outcome` / :func:`load_outcome`
 Time the engine              :func:`run_engine_bench` (CLI:
                              ``repro-edge-auction bench``)
+Trace / profile a run        :func:`observing` (or :func:`configure`),
+                             then :func:`summarize` on the trace file
+                             (CLI: ``--trace/--metrics`` flags)
 ===========================  ==========================================
 
 Mechanism options are keyword-only and share one vocabulary everywhere:
@@ -81,6 +84,14 @@ from repro.errors import (
 )
 from repro.experiments.bench_engine import run_engine_bench
 from repro.experiments.storage import load_outcome, save_outcome
+from repro.obs import (
+    ObservabilityConfig,
+    TraceSummary,
+    configure,
+    observing,
+    read_trace,
+    summarize,
+)
 from repro.solvers import solve_wsp_optimal
 from repro.workload import MarketConfig, generate_horizon, generate_round
 
@@ -115,6 +126,13 @@ __all__ = [
     # references & tooling
     "solve_wsp_optimal",
     "run_engine_bench",
+    # observability
+    "ObservabilityConfig",
+    "configure",
+    "observing",
+    "summarize",
+    "read_trace",
+    "TraceSummary",
     # errors
     "ReproError",
     "ConfigurationError",

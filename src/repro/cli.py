@@ -53,6 +53,17 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, parallelism=args.parallelism)
     if args.engine != "fast":
         config = dataclasses.replace(config, engine=args.engine)
+    if args.trace or args.metrics:
+        from repro.obs import ObservabilityConfig
+
+        # Thread the request through ExperimentConfig too, so the runner's
+        # activate() path is exercised exactly as library callers use it.
+        config = dataclasses.replace(
+            config,
+            observability=ObservabilityConfig(
+                trace_path=args.trace, metrics_path=args.metrics
+            ),
+        )
     keys = list(FIGURES) if args.panel == "all" else [args.panel]
     for key in keys:
         if key not in FIGURES:
@@ -297,6 +308,21 @@ def _cmd_quickstart(_: argparse.Namespace) -> int:
     return 0
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL auction trace (repro.obs) here",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the metrics-registry JSON snapshot here on exit",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -328,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="selection engine for every mechanism run (default fast)",
     )
+    _add_observability_flags(fig)
     fig.set_defaults(fn=_cmd_fig)
     run = sub.add_parser(
         "run", help="run one mechanism by registry name on a default market"
@@ -350,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="save the outcome JSON here (single/online mechanisms)",
     )
+    _add_observability_flags(run)
     run.set_defaults(fn=_cmd_run)
     sub.add_parser(
         "mechanisms", help="list the mechanism registry"
@@ -374,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_engine.json",
         help="output JSON path (default: BENCH_engine.json)",
     )
+    _add_observability_flags(bench)
     bench.set_defaults(fn=_cmd_bench)
     verify = sub.add_parser(
         "verify",
@@ -416,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, metavar="PATH",
         help="also write the certification report JSON here",
     )
+    _add_observability_flags(verify)
     verify.set_defaults(fn=_cmd_verify)
     sub.add_parser(
         "quickstart", help="tiny end-to-end demo"
@@ -435,8 +465,23 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
     try:
-        return args.fn(args)
+        if trace or metrics:
+            from repro.obs import configure
+
+            configure(trace=trace, metrics=metrics)
+        try:
+            return args.fn(args)
+        finally:
+            if trace or metrics:
+                from repro.obs import disable
+
+                disable()
+                for label, target in (("trace", trace), ("metrics", metrics)):
+                    if target:
+                        print(f"wrote {label} {target}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

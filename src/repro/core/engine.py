@@ -46,6 +46,8 @@ from repro.core.ssam import (
 )
 from repro.core.wsp import ActiveBidIndex, CoverageState
 from repro.errors import InfeasibleInstanceError
+from repro.obs.profiler import profiled
+from repro.obs.runtime import STATE as _OBS
 
 __all__ = [
     "fast_greedy_selection",
@@ -81,6 +83,8 @@ def _pop_fresh(
     """
     while heap:
         key, bid_id, pushed_utility = heapq.heappop(heap)
+        if _OBS.enabled:
+            _OBS.metrics.counter("engine.heap_pops").inc()
         if not index.active[bid_id]:
             continue
         utility = index.utility(bid_id)
@@ -172,6 +176,7 @@ def _passes_guard(
     return True
 
 
+@profiled("ssam.selection")
 def fast_greedy_selection(
     bids: Sequence[Bid],
     demand: Mapping[int, int],
@@ -186,9 +191,10 @@ def fast_greedy_selection(
     changes — from rescanning all active bids to touching the bids whose
     utilities actually moved.
     """
-    coverage = CoverageState(demand=demand)
-    index = ActiveBidIndex(bids, coverage)
-    heap = _build_heap(index)
+    with _OBS.tracer.span("bid-indexing", bids=len(bids)):
+        coverage = CoverageState(demand=demand)
+        index = ActiveBidIndex(bids, coverage)
+        heap = _build_heap(index)
     steps: list[GreedyStep] = []
     iteration = 0
     while not coverage.satisfied:
@@ -318,6 +324,7 @@ def _payment_worker(winner: Bid) -> float:
     )
 
 
+@profiled("ssam.payments")
 def compute_critical_payments(
     instance,
     winners: Sequence[Bid],

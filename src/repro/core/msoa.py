@@ -36,6 +36,8 @@ from repro.core.ratios import (
 from repro.core.ssam import PaymentRule, run_ssam
 from repro.core.wsp import WSPInstance
 from repro.errors import ConfigurationError, InfeasibleInstanceError
+from repro.obs.profiler import profiled
+from repro.obs.runtime import STATE as _OBS
 
 __all__ = ["MultiStageOnlineAuction", "run_msoa"]
 
@@ -152,69 +154,106 @@ class MultiStageOnlineAuction:
         """Line 8: ``∇ᵗᵢⱼ = Jᵗᵢⱼ + |Sᵗᵢⱼ|·ψᵢᵗ⁻¹``."""
         return bid.price + bid.size * self._psi.get(bid.seller, 0.0)
 
+    @profiled("msoa.round")
     def process_round(self, instance: WSPInstance) -> RoundResult:
         """Run one auction round online and update ψ/χ for the winners."""
         round_index = len(self._rounds)
-        admissible = tuple(bid for bid in instance.bids if self._admissible(bid))
-        original_by_key = {bid.key: bid for bid in instance.bids}
-        scaled_bids = tuple(
-            Bid(
-                seller=bid.seller,
-                index=bid.index,
-                covered=bid.covered,
-                price=self._scaled_price(bid),
-                true_cost=bid.cost,
+        tracer = _OBS.tracer
+        with tracer.span(
+            "msoa.round", round_index=round_index, bids=len(instance.bids)
+        ) as round_span:
+            admissible = tuple(
+                bid for bid in instance.bids if self._admissible(bid)
             )
-            for bid in admissible
-        )
-        scaled_prices = {bid.key: bid.price for bid in scaled_bids}
-        scaled_instance = WSPInstance(
-            bids=scaled_bids,
-            demand=instance.demand,
-            price_ceiling=instance.price_ceiling,
-        )
-        if self._alpha is None:
-            # Auto-estimate α from the first round's Theorem-3 bound,
-            # computed on the announced (unscaled) prices.
-            self._alpha = max(
-                1.0, ssam_ratio_bound(instance.total_demand, admissible)
+            original_by_key = {bid.key: bid for bid in instance.bids}
+            scaled_bids = tuple(
+                Bid(
+                    seller=bid.seller,
+                    index=bid.index,
+                    covered=bid.covered,
+                    price=self._scaled_price(bid),
+                    true_cost=bid.cost,
+                )
+                for bid in admissible
             )
-        try:
-            outcome = run_ssam(
-                scaled_instance,
-                payment_rule=self._payment_rule,
-                original_prices={
-                    key: original_by_key[key].price for key in scaled_prices
-                },
-                **self._ssam_options,
+            scaled_prices = {bid.key: bid.price for bid in scaled_bids}
+            if _OBS.enabled:
+                metrics = _OBS.metrics
+                metrics.counter("msoa.rounds").inc()
+                metrics.counter("msoa.bids_admitted").inc(len(admissible))
+                metrics.counter("msoa.bids_excluded").inc(
+                    len(instance.bids) - len(admissible)
+                )
+                tracer.event(
+                    "price-scaling",
+                    admissible=len(admissible),
+                    excluded=len(instance.bids) - len(admissible),
+                    psi_max=max(self._psi.values(), default=0.0),
+                )
+            scaled_instance = WSPInstance(
+                bids=scaled_bids,
+                demand=instance.demand,
+                price_ceiling=instance.price_ceiling,
             )
-        except InfeasibleInstanceError:
-            if self._on_infeasible == "raise":
-                raise
-            if self._on_infeasible == "best_effort":
-                outcome = self._best_effort_round(scaled_instance, original_by_key)
-            else:
+            if self._alpha is None:
+                # Auto-estimate α from the first round's Theorem-3 bound,
+                # computed on the announced (unscaled) prices.
+                self._alpha = max(
+                    1.0, ssam_ratio_bound(instance.total_demand, admissible)
+                )
+            try:
                 outcome = run_ssam(
-                    WSPInstance(bids=scaled_bids, demand={}, price_ceiling=None),
+                    scaled_instance,
                     payment_rule=self._payment_rule,
+                    original_prices={
+                        key: original_by_key[key].price for key in scaled_prices
+                    },
                     **self._ssam_options,
                 )
-        self._beta_observed = min(
-            self._beta_observed, capacity_margin(self._capacities, admissible)
-        )
-        for winner in outcome.winners:
-            original = original_by_key[winner.bid.key]
-            self._apply_win(original)
-        result = RoundResult(
-            round_index=round_index,
-            outcome=outcome,
-            original_bids=original_by_key,
-            scaled_prices=scaled_prices,
-            psi_after=self.psi,
-            capacity_used=self.capacity_used,
-        )
-        self._rounds.append(result)
-        return result
+            except InfeasibleInstanceError:
+                if self._on_infeasible == "raise":
+                    raise
+                if self._on_infeasible == "best_effort":
+                    outcome = self._best_effort_round(
+                        scaled_instance, original_by_key
+                    )
+                else:
+                    outcome = run_ssam(
+                        WSPInstance(
+                            bids=scaled_bids, demand={}, price_ceiling=None
+                        ),
+                        payment_rule=self._payment_rule,
+                        **self._ssam_options,
+                    )
+            self._beta_observed = min(
+                self._beta_observed, capacity_margin(self._capacities, admissible)
+            )
+            for winner in outcome.winners:
+                original = original_by_key[winner.bid.key]
+                self._apply_win(original)
+                if _OBS.enabled:
+                    tracer.event(
+                        "psi-update",
+                        seller=original.seller,
+                        psi=self._psi.get(original.seller, 0.0),
+                        chi=self._chi.get(original.seller, 0),
+                    )
+            result = RoundResult(
+                round_index=round_index,
+                outcome=outcome,
+                original_bids=original_by_key,
+                scaled_prices=scaled_prices,
+                psi_after=self.psi,
+                capacity_used=self.capacity_used,
+            )
+            tracer.annotate(
+                round_span,
+                social_cost=result.social_cost,
+                total_payment=result.total_payment,
+                winners=len(outcome.winners),
+            )
+            self._rounds.append(result)
+            return result
 
     def _best_effort_round(
         self,
@@ -236,6 +275,13 @@ class MultiStageOnlineAuction:
             buyer: min(units, len(sellers_covering.get(buyer, ())))
             for buyer, units in scaled_instance.demand.items()
         }
+        if _OBS.enabled:
+            _OBS.metrics.counter("msoa.capacity_repairs").inc()
+            _OBS.tracer.event(
+                "capacity-repair",
+                demand={str(b): u for b, u in scaled_instance.demand.items()},
+                clamped={str(b): u for b, u in clamped.items()},
+            )
         clamped_instance = WSPInstance(
             bids=scaled_instance.bids,
             demand=clamped,
@@ -332,6 +378,17 @@ def run_msoa(
         engine=engine,
         on_infeasible=on_infeasible,
     )
-    for instance in rounds:
-        auction.process_round(instance)
-    return auction.finalize()
+    tracer = _OBS.tracer
+    with tracer.span(
+        "msoa.horizon", engine=engine, on_infeasible=on_infeasible
+    ) as horizon_span:
+        for instance in rounds:
+            auction.process_round(instance)
+        outcome = auction.finalize()
+        tracer.annotate(
+            horizon_span,
+            rounds=len(outcome.rounds),
+            social_cost=outcome.social_cost,
+            total_payment=outcome.total_payment,
+        )
+        return outcome

@@ -43,6 +43,8 @@ from repro.core.outcomes import AuctionOutcome, WinningBid
 from repro.core.ratios import ssam_ratio_bound
 from repro.core.wsp import CoverageState, WSPInstance
 from repro.errors import ConfigurationError, InfeasibleInstanceError
+from repro.obs.profiler import profiled
+from repro.obs.runtime import STATE as _OBS
 
 __all__ = ["PaymentRule", "run_ssam", "greedy_selection", "GreedyStep"]
 
@@ -146,6 +148,7 @@ def _residual_feasible(
     return True
 
 
+@profiled("ssam.selection")
 def greedy_selection(
     bids: tuple[Bid, ...],
     demand: dict[int, int],
@@ -184,6 +187,10 @@ def greedy_selection(
                 continue
             ratio = bid.price / utility
             candidates.append((_selection_key(ratio, bid), bid, utility))
+        if _OBS.enabled:
+            _OBS.metrics.counter("engine.candidates_scanned").inc(
+                len(candidates)
+            )
         if not candidates:
             if require_feasible:
                 raise InfeasibleInstanceError(
@@ -400,69 +407,129 @@ def run_ssam(
     select = fast_greedy_selection if use_fast else greedy_selection
     demand = {b: u for b, u in instance.demand.items() if u > 0}
     duals = DualSolution(instance=instance)
-    if not demand:
-        return AuctionOutcome(
+    tracer = _OBS.tracer
+    with tracer.span(
+        "auction",
+        mechanism="ssam",
+        engine=engine,
+        payment_rule=payment_rule.value,
+        bids=len(instance.bids),
+        total_demand=instance.total_demand,
+        # JSON keys are strings; summarize() converts them back to ints.
+        demand={str(b): u for b, u in demand.items()},
+    ) as auction_span:
+        if _OBS.enabled:
+            metrics = _OBS.metrics
+            metrics.counter("ssam.runs").inc()
+            metrics.counter("ssam.bids_considered").inc(len(instance.bids))
+        if not demand:
+            tracer.annotate(
+                auction_span,
+                social_cost=0.0,
+                total_payment=0.0,
+                iterations=0,
+                winners=0,
+            )
+            return AuctionOutcome(
+                instance=instance,
+                winners=(),
+                duals=duals,
+                ratio_bound=1.0,
+                payment_rule=payment_rule.value,
+                iterations=0,
+                mechanism="ssam",
+            )
+        with tracer.span("greedy-selection") as selection_span:
+            try:
+                steps = select(instance.bids, demand, guard_feasibility=guard)
+                exact_guard = False
+            except InfeasibleInstanceError:
+                if not guard:
+                    raise
+                # The cheap lookahead could not keep the greedy on a
+                # completing trajectory; escalate to the exact
+                # residual-feasibility guard (which completes whenever the
+                # instance is feasible at all).
+                steps = select(instance.bids, demand, exact_guard=True)
+                exact_guard = True
+            tracer.annotate(
+                selection_span, iterations=len(steps), exact_guard=exact_guard
+            )
+        with tracer.span("payment-computation", rule=payment_rule.value):
+            if payment_rule is PaymentRule.CRITICAL_RERUN:
+                payments = compute_critical_payments(
+                    instance,
+                    [step.bid for step in steps],
+                    exact_guard=exact_guard,
+                    guard_feasibility=guard,
+                    parallelism=parallelism,
+                    use_fast=use_fast,
+                )
+            else:
+                payments = [_runner_up_payment(instance, step) for step in steps]
+        winners: list[WinningBid] = []
+        for step, payment in zip(steps, payments):
+            # Tag every unit this bid newly covers with its average price
+            # (the dual-fitting bookkeeping behind Lemma 1 / Theorem 3).
+            dual_updates = 0
+            for buyer in step.bid.covered:
+                if step.coverage_before.get(buyer, 0) < demand.get(buyer, 0):
+                    duals.record_unit(buyer, step.ratio)
+                    dual_updates += 1
+            key = step.bid.key
+            original = (
+                original_prices[key]
+                if original_prices is not None
+                else step.bid.price
+            )
+            winners.append(
+                WinningBid(
+                    bid=step.bid,
+                    payment=payment,
+                    iteration=step.iteration,
+                    marginal_utility=step.utility,
+                    average_price=step.ratio,
+                    original_price=original,
+                )
+            )
+            if _OBS.enabled:
+                _OBS.metrics.counter("ssam.dual_updates").inc(dual_updates)
+                tracer.event(
+                    "winner",
+                    iteration=step.iteration,
+                    seller=step.bid.seller,
+                    index=step.bid.index,
+                    price=step.bid.price,
+                    original_price=float(original),
+                    payment=float(payment),
+                    utility=step.utility,
+                    average_price=step.ratio,
+                    covered=sorted(step.bid.covered),
+                )
+        outcome = AuctionOutcome(
             instance=instance,
-            winners=(),
+            winners=tuple(winners),
             duals=duals,
-            ratio_bound=1.0,
+            ratio_bound=ssam_ratio_bound(instance.total_demand, instance.bids),
             payment_rule=payment_rule.value,
-            iterations=0,
+            iterations=len(steps),
             mechanism="ssam",
         )
-    try:
-        steps = select(instance.bids, demand, guard_feasibility=guard)
-        exact_guard = False
-    except InfeasibleInstanceError:
-        if not guard:
-            raise
-        # The cheap lookahead could not keep the greedy on a completing
-        # trajectory; escalate to the exact residual-feasibility guard
-        # (which completes whenever the instance is feasible at all).
-        steps = select(instance.bids, demand, exact_guard=True)
-        exact_guard = True
-    if payment_rule is PaymentRule.CRITICAL_RERUN:
-        payments = compute_critical_payments(
-            instance,
-            [step.bid for step in steps],
-            exact_guard=exact_guard,
-            guard_feasibility=guard,
-            parallelism=parallelism,
-            use_fast=use_fast,
+        tracer.annotate(
+            auction_span,
+            social_cost=outcome.social_cost,
+            total_payment=outcome.total_payment,
+            iterations=len(steps),
+            winners=len(winners),
         )
-    else:
-        payments = [_runner_up_payment(instance, step) for step in steps]
-    winners: list[WinningBid] = []
-    for step, payment in zip(steps, payments):
-        # Tag every unit this bid newly covers with its average price
-        # (the dual-fitting bookkeeping behind Lemma 1 / Theorem 3).
-        for buyer in step.bid.covered:
-            if step.coverage_before.get(buyer, 0) < demand.get(buyer, 0):
-                duals.record_unit(buyer, step.ratio)
-        key = step.bid.key
-        original = (
-            original_prices[key]
-            if original_prices is not None
-            else step.bid.price
-        )
-        winners.append(
-            WinningBid(
-                bid=step.bid,
-                payment=payment,
-                iteration=step.iteration,
-                marginal_utility=step.utility,
-                average_price=step.ratio,
-                original_price=original,
-            )
-        )
-    outcome = AuctionOutcome(
-        instance=instance,
-        winners=tuple(winners),
-        duals=duals,
-        ratio_bound=ssam_ratio_bound(instance.total_demand, instance.bids),
-        payment_rule=payment_rule.value,
-        iterations=len(steps),
-        mechanism="ssam",
-    )
-    outcome.verify()
-    return outcome
+        if _OBS.enabled:
+            metrics = _OBS.metrics
+            metrics.counter("ssam.winners").inc(len(winners))
+            metrics.counter("ssam.iterations").inc(len(steps))
+            for winning in winners:
+                if winning.bid.price > 0 and math.isfinite(winning.payment):
+                    metrics.histogram("ssam.payment_price_ratio").observe(
+                        winning.payment / winning.bid.price
+                    )
+        outcome.verify()
+        return outcome

@@ -34,6 +34,8 @@ from repro.edge.cloud import EdgeCloud
 from repro.edge.network import BackhaulNetwork
 from repro.edge.users import EndUser
 from repro.errors import ConfigurationError
+from repro.obs.profiler import profiled
+from repro.obs.runtime import STATE as _OBS
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import EventKind
 from repro.sim.metrics import RoundSnapshot
@@ -307,29 +309,40 @@ class EdgePlatform:
     # ------------------------------------------------------------------
     # the per-round loop
     # ------------------------------------------------------------------
+    @profiled("platform.round")
     def run_round(self) -> PlatformRoundReport:
         """Advance one full round; return what happened."""
         round_index = len(self.reports)
-        round_start = self._engine.now
-        round_end = round_start + self.config.round_length
-        self._engine.run_until(round_end)
-        snapshots = tuple(
-            server.stats.snapshot(round_index, round_start, round_end)
-            for server in self._servers.values()
-        )
-        for server in self._servers.values():
-            server.stats.reset(round_end)
-        demand_units = self.estimator.estimate_round(snapshots)
-        auction_result, transfers = self._run_auction(demand_units)
-        report = PlatformRoundReport(
-            round_index=round_index,
-            snapshots=snapshots,
-            demand_units=demand_units,
-            auction=auction_result,
-            transfers=transfers,
-        )
-        self.reports.append(report)
-        return report
+        with _OBS.tracer.span(
+            "platform.round", round_index=round_index
+        ) as round_span:
+            round_start = self._engine.now
+            round_end = round_start + self.config.round_length
+            with _OBS.tracer.span("platform.simulate"):
+                self._engine.run_until(round_end)
+            snapshots = tuple(
+                server.stats.snapshot(round_index, round_start, round_end)
+                for server in self._servers.values()
+            )
+            for server in self._servers.values():
+                server.stats.reset(round_end)
+            demand_units = self.estimator.estimate_round(snapshots)
+            auction_result, transfers = self._run_auction(demand_units)
+            report = PlatformRoundReport(
+                round_index=round_index,
+                snapshots=snapshots,
+                demand_units=demand_units,
+                auction=auction_result,
+                transfers=transfers,
+            )
+            _OBS.tracer.annotate(
+                round_span,
+                social_cost=report.social_cost,
+                transfers=len(transfers),
+                demand_units=sum(demand_units.values()),
+            )
+            self.reports.append(report)
+            return report
 
     def run(self, rounds: int | None = None) -> list[PlatformRoundReport]:
         """Run the configured horizon (or ``rounds``) and return reports."""
@@ -363,6 +376,7 @@ class EdgePlatform:
             )
         return bids
 
+    @profiled("platform.auction")
     def _run_auction(
         self, demand_units: Mapping[int, int]
     ) -> tuple[RoundResult | None, tuple[tuple[int, frozenset[int]], ...]]:

@@ -18,6 +18,7 @@ __all__ = [
     "MechanismError",
     "CapacityExceededError",
     "SimulationError",
+    "ObservabilityError",
 ]
 
 
@@ -60,3 +61,12 @@ class CapacityExceededError(ReproError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulation engine hit an invalid state."""
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """A trace stream is malformed or inconsistent with its own records.
+
+    Raised by the trace readers (:func:`repro.obs.read_trace`,
+    :func:`repro.obs.summarize`) — never by the write path, which must
+    stay failure-free on the auction hot paths.
+    """

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs.runtime import ObservabilityConfig
 
 __all__ = ["ExperimentConfig", "QUICK", "FULL"]
 
@@ -48,6 +49,10 @@ class ExperimentConfig:
     engine:
         Selection engine every mechanism run of the sweep uses where
         applicable: ``"fast"`` (default) or ``"reference"``.
+    observability:
+        Optional :class:`~repro.obs.ObservabilityConfig`; when set, the
+        experiment runner activates tracing/metrics before dispatching
+        mechanism runs (``None``, the default, keeps observability off).
     """
 
     seeds: tuple[int, ...] = (11, 23, 37, 53, 71)
@@ -61,6 +66,7 @@ class ExperimentConfig:
     parallelism: int = 1
     mechanism: str = "ssam"
     engine: str = "fast"
+    observability: ObservabilityConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -76,6 +82,13 @@ class ExperimentConfig:
         if self.engine not in ("fast", "reference"):
             raise ConfigurationError(
                 f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
+        if self.observability is not None and not isinstance(
+            self.observability, ObservabilityConfig
+        ):
+            raise ConfigurationError(
+                "observability must be an ObservabilityConfig or None, got "
+                f"{type(self.observability).__name__}"
             )
         # Resolve against the registry so a typo fails at configuration
         # time (with the known names), not mid-sweep.

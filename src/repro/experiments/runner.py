@@ -21,6 +21,8 @@ from repro.core.wsp import WSPInstance
 from repro.demand.estimator import NoisyOracleEstimator
 from repro.errors import ConfigurationError, SolverError
 from repro.experiments.config import ExperimentConfig
+from repro.obs.profiler import profiled
+from repro.obs.runtime import activate
 from repro.workload.bidgen import (
     ensure_online_feasible,
     generate_capacities,
@@ -56,6 +58,7 @@ def mean_over_seeds(
     return statistics.fmean(values)
 
 
+@profiled("experiments.mechanism")
 def run_configured_mechanism(
     config: ExperimentConfig,
     instance: WSPInstance,
@@ -69,7 +72,12 @@ def run_configured_mechanism(
     stochastic mechanisms) and any ``overrides`` are filtered against the
     registry spec's declared options, so the same dispatch call serves
     SSAM and every baseline without per-mechanism plumbing.
+
+    When the config carries an ``observability`` request it is activated
+    (idempotently) before dispatch, so sweep loops get tracing/metrics
+    without per-call plumbing.
     """
+    activate(config.observability)
     spec = get_spec(config.mechanism)
     options: dict[str, Any] = {
         "parallelism": config.parallelism,

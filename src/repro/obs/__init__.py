@@ -1,0 +1,89 @@
+"""``repro.obs`` — auction observability: tracing, metrics, profiling.
+
+Zero-overhead-when-disabled instrumentation for the auction engines.
+Three pieces:
+
+* :class:`Tracer` — structured, versioned JSONL span/event stream
+  (auction → round → phase), readable offline with :func:`read_trace`
+  and :func:`summarize`.
+* :class:`MetricsRegistry` — counters/gauges/histograms with JSON and
+  Prometheus text exporters.
+* :func:`profiled` — wall-time hooks on the hot paths
+  (selection, payments, MSOA rounds, platform rounds).
+
+Everything is off by default; :func:`configure` / :func:`observing`
+flip one process-wide switch.  :func:`summarize` rebuilds per-round
+social cost and coverage from a trace alone, bit-for-bit equal to the
+live ``AuctionOutcome`` — the golden-trace suite enforces this.
+"""
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    NULL_METRICS,
+)
+from repro.obs.profiler import profiled
+from repro.obs.runtime import (
+    ObservabilityConfig,
+    activate,
+    configure,
+    disable,
+    get_metrics,
+    get_tracer,
+    is_enabled,
+    observing,
+)
+from repro.obs.summary import (
+    AuctionSummary,
+    RoundSummary,
+    TraceSummary,
+    summarize,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    Tracer,
+    iter_spans,
+    read_trace,
+)
+
+__all__ = [
+    # runtime switch
+    "ObservabilityConfig",
+    "configure",
+    "activate",
+    "disable",
+    "observing",
+    "is_enabled",
+    "get_tracer",
+    "get_metrics",
+    # tracing
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "read_trace",
+    "iter_spans",
+    # metrics
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA_VERSION",
+    # profiling
+    "profiled",
+    # analysis
+    "summarize",
+    "TraceSummary",
+    "RoundSummary",
+    "AuctionSummary",
+]

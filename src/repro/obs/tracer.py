@@ -1,0 +1,280 @@
+"""Structured, versioned auction tracing (JSONL spans and events).
+
+A :class:`Tracer` writes one JSON object per line to a trace file.  The
+stream is self-describing: the first record is a header carrying the
+schema name and version, every subsequent record carries a monotone
+``seq`` number (deterministic ordering without relying on wall clocks),
+and a footer closes the stream.
+
+Record kinds::
+
+    {"kind": "header", "schema": "repro.obs.trace", "version": 1}
+    {"kind": "span_start", "seq": n, "id": s, "parent": p, "name": ..., "fields": {...}}
+    {"kind": "event",      "seq": n, "span": s, "name": ..., "fields": {...}}
+    {"kind": "span_end",   "seq": n, "id": s, "name": ..., "status": "ok"|"error",
+     "duration_s": ..., "fields": {...}}
+    {"kind": "footer", "seq": n, "spans": total}
+
+Spans nest (auction → round → phase) through an explicit stack, so a
+trace reader can rebuild the tree from ``parent`` pointers alone; events
+attach to the innermost open span.  Exceptions unwind spans with
+``status: "error"`` — a truncated phase is visible in the trace instead
+of silently absent.
+
+:data:`NULL_TRACER` is the disabled-path null object: ``span`` returns a
+shared re-entrant no-op context manager and ``event`` does nothing, so
+instrumented code is branch-free.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from collections.abc import Iterator, Mapping
+
+from repro.errors import ConfigurationError, ObservabilityError
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "read_trace",
+]
+
+TRACE_SCHEMA = "repro.obs.trace"
+"""Schema identifier written into every trace header."""
+
+TRACE_SCHEMA_VERSION = 1
+"""Bump on breaking changes to the record layout."""
+
+
+class _Span:
+    """Context manager for one span; re-used objects are not supported."""
+
+    __slots__ = ("_tracer", "name", "span_id", "_start", "end_fields")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._open_span(name, fields)
+        self._start = 0.0
+        self.end_fields: dict | None = None
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close_span(
+            self,
+            duration=time.perf_counter() - self._start,
+            status="ok" if exc_type is None else "error",
+        )
+
+
+class Tracer:
+    """JSONL span/event writer bound to one output file."""
+
+    enabled = True
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        try:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot open trace file {self.path}: {error}"
+            ) from error
+        self._seq = 0
+        self._next_span_id = 1
+        self._stack: list[int] = []
+        self._spans_seen = 0
+        self._closed = False
+        self._write(
+            {
+                "kind": "header",
+                "schema": TRACE_SCHEMA,
+                "version": TRACE_SCHEMA_VERSION,
+                "created_unix": time.time(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # the public surface instrumented code calls
+    # ------------------------------------------------------------------
+    def span(self, name: str, **fields) -> _Span:
+        """Open a nested span; use as ``with tracer.span("greedy"): ...``."""
+        return _Span(self, name, fields)
+
+    def event(self, name: str, **fields) -> None:
+        """Emit one event attached to the innermost open span (0 if none)."""
+        self._seq += 1
+        self._write(
+            {
+                "kind": "event",
+                "seq": self._seq,
+                "span": self._stack[-1] if self._stack else 0,
+                "name": name,
+                "fields": fields,
+            }
+        )
+
+    def close(self) -> None:
+        """Write the footer and release the file handle (idempotent)."""
+        if self._closed:
+            return
+        self._seq += 1
+        self._write(
+            {"kind": "footer", "seq": self._seq, "spans": self._spans_seen}
+        )
+        self._closed = True
+        self._handle.close()
+
+    # ------------------------------------------------------------------
+    # span bookkeeping
+    # ------------------------------------------------------------------
+    def _open_span(self, name: str, fields: dict) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self._seq += 1
+        self._spans_seen += 1
+        self._write(
+            {
+                "kind": "span_start",
+                "seq": self._seq,
+                "id": span_id,
+                "parent": self._stack[-1] if self._stack else 0,
+                "name": name,
+                "fields": fields,
+            }
+        )
+        self._stack.append(span_id)
+        return span_id
+
+    def _close_span(self, span: _Span, *, duration: float, status: str) -> None:
+        # Unwind to the span being closed: an exception that skipped inner
+        # __exit__ calls must not leave phantom open spans on the stack.
+        while self._stack and self._stack[-1] != span.span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self._seq += 1
+        self._write(
+            {
+                "kind": "span_end",
+                "seq": self._seq,
+                "id": span.span_id,
+                "name": span.name,
+                "status": status,
+                "duration_s": duration,
+                "fields": span.end_fields or {},
+            }
+        )
+
+    def annotate(self, span: _Span, **fields) -> None:
+        """Attach fields to ``span``'s eventual ``span_end`` record.
+
+        Lets instrumentation report quantities only known at the end of a
+        phase (social cost, iteration counts) on the closing record, where
+        readers expect summary fields.
+        """
+        if span.end_fields is None:
+            span.end_fields = dict(fields)
+        else:
+            span.end_fields.update(fields)
+
+    def _write(self, record: Mapping) -> None:
+        if self._closed:
+            return
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class _NullSpan:
+    """Shared re-entrant no-op context manager (also a no-op span)."""
+
+    __slots__ = ()
+    name = "null"
+    span_id = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Null object installed while tracing is disabled."""
+
+    enabled = False
+    __slots__ = ()
+    path = None
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def annotate(self, span, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+"""The process-wide null tracer (shared; stateless)."""
+
+
+def read_trace(path: str | pathlib.Path) -> list[dict]:
+    """Load a trace file back into a list of record dicts.
+
+    Validates the header (schema name and version) and that the stream is
+    syntactically well formed; semantic checks (span nesting, sequence
+    monotonicity) live in :func:`repro.obs.summary.summarize`.
+    """
+    source = pathlib.Path(path)
+    try:
+        lines = source.read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read trace file {source}: {error}"
+        ) from error
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"{source}:{lineno}: malformed trace record: {error}"
+            ) from error
+    if not records:
+        raise ObservabilityError(f"{source}: empty trace (no header record)")
+    header = records[0]
+    if header.get("kind") != "header" or header.get("schema") != TRACE_SCHEMA:
+        raise ObservabilityError(
+            f"{source}: first record is not a {TRACE_SCHEMA} header"
+        )
+    version = header.get("version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"{source}: unsupported trace schema version {version!r} "
+            f"(this build reads version {TRACE_SCHEMA_VERSION})"
+        )
+    return records
+
+
+def iter_spans(records: list[dict]) -> Iterator[dict]:
+    """Yield ``span_start`` records in stream order (reader convenience)."""
+    for record in records:
+        if record.get("kind") == "span_start":
+            yield record

@@ -1,0 +1,91 @@
+"""Benchmark smoke tier: every ``benchmarks/bench_*.py`` must stay runnable.
+
+The benchmark harness lives outside the tier-1 testpaths, so an API change
+could silently break it between nightly runs.  This module imports every
+bench entry point and executes it once on a tiny sweep (one seed, the
+smallest market axes) with stub fixtures replacing pytest-benchmark: the
+timing loop collapses to a single call, and the result tables go nowhere.
+Slow by marker — the quick signal skips it, CI runs it.
+"""
+
+import importlib.util
+import inspect
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH_MODULES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+#: One seed, smallest axes: each bench runs its sweep once, end to end.
+#: Both request levels stay — the figure-3b/6b panels assert the 200-level
+#: series dominates the 100-level one.
+TINY_SWEEP = ExperimentConfig(
+    seeds=(11,),
+    microservice_counts=(25,),
+    request_levels=(100, 200),
+    rounds_axis=(1, 3),
+    bids_axis=(1, 2),
+    horizon_rounds=2,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class _BenchmarkStub:
+    """pytest-benchmark's callable protocol, minus the timing loop."""
+
+    def __init__(self):
+        self.extra_info = {}
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, **_ignored):
+        return fn(*args, **(kwargs or {}))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"bench_smoke_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _bench_functions(module):
+    return [
+        fn
+        for name, fn in sorted(vars(module).items())
+        if name.startswith("test_") and callable(fn)
+    ]
+
+
+def test_bench_modules_discovered():
+    # The glob must keep finding the harness; an empty discovery would
+    # make the parametrized smoke test below vacuously green.
+    assert len(BENCH_MODULES) >= 10
+
+
+@pytest.mark.parametrize(
+    "path", BENCH_MODULES, ids=[p.stem for p in BENCH_MODULES]
+)
+def test_bench_entry_point_runs_on_tiny_sweep(path, capsys):
+    module = _load(path)
+    functions = _bench_functions(module)
+    assert functions, f"{path.name} defines no test_ entry point"
+    fixtures = {
+        "benchmark": _BenchmarkStub(),
+        "sweep_config": TINY_SWEEP,
+        "show": lambda table: None,
+        "capsys": capsys,
+    }
+    for fn in functions:
+        parameters = inspect.signature(fn).parameters
+        unknown = set(parameters) - set(fixtures)
+        assert not unknown, (
+            f"{path.name}:{fn.__name__} requests fixtures the smoke tier "
+            f"does not stub: {sorted(unknown)}"
+        )
+        fn(**{name: fixtures[name] for name in parameters})

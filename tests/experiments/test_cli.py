@@ -176,3 +176,89 @@ class TestExtraCommands:
         out = capsys.readouterr().out
         assert "winners cover" in out
         assert "truthfulness premium" in out
+
+
+class TestVerifyCommand:
+    def test_verify_minimal_invocation_exits_zero(self, capsys):
+        assert main(["verify", "--instances", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ssam" in out
+
+    def test_verify_unknown_mechanism_reports_cleanly(self, capsys):
+        assert main(["verify", "--mechanism", "nope", "--instances", "3"]) == 2
+        assert "unknown mechanism" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_flags_parsed_on_all_instrumented_subcommands(self):
+        for command in (["run"], ["fig", "4a"], ["bench"], ["verify"]):
+            args = build_parser().parse_args(
+                command + ["--trace", "t.jsonl", "--metrics", "m.json"]
+            )
+            assert args.trace == "t.jsonl"
+            assert args.metrics == "m.json"
+            defaults = build_parser().parse_args(command)
+            assert defaults.trace is None and defaults.metrics is None
+
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs import read_trace, summarize
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["run", "--trace", str(trace), "--metrics", str(metrics)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace {trace}" in out
+        assert f"wrote metrics {metrics}" in out
+        records = read_trace(trace)
+        assert records[0]["kind"] == "header"
+        summary = summarize(trace)
+        assert summary.truncated is False
+        assert len(summary.auctions) == 1
+        import json
+
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["ssam.runs"] == 1.0
+
+    def test_run_online_trace_reconstructs_rounds(self, tmp_path, capsys):
+        from repro.obs import summarize
+
+        trace = tmp_path / "msoa.jsonl"
+        assert main(
+            [
+                "run", "--mechanism", "msoa", "--rounds", "2",
+                "--trace", str(trace),
+            ]
+        ) == 0
+        summary = summarize(trace)
+        assert [r.round_index for r in summary.rounds] == [0, 1]
+        printed = capsys.readouterr().out
+        assert f"social cost   {summary.social_cost:.2f}" in printed
+
+    def test_unwritable_trace_path_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "t.jsonl"
+        assert main(["run", "--trace", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot open trace" in err
+
+    def test_unwritable_metrics_path_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "m.json"
+        assert main(["run", "--metrics", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot write metrics" in err
+
+    def test_flags_leave_observability_disabled_after_exit(self, tmp_path):
+        from repro.obs import is_enabled
+
+        assert main(["run", "--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert is_enabled() is False
+
+    def test_trace_flag_never_changes_printed_results(self, tmp_path, capsys):
+        assert main(["run", "--seed", "13"]) == 0
+        untraced = capsys.readouterr().out
+        assert main(
+            ["run", "--seed", "13", "--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        traced = capsys.readouterr().out
+        assert traced.startswith(untraced.rsplit("\n", 1)[0].rstrip())

@@ -1,0 +1,14 @@
+"""Observability tests always start from — and restore — the disabled
+default, so a failing test can never leak an enabled tracer into the rest
+of the suite (which asserts bit-identical untraced behaviour)."""
+
+import pytest
+
+from repro.obs.runtime import _reset_for_tests
+
+
+@pytest.fixture(autouse=True)
+def _observability_reset():
+    _reset_for_tests()
+    yield
+    _reset_for_tests()

@@ -1,0 +1,42 @@
+"""Guard: observability is fully disabled unless explicitly configured.
+
+The acceptance contract for the whole subsystem is that the default
+execution path is untouched — no files, no live instruments, bit-identical
+mechanism outputs.  These tests pin that contract so a stray module-level
+``configure()`` (or a test leaking an enabled session) fails loudly.
+"""
+
+from repro.core.ssam import run_ssam
+from repro.obs import get_metrics, get_tracer, is_enabled
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.runtime import STATE
+from repro.obs.tracer import NULL_TRACER
+
+
+class TestDisabledDefault:
+    def test_state_defaults_to_disabled(self):
+        assert STATE.enabled is False
+        assert STATE.config is None
+        assert is_enabled() is False
+
+    def test_null_objects_installed_by_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert get_metrics() is NULL_METRICS
+
+    def test_untraced_run_writes_no_files(
+        self, tmp_path, make_instance, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        run_ssam(make_instance(seed=7))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_untraced_run_records_no_metrics(self, make_instance):
+        run_ssam(make_instance(seed=7))
+        assert get_metrics().counter("ssam.runs").value == 0.0
+        assert get_metrics().to_dict()["counters"] == {}
+
+    def test_importing_obs_does_not_enable(self):
+        import repro.obs  # noqa: F401
+        import repro.api  # noqa: F401
+
+        assert STATE.enabled is False

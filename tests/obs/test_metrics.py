@@ -1,0 +1,113 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("bids").inc()
+        registry.counter("bids").inc(4)
+        assert registry.counter("bids").value == 5.0
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            registry.counter("bids").inc(-1)
+
+    def test_gauge_is_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("psi").set(3.5)
+        registry.gauge("psi").set(1.25)
+        assert registry.gauge("psi").value == 1.25
+
+    def test_histogram_summary_statistics(self):
+        registry = MetricsRegistry()
+        for value in (2.0, 8.0, 5.0):
+            registry.histogram("ratio").observe(value)
+        hist = registry.histogram("ratio")
+        assert hist.count == 3
+        assert hist.total == 15.0
+        assert hist.min == 2.0
+        assert hist.max == 8.0
+        assert hist.mean == 5.0
+
+    def test_empty_histogram_mean_is_nan(self):
+        assert math.isnan(MetricsRegistry().histogram("x").mean)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_observe_phase_uses_naming_convention(self):
+        registry = MetricsRegistry()
+        registry.observe_phase("ssam.selection", 0.25)
+        assert registry.histogram("phase.ssam.selection.seconds").count == 1
+
+
+class TestExporters:
+    def test_to_dict_is_versioned_and_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        registry.gauge("level").set(2.0)
+        registry.histogram("t").observe(0.5)
+        payload = json.loads(registry.to_json())
+        assert payload["schema"] == "repro.obs.metrics"
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+        assert payload["counters"]["runs"] == 1.0
+        assert payload["histograms"]["t"]["count"] == 1
+
+    def test_empty_histogram_exports_null_extrema(self):
+        registry = MetricsRegistry()
+        registry.histogram("t")
+        payload = registry.to_dict()
+        assert payload["histograms"]["t"]["min"] is None
+        assert payload["histograms"]["t"]["max"] is None
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("ssam.runs").inc(2)
+        registry.gauge("msoa.psi-max").set(0.5)
+        registry.histogram("phase.selection.seconds").observe(0.125)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_ssam_runs counter" in text
+        assert "repro_ssam_runs 2.0" in text
+        # Dots and dashes are sanitized to underscores.
+        assert "repro_msoa_psi_max 0.5" in text
+        assert "repro_phase_selection_seconds_count 1" in text
+        assert "repro_phase_selection_seconds_sum 0.125" in text
+
+    def test_write_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        target = registry.write_json(tmp_path / "metrics.json")
+        assert json.loads(target.read_text())["counters"]["runs"] == 1.0
+
+    def test_write_json_unwritable_path_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot write metrics"):
+            MetricsRegistry().write_json(tmp_path / "no-dir" / "m.json")
+
+
+class TestNullRegistry:
+    def test_null_instruments_are_inert(self):
+        NULL_METRICS.counter("x").inc(10)
+        NULL_METRICS.gauge("x").set(3)
+        NULL_METRICS.histogram("x").observe(1)
+        NULL_METRICS.observe_phase("p", 1.0)
+        assert NULL_METRICS.counter("x").value == 0.0
+        assert NULL_METRICS.to_dict()["counters"] == {}
+
+    def test_null_registry_flagged_disabled(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry().enabled is True

@@ -1,0 +1,93 @@
+"""Property-based invariants of the observability layer.
+
+On random feasible instances, with tracing and metrics enabled:
+
+* counter totals agree with the outcome object (bids considered ≥
+  winners; dual updates = total marginal utility; iterations match),
+* every profiled phase timing is non-negative,
+* :func:`summarize` reconstructs the social cost bit-for-bit,
+* and — the non-negotiable — tracing never changes the allocation or
+  the payments relative to an untraced run.
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.ssam import run_ssam
+from repro.obs import observing, summarize
+from repro.obs.runtime import _reset_for_tests
+
+from tests.properties.strategies import wsp_instances
+
+pytestmark = [pytest.mark.property, pytest.mark.slow]
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@COMMON
+@given(instance=wsp_instances())
+def test_metric_totals_match_outcome(instance):
+    with observing() as metrics:
+        outcome = run_ssam(instance)
+    assert metrics.counter("ssam.bids_considered").value == len(instance.bids)
+    assert metrics.counter("ssam.winners").value == len(outcome.winners)
+    assert metrics.counter("ssam.bids_considered").value >= metrics.counter(
+        "ssam.winners"
+    ).value
+    assert metrics.counter("ssam.iterations").value == outcome.iterations
+    assert metrics.counter("ssam.dual_updates").value == sum(
+        w.marginal_utility for w in outcome.winners
+    )
+
+
+@COMMON
+@given(instance=wsp_instances())
+def test_phase_timings_are_non_negative(instance):
+    with observing() as metrics:
+        run_ssam(instance)
+    for phase in ("ssam.selection", "ssam.payments"):
+        hist = metrics.histogram(f"phase.{phase}.seconds")
+        assert hist.count >= 1
+        assert hist.min >= 0.0
+        assert metrics.counter(f"phase.{phase}.calls").value == hist.count
+
+
+@COMMON
+@given(instance=wsp_instances())
+def test_summarize_reconstructs_random_instances(instance):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.jsonl")
+        with observing(trace=path):
+            outcome = run_ssam(instance)
+        summary = summarize(path)
+        assert summary.social_cost == outcome.social_cost
+        assert summary.total_payment == outcome.total_payment
+        assert summary.auctions[0].coverage == outcome.coverage
+
+
+@COMMON
+@given(instance=wsp_instances())
+def test_tracing_is_behaviour_preserving(instance):
+    # @given bypasses the module's autouse reset fixture between examples,
+    # so restore the disabled default explicitly on both sides.
+    _reset_for_tests()
+    untraced = run_ssam(instance)
+    with tempfile.TemporaryDirectory() as tmp:
+        with observing(trace=os.path.join(tmp, "t.jsonl")):
+            traced = run_ssam(instance)
+    _reset_for_tests()
+    assert [w.bid.key for w in traced.winners] == [
+        w.bid.key for w in untraced.winners
+    ]
+    assert [w.payment for w in traced.winners] == [
+        w.payment for w in untraced.winners
+    ]
+    assert traced.social_cost == untraced.social_cost
+    assert traced.duals.to_dict() == untraced.duals.to_dict()

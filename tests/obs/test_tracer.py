@@ -1,0 +1,154 @@
+"""Unit tests for the JSONL tracer and the trace reader."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ObservabilityError
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    iter_spans,
+    read_trace,
+)
+
+
+def _write_trace(path, build):
+    tracer = Tracer(path)
+    build(tracer)
+    tracer.close()
+    return read_trace(path)
+
+
+class TestWriting:
+    def test_header_and_footer_frame_the_stream(self, tmp_path):
+        records = _write_trace(tmp_path / "t.jsonl", lambda t: None)
+        assert records[0]["kind"] == "header"
+        assert records[0]["schema"] == TRACE_SCHEMA
+        assert records[0]["version"] == TRACE_SCHEMA_VERSION
+        assert records[-1]["kind"] == "footer"
+
+    def test_sequence_numbers_are_strictly_increasing(self, tmp_path):
+        def build(tracer):
+            with tracer.span("outer"):
+                tracer.event("tick")
+                with tracer.span("inner"):
+                    tracer.event("tock")
+
+        records = _write_trace(tmp_path / "t.jsonl", build)
+        seqs = [r["seq"] for r in records if "seq" in r]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+
+    def test_spans_nest_through_parent_pointers(self, tmp_path):
+        def build(tracer):
+            with tracer.span("auction"):
+                with tracer.span("greedy-selection"):
+                    pass
+                with tracer.span("payment-computation"):
+                    pass
+
+        records = _write_trace(tmp_path / "t.jsonl", build)
+        starts = list(iter_spans(records))
+        assert [s["name"] for s in starts] == [
+            "auction", "greedy-selection", "payment-computation",
+        ]
+        auction_id = starts[0]["id"]
+        assert starts[0]["parent"] == 0
+        assert starts[1]["parent"] == auction_id
+        assert starts[2]["parent"] == auction_id
+
+    def test_events_attach_to_innermost_open_span(self, tmp_path):
+        def build(tracer):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    tracer.event("deep")
+                tracer.event("shallow")
+
+        records = _write_trace(tmp_path / "t.jsonl", build)
+        events = {r["name"]: r for r in records if r["kind"] == "event"}
+        starts = {s["name"]: s["id"] for s in iter_spans(records)}
+        assert events["deep"]["span"] == starts["inner"]
+        assert events["shallow"]["span"] == starts["outer"]
+
+    def test_exception_closes_span_with_error_status(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        tracer.close()
+        ends = [r for r in read_trace(path) if r["kind"] == "span_end"]
+        assert ends[0]["status"] == "error"
+
+    def test_annotate_lands_on_span_end(self, tmp_path):
+        def build(tracer):
+            with tracer.span("auction") as span:
+                tracer.annotate(span, social_cost=12.5)
+
+        records = _write_trace(tmp_path / "t.jsonl", build)
+        end = next(r for r in records if r["kind"] == "span_end")
+        assert end["fields"]["social_cost"] == 12.5
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()
+        footers = [
+            r
+            for r in read_trace(tmp_path / "t.jsonl")
+            if r["kind"] == "footer"
+        ]
+        assert len(footers) == 1
+
+    def test_unopenable_path_raises_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot open trace"):
+            Tracer(tmp_path / "missing-dir" / "t.jsonl")
+
+
+class TestReading:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read trace"):
+            read_trace(tmp_path / "absent.jsonl")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError, match="empty trace"):
+            read_trace(path)
+
+    def test_malformed_json_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "header"}\nnot json\n')
+        with pytest.raises(ObservabilityError, match=":2:"):
+            read_trace(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({"kind": "header", "schema": "other"}) + "\n")
+        with pytest.raises(ObservabilityError, match="header"):
+            read_trace(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps(
+                {"kind": "header", "schema": TRACE_SCHEMA, "version": 999}
+            )
+            + "\n"
+        )
+        with pytest.raises(ObservabilityError, match="version"):
+            read_trace(path)
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert_and_reentrant(self):
+        with NULL_TRACER.span("a") as outer:
+            with NULL_TRACER.span("b") as inner:
+                NULL_TRACER.event("tick")
+                NULL_TRACER.annotate(inner, x=1)
+        assert outer.span_id == 0
+        NULL_TRACER.close()
+        assert NULL_TRACER.enabled is False
