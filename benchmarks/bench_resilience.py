@@ -1,0 +1,76 @@
+"""Resilience sweep: seller-default probability vs. cost and coverage.
+
+Not a paper panel — the paper assumes every winning seller delivers.  This
+bench measures what that assumption is worth: the same seeded horizon runs
+under growing per-win default probabilities, with the default
+:class:`repro.faults.ResiliencePolicy` re-auctioning the residual demand
+after each default.  Reported per (mechanism, probability): social cost,
+demand coverage, recovered vs. abandoned units, degraded rounds.
+
+Expected shape: the ``p_default = 0`` row is bit-identical to a fault-free
+run (the null-plan guard); social cost rises with the default rate because
+re-auctions pay for replacement coverage at relaxed ceilings; coverage
+stays near 1 while retries can still find substitute sellers and dips only
+when the market runs out of them (abandoned > 0).
+"""
+
+import numpy as np
+
+from repro.core.registry import make_online
+from repro.experiments.resilience import (
+    DEFAULT_RESILIENCE_MECHANISMS,
+    run_resilience_sweep,
+)
+from repro.faults import FaultPlan, SellerDefault
+from repro.workload.bidgen import MarketConfig, generate_horizon
+
+PROBABILITIES = (0.0, 0.1, 0.2, 0.3, 0.4)
+
+
+def test_resilience_sweep(benchmark, sweep_config, show):
+    rounds = sweep_config.horizon_rounds
+    seed = sweep_config.seeds[0]
+    table = run_resilience_sweep(
+        mechanisms=DEFAULT_RESILIENCE_MECHANISMS,
+        probabilities=PROBABILITIES,
+        rounds=rounds,
+        seed=seed,
+    )
+    show(table)
+
+    by_mechanism = {}
+    for row in table.rows:
+        by_mechanism.setdefault(row["mechanism"], []).append(row)
+    for name, rows in by_mechanism.items():
+        # Null plan == fault-free run: full coverage, nothing injected.
+        reference = rows[0]
+        assert reference["p_default"] == 0.0
+        assert reference["coverage"] == 1.0, name
+        assert reference["fault_events"] == 0, name
+        for row in rows[1:]:
+            # Faults fire at every positive probability on this horizon,
+            # and recovery never over-claims: served = demanded - abandoned.
+            assert row["fault_events"] > 0, name
+            assert 0.0 <= row["coverage"] <= 1.0, name
+            assert row["recovered"] >= 0 and row["abandoned"] >= 0, name
+            # While every default is recovered, replacement coverage is
+            # never cheaper than first-choice coverage: the unfaulted run
+            # greedily took the best bids first.  (Once units are
+            # abandoned the comparison is apples-to-oranges.)
+            if row["coverage"] == 1.0:
+                assert row["social_cost"] >= reference["social_cost"] - 1e-9, name
+
+    # Time the faulted MSOA horizon (injection + retry re-auctions).
+    rng = np.random.default_rng(seed)
+    horizon, capacities = generate_horizon(MarketConfig(), rng, rounds=rounds)
+    plan = FaultPlan(seed=0, seller_defaults=(SellerDefault(probability=0.3),))
+
+    def faulted_msoa():
+        mechanism = make_online(
+            "msoa", capacities, on_infeasible="skip", faults=plan
+        )
+        for instance in horizon:
+            mechanism.process_round(instance)
+        return mechanism.finalize()
+
+    benchmark(faulted_msoa)

@@ -1,0 +1,122 @@
+"""Check every Markdown link in docs/ and README.md.
+
+Self-contained (stdlib only), so CI and contributors run the exact same
+gate::
+
+    python scripts_check_docs_links.py
+
+For each ``[text](target)`` link in the checked files:
+
+* relative file targets must exist on disk (checked against the linking
+  file's directory);
+* ``#fragment`` anchors — standalone or attached to a relative Markdown
+  target — must match a heading in the target file, using GitHub's
+  slugification (lowercase, punctuation stripped, spaces to dashes);
+* absolute URLs (``http(s)://``, ``mailto:``) are *not* fetched — this
+  gate is for repo-internal rot, not for the network — but their syntax
+  is validated (a scheme and a host).
+
+Exit code 0 iff no broken links; each offender is printed as
+``file:line: message``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent
+CHECKED = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+#: Inline links, excluding images' size-hint false positives: capture the
+#: target of ``[...](...)`` while tolerating one level of parentheses.
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)?)\)")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+ABSOLUTE = re.compile(r"^[a-z][a-z0-9+.-]*:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return re.sub(r" ", "-", text)
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(1)))
+    return anchors
+
+
+def iter_links(path: pathlib.Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems: list[str] = []
+    for lineno, target in iter_links(path):
+        where = f"{path.relative_to(ROOT)}:{lineno}"
+        if ABSOLUTE.match(target):
+            if target.startswith(("http://", "https://")):
+                if not re.match(r"^https?://[\w.-]+", target):
+                    problems.append(f"{where}: malformed URL {target!r}")
+            elif not target.startswith("mailto:"):
+                problems.append(f"{where}: unknown scheme in {target!r}")
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (
+            path if not base else (path.parent / base).resolve()
+        )
+        if base and not resolved.exists():
+            problems.append(f"{where}: broken link target {target!r}")
+            continue
+        if fragment:
+            if resolved.suffix.lower() != ".md" or resolved.is_dir():
+                continue  # anchors into non-markdown targets: no contract
+            if fragment not in anchors_of(resolved):
+                problems.append(
+                    f"{where}: no heading for anchor "
+                    f"#{fragment} in {resolved.relative_to(ROOT)}"
+                )
+    return problems
+
+
+def main() -> int:
+    missing = [p for p in CHECKED if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"checked file is gone: {path}", file=sys.stderr)
+        return 1
+    problems = [issue for path in CHECKED for issue in check_file(path)]
+    for issue in problems:
+        print(issue, file=sys.stderr)
+    print(
+        f"checked {len(CHECKED)} files: "
+        + (f"{len(problems)} broken links" if problems else "all links OK")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

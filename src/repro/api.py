@@ -35,10 +35,15 @@ Time the engine              :func:`run_engine_bench` (CLI:
 Trace / profile a run        :func:`observing` (or :func:`configure`),
                              then :func:`summarize` on the trace file
                              (CLI: ``--trace/--metrics`` flags)
+Inject faults / recover      :class:`FaultPlan` via keyword ``faults=``
+                             on :func:`run_msoa` / :func:`make_online`,
+                             tuned by :class:`ResiliencePolicy`
+                             (keyword ``resilience=``; CLI: ``--faults``)
 ===========================  ==========================================
 
 Mechanism options are keyword-only and share one vocabulary everywhere:
-``payment_rule=``, ``parallelism=``, ``guard=``, ``engine=``.
+``payment_rule=``, ``parallelism=``, ``guard=``, ``engine=``, and (for
+online runs) ``faults=``, ``resilience=``.
 
 >>> import numpy as np
 >>> from repro.api import MarketConfig, generate_round, run_ssam
@@ -54,6 +59,20 @@ compare and persist uniformly:
 >>> from repro.api import get_mechanism
 >>> get_mechanism("vcg")(instance).mechanism
 'vcg'
+
+Online horizons run the same way, and accept a seeded fault plan; the
+defaulted seller's demand is re-auctioned, and the faulted run stays
+reproducible (same plan, same outcome):
+
+>>> from repro.api import FaultPlan, SellerDefault, generate_horizon, run_msoa
+>>> rounds, capacities = generate_horizon(
+...     MarketConfig(), np.random.default_rng(7), rounds=4)
+>>> plan = FaultPlan(seed=3, seller_defaults=(SellerDefault(probability=0.3),))
+>>> faulted = run_msoa(rounds, capacities, faults=plan)
+>>> faulted.fault_events > 0
+True
+>>> faulted.social_cost == run_msoa(rounds, capacities, faults=plan).social_cost
+True
 """
 
 from __future__ import annotations
@@ -84,6 +103,17 @@ from repro.errors import (
 )
 from repro.experiments.bench_engine import run_engine_bench
 from repro.experiments.storage import load_outcome, save_outcome
+from repro.faults import (
+    BidDropout,
+    CloudChurn,
+    DemandSurge,
+    FaultPlan,
+    LateBid,
+    ResiliencePolicy,
+    SellerDefault,
+    load_fault_plan,
+    save_fault_plan,
+)
 from repro.obs import (
     ObservabilityConfig,
     TraceSummary,
@@ -126,6 +156,16 @@ __all__ = [
     # references & tooling
     "solve_wsp_optimal",
     "run_engine_bench",
+    # faults & resilience
+    "FaultPlan",
+    "SellerDefault",
+    "BidDropout",
+    "LateBid",
+    "CloudChurn",
+    "DemandSurge",
+    "ResiliencePolicy",
+    "load_fault_plan",
+    "save_fault_plan",
     # observability
     "ObservabilityConfig",
     "configure",

@@ -64,6 +64,12 @@ def _cmd_fig(args: argparse.Namespace) -> int:
                 trace_path=args.trace, metrics_path=args.metrics
             ),
         )
+    if args.faults:
+        from repro.faults import load_fault_plan
+
+        config = dataclasses.replace(
+            config, faults=load_fault_plan(args.faults)
+        )
     keys = list(FIGURES) if args.panel == "all" else [args.panel]
     for key in keys:
         if key not in FIGURES:
@@ -192,6 +198,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_spec(args.mechanism)
     mechanism = get_mechanism(args.mechanism)
     rng = np.random.default_rng(args.seed)
+    if args.faults:
+        from repro.core.registry import make_online
+        from repro.faults import load_fault_plan
+
+        if spec.kind == "horizon":
+            print("--faults needs a mechanism that runs online; "
+                  f"{spec.name} is a horizon benchmark", file=sys.stderr)
+            return 2
+        plan = load_fault_plan(args.faults)
+        horizon, capacities = generate_horizon(
+            MarketConfig(), rng, rounds=args.rounds
+        )
+        online = make_online(
+            args.mechanism, capacities, on_infeasible="skip", faults=plan
+        )
+        for instance in horizon:
+            online.process_round(instance)
+        outcome = online.finalize()
+        print(f"{spec.name} over {args.rounds} rounds (seed {args.seed}) "
+              f"under fault plan {args.faults}:")
+        print(f"  social cost   {outcome.social_cost:.2f}")
+        print(f"  total payment {outcome.total_payment:.2f}")
+        print(f"  fault events  {outcome.fault_events}")
+        if outcome.degraded_rounds:
+            print(f"  DEGRADED rounds {outcome.degraded_rounds}: "
+                  f"{outcome.uncovered_units} units left uncovered")
+        else:
+            print("  full coverage (every default recovered)")
+        if args.out:
+            save_outcome(outcome, args.out)
+            print(f"wrote {args.out}")
+        return 0
     if spec.kind == "single":
         instance = generate_round(MarketConfig(), rng)
         outcome = mechanism(instance)
@@ -233,6 +271,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_engine_bench,
         write_engine_bench,
     )
+
+    if args.faults:
+        from repro.experiments.resilience import evaluate_fault_plan
+        from repro.faults import load_fault_plan
+
+        plan = load_fault_plan(args.faults)
+        table = evaluate_fault_plan(plan, rounds=4 if args.quick else 8)
+        print(table.render())
+        return 0
 
     payload = run_engine_bench(
         parallelism=args.parallelism, quick=args.quick
@@ -308,6 +355,15 @@ def _cmd_quickstart(_: argparse.Namespace) -> int:
     return 0
 
 
+def _add_faults_flag(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC.json",
+        help=help_text,
+    )
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -354,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="selection engine for every mechanism run (default fast)",
     )
+    _add_faults_flag(
+        fig,
+        "fault-plan JSON (repro.faults); every online run of the sweep "
+        "executes under it",
+    )
     _add_observability_flags(fig)
     fig.set_defaults(fn=_cmd_fig)
     run = sub.add_parser(
@@ -376,6 +437,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--out", default=None, metavar="PATH",
         help="save the outcome JSON here (single/online mechanisms)",
+    )
+    _add_faults_flag(
+        run,
+        "fault-plan JSON (repro.faults); runs the mechanism online over "
+        "--rounds with faults injected (single-round mechanisms are "
+        "wrapped by the online adapter)",
     )
     _add_observability_flags(run)
     run.set_defaults(fn=_cmd_run)
@@ -401,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default="BENCH_engine.json",
         help="output JSON path (default: BENCH_engine.json)",
+    )
+    _add_faults_flag(
+        bench,
+        "fault-plan JSON (repro.faults); runs the resilience evaluation "
+        "(cost/coverage under the plan vs. fault-free) instead of the "
+        "engine bench",
     )
     _add_observability_flags(bench)
     bench.set_defaults(fn=_cmd_bench)

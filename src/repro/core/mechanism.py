@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable, Mapping, Sequence
-from typing import Any, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from repro.core.bids import Bid
 from repro.core.duals import DualSolution
@@ -42,12 +42,60 @@ from repro.core.ratios import capacity_margin
 from repro.core.wsp import CoverageState, WSPInstance
 from repro.errors import ConfigurationError, InfeasibleInstanceError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults → core)
+    from repro.faults.injector import FaultInjector
+    from repro.faults.models import FaultPlan
+    from repro.faults.policies import ResiliencePolicy
+
 __all__ = [
     "Mechanism",
     "OnlineMechanism",
     "outcome_from_selection",
+    "resolve_fault_args",
     "SingleRoundOnlineAdapter",
 ]
+
+
+def resolve_fault_args(faults, resilience):
+    """Resolve ``faults=``/``resilience=`` kwargs into (injector, policy).
+
+    Shared by every fault-aware entry point (MSOA, the adapter, the
+    platform).  Imports :mod:`repro.faults` lazily so :mod:`repro.core`
+    never depends on it at import time (faults imports core, not vice
+    versa).  A null plan resolves to *no* injector: the round loop then
+    takes the exact unfaulted code path, which is what makes the
+    all-zero-plan bit-identity guarantee true by construction.
+    """
+    if faults is None:
+        if resilience is not None:
+            raise ConfigurationError(
+                "resilience= requires faults= (a policy alone has nothing "
+                "to recover from)"
+            )
+        return None, None
+    from repro.faults.injector import FaultInjector
+    from repro.faults.models import FaultPlan
+    from repro.faults.policies import DEFAULT_POLICY, ResiliencePolicy
+
+    if isinstance(faults, FaultPlan):
+        injector = None if faults.is_null else FaultInjector(faults)
+    elif isinstance(faults, FaultInjector):
+        injector = None if faults.is_null else faults
+    else:
+        raise ConfigurationError(
+            f"faults must be a FaultPlan or FaultInjector, got "
+            f"{type(faults).__name__}"
+        )
+    if resilience is None:
+        policy = DEFAULT_POLICY
+    elif isinstance(resilience, ResiliencePolicy):
+        policy = resilience
+    else:
+        raise ConfigurationError(
+            f"resilience must be a ResiliencePolicy, got "
+            f"{type(resilience).__name__}"
+        )
+    return injector, (policy if injector is not None else None)
 
 
 @runtime_checkable
@@ -206,6 +254,8 @@ class SingleRoundOnlineAdapter:
         payment_rule: str = "mechanism-default",
         on_infeasible: str = "raise",
         options: Mapping[str, Any] | None = None,
+        faults: "FaultPlan | FaultInjector | None" = None,
+        resilience: "ResiliencePolicy | None" = None,
     ) -> None:
         for seller, capacity in capacities.items():
             if capacity <= 0:
@@ -222,6 +272,8 @@ class SingleRoundOnlineAdapter:
         self._payment_rule = payment_rule
         self._on_infeasible = on_infeasible
         self._options = dict(options or {})
+        self._injector, self._policy = resolve_fault_args(faults, resilience)
+        self._carry: dict[int, int] = {}
         self._chi: dict[int, int] = {seller: 0 for seller in capacities}
         self._rounds: list[RoundResult] = []
         self._beta_observed = math.inf
@@ -245,6 +297,20 @@ class SingleRoundOnlineAdapter:
     def process_round(self, instance: WSPInstance) -> RoundResult:
         """Run one round through the wrapped mechanism, updating χ."""
         round_index = len(self._rounds)
+        pre_events: list = []
+        if self._injector is not None:
+            from repro.faults.resilience import apply_pre_round_faults
+
+            instance, pre_events = apply_pre_round_faults(
+                instance,
+                round_index=round_index,
+                injector=self._injector,
+                policy=self._policy,
+                carry_demand=(
+                    self._carry if self._policy.carry_uncovered else None
+                ),
+            )
+            self._carry = {}
         admissible = tuple(
             bid for bid in instance.bids if self._admissible(bid)
         )
@@ -254,14 +320,29 @@ class SingleRoundOnlineAdapter:
             demand=instance.demand,
             price_ceiling=instance.price_ceiling,
         )
-        try:
-            outcome = self._runner(reduced, **self._options)
-        except InfeasibleInstanceError:
-            if self._on_infeasible == "raise":
-                raise
-            outcome = _empty_outcome(
-                reduced, mechanism=self._name, payment_rule=self._payment_rule
+        resilience = None
+        if self._injector is not None:
+            outcome, resilience = self._resilient_round(
+                reduced, pre_events=pre_events, round_index=round_index
             )
+            if (
+                resilience is not None
+                and self._policy.carry_uncovered
+                and resilience.uncovered
+            ):
+                for buyer, units in resilience.uncovered.items():
+                    self._carry[buyer] = self._carry.get(buyer, 0) + units
+        else:
+            try:
+                outcome = self._runner(reduced, **self._options)
+            except InfeasibleInstanceError:
+                if self._on_infeasible == "raise":
+                    raise
+                outcome = _empty_outcome(
+                    reduced,
+                    mechanism=self._name,
+                    payment_rule=self._payment_rule,
+                )
         self._beta_observed = min(
             self._beta_observed, capacity_margin(self._capacities, admissible)
         )
@@ -277,9 +358,51 @@ class SingleRoundOnlineAdapter:
             scaled_prices={bid.key: bid.price for bid in admissible},
             psi_after={seller: 0.0 for seller in self._capacities},
             capacity_used=self.capacity_used,
+            resilience=resilience,
         )
         self._rounds.append(result)
         return result
+
+    def _resilient_round(
+        self,
+        reduced: WSPInstance,
+        *,
+        pre_events: Sequence,
+        round_index: int,
+    ):
+        """Run the round through the fault-recovery engine.
+
+        Mirrors :meth:`MultiStageOnlineAuction._resilient_round`: a
+        degradation-policy ``"raise"`` escalation falls back to this
+        adapter's ``on_infeasible`` handling.
+        """
+        from repro.faults.report import RoundResilience
+        from repro.faults.resilience import execute_with_resilience
+
+        def runner(inst: WSPInstance) -> AuctionOutcome:
+            return self._runner(inst, **self._options)
+
+        try:
+            return execute_with_resilience(
+                reduced,
+                runner,
+                round_index=round_index,
+                injector=self._injector,
+                policy=self._policy,
+                pre_events=pre_events,
+            )
+        except InfeasibleInstanceError:
+            if self._on_infeasible == "raise":
+                raise
+            outcome = _empty_outcome(
+                reduced, mechanism=self._name, payment_rule=self._payment_rule
+            )
+            report = (
+                RoundResilience(events=tuple(pre_events))
+                if pre_events
+                else None
+            )
+            return outcome, report
 
     def finalize(self) -> OnlineOutcome:
         """Package the horizon's rounds into an :class:`OnlineOutcome`."""

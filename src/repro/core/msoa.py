@@ -25,8 +25,10 @@ from __future__ import annotations
 import math
 import warnings
 from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.bids import Bid
+from repro.core.mechanism import resolve_fault_args
 from repro.core.outcomes import OnlineOutcome, RoundResult
 from repro.core.ratios import (
     capacity_margin,
@@ -38,6 +40,11 @@ from repro.core.wsp import WSPInstance
 from repro.errors import ConfigurationError, InfeasibleInstanceError
 from repro.obs.profiler import profiled
 from repro.obs.runtime import STATE as _OBS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults → core)
+    from repro.faults.injector import FaultInjector
+    from repro.faults.models import FaultPlan
+    from repro.faults.policies import ResiliencePolicy
 
 __all__ = ["MultiStageOnlineAuction", "run_msoa"]
 
@@ -73,6 +80,18 @@ class MultiStageOnlineAuction:
         admissible bids can still cover and serves that — the honest
         accounting for experiment sweeps, where capacity depletion should
         shrink service, not erase the round's cost.
+    faults:
+        A :class:`~repro.faults.models.FaultPlan` (or prepared
+        :class:`~repro.faults.injector.FaultInjector`) to execute over
+        the horizon.  ``None`` (default) and null plans take the exact
+        unfaulted code path — outcomes are bit-identical to a run
+        without the parameter.
+    resilience:
+        The :class:`~repro.faults.policies.ResiliencePolicy` governing
+        retries, backoff, bid timeouts, degradation, and demand
+        carryover when ``faults`` is active.  Defaults to
+        :data:`~repro.faults.policies.DEFAULT_POLICY`; rejected without
+        ``faults``.
     """
 
     def __init__(
@@ -85,6 +104,8 @@ class MultiStageOnlineAuction:
         guard: bool = True,
         engine: str = "fast",
         on_infeasible: str = "raise",
+        faults: "FaultPlan | FaultInjector | None" = None,
+        resilience: "ResiliencePolicy | None" = None,
     ) -> None:
         for seller, capacity in capacities.items():
             if capacity <= 0:
@@ -107,6 +128,8 @@ class MultiStageOnlineAuction:
             "engine": engine,
         }
         self._on_infeasible = on_infeasible
+        self._injector, self._policy = resolve_fault_args(faults, resilience)
+        self._carry: dict[int, int] = {}
         self._psi: dict[int, float] = {seller: 0.0 for seller in capacities}
         self._chi: dict[int, int] = {seller: 0 for seller in capacities}
         self._rounds: list[RoundResult] = []
@@ -158,6 +181,20 @@ class MultiStageOnlineAuction:
     def process_round(self, instance: WSPInstance) -> RoundResult:
         """Run one auction round online and update ψ/χ for the winners."""
         round_index = len(self._rounds)
+        pre_events: list = []
+        if self._injector is not None:
+            from repro.faults.resilience import apply_pre_round_faults
+
+            instance, pre_events = apply_pre_round_faults(
+                instance,
+                round_index=round_index,
+                injector=self._injector,
+                policy=self._policy,
+                carry_demand=(
+                    self._carry if self._policy.carry_uncovered else None
+                ),
+            )
+            self._carry = {}
         tracer = _OBS.tracer
         with tracer.span(
             "msoa.round", round_index=round_index, bids=len(instance.bids)
@@ -201,30 +238,47 @@ class MultiStageOnlineAuction:
                 self._alpha = max(
                     1.0, ssam_ratio_bound(instance.total_demand, admissible)
                 )
-            try:
-                outcome = run_ssam(
+            resilience = None
+            if self._injector is not None:
+                outcome, resilience = self._resilient_round(
                     scaled_instance,
-                    payment_rule=self._payment_rule,
-                    original_prices={
-                        key: original_by_key[key].price for key in scaled_prices
-                    },
-                    **self._ssam_options,
+                    original_by_key,
+                    pre_events=pre_events,
+                    round_index=round_index,
                 )
-            except InfeasibleInstanceError:
-                if self._on_infeasible == "raise":
-                    raise
-                if self._on_infeasible == "best_effort":
-                    outcome = self._best_effort_round(
-                        scaled_instance, original_by_key
-                    )
-                else:
+                if (
+                    resilience is not None
+                    and self._policy.carry_uncovered
+                    and resilience.uncovered
+                ):
+                    for buyer, units in resilience.uncovered.items():
+                        self._carry[buyer] = self._carry.get(buyer, 0) + units
+            else:
+                try:
                     outcome = run_ssam(
-                        WSPInstance(
-                            bids=scaled_bids, demand={}, price_ceiling=None
-                        ),
+                        scaled_instance,
                         payment_rule=self._payment_rule,
+                        original_prices={
+                            key: original_by_key[key].price
+                            for key in scaled_prices
+                        },
                         **self._ssam_options,
                     )
+                except InfeasibleInstanceError:
+                    if self._on_infeasible == "raise":
+                        raise
+                    if self._on_infeasible == "best_effort":
+                        outcome = self._best_effort_round(
+                            scaled_instance, original_by_key
+                        )
+                    else:
+                        outcome = run_ssam(
+                            WSPInstance(
+                                bids=scaled_bids, demand={}, price_ceiling=None
+                            ),
+                            payment_rule=self._payment_rule,
+                            **self._ssam_options,
+                        )
             self._beta_observed = min(
                 self._beta_observed, capacity_margin(self._capacities, admissible)
             )
@@ -245,6 +299,7 @@ class MultiStageOnlineAuction:
                 scaled_prices=scaled_prices,
                 psi_after=self.psi,
                 capacity_used=self.capacity_used,
+                resilience=resilience if self._injector is not None else None,
             )
             tracer.annotate(
                 round_span,
@@ -254,6 +309,67 @@ class MultiStageOnlineAuction:
             )
             self._rounds.append(result)
             return result
+
+    def _resilient_round(
+        self,
+        scaled_instance: WSPInstance,
+        original_by_key: Mapping[tuple[int, int], Bid],
+        *,
+        pre_events: Sequence,
+        round_index: int,
+    ):
+        """Run the round through the fault-recovery engine.
+
+        A degradation-policy ``"raise"`` escalation falls back to this
+        auctioneer's own ``on_infeasible`` handling, so faulted and
+        unfaulted runs treat unrecoverable rounds uniformly.
+        """
+        from repro.faults.report import RoundResilience
+        from repro.faults.resilience import execute_with_resilience
+
+        def runner(inst: WSPInstance):
+            return run_ssam(
+                inst,
+                payment_rule=self._payment_rule,
+                original_prices={
+                    bid.key: original_by_key[bid.key].price
+                    for bid in inst.bids
+                },
+                **self._ssam_options,
+            )
+
+        try:
+            return execute_with_resilience(
+                scaled_instance,
+                runner,
+                round_index=round_index,
+                injector=self._injector,
+                policy=self._policy,
+                pre_events=pre_events,
+            )
+        except InfeasibleInstanceError:
+            if self._on_infeasible == "raise":
+                raise
+            if self._on_infeasible == "best_effort":
+                outcome = self._best_effort_round(
+                    scaled_instance, original_by_key
+                )
+            else:
+                outcome = run_ssam(
+                    WSPInstance(
+                        bids=scaled_instance.bids,
+                        demand={},
+                        price_ceiling=None,
+                    ),
+                    payment_rule=self._payment_rule,
+                    **self._ssam_options,
+                )
+            report = (
+                RoundResilience(events=tuple(pre_events))
+                if pre_events
+                else None
+            )
+            return outcome, report
 
     def _best_effort_round(
         self,
@@ -344,6 +460,8 @@ def run_msoa(
     guard: bool = True,
     engine: str = "fast",
     on_infeasible: str = "raise",
+    faults: "FaultPlan | FaultInjector | None" = None,
+    resilience: "ResiliencePolicy | None" = None,
 ) -> OnlineOutcome:
     """Convenience wrapper: feed a whole horizon through MSOA.
 
@@ -351,6 +469,27 @@ def run_msoa(
     decisions depend only on past rounds — this helper merely drives the
     loop and finalizes the outcome.  All options are keyword-only and
     forwarded to :class:`MultiStageOnlineAuction`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.workload import MarketConfig, generate_horizon
+    >>> rounds, capacities = generate_horizon(
+    ...     MarketConfig(), np.random.default_rng(7), rounds=3)
+    >>> outcome = run_msoa(rounds, capacities)
+    >>> len(outcome.rounds)
+    3
+
+    A seeded :class:`~repro.faults.FaultPlan` injects failures into the
+    horizon; defaults are recovered by re-auction under the (optional)
+    :class:`~repro.faults.ResiliencePolicy`:
+
+    >>> from repro.faults import FaultPlan, SellerDefault
+    >>> plan = FaultPlan(seed=3,
+    ...                  seller_defaults=(SellerDefault(probability=0.4),))
+    >>> faulted = run_msoa(rounds, capacities, faults=plan)
+    >>> faulted.fault_events > 0
+    True
 
     .. deprecated:: 1.1
         Passing ``payment_rule`` positionally is deprecated; use the
@@ -377,6 +516,8 @@ def run_msoa(
         guard=guard,
         engine=engine,
         on_infeasible=on_infeasible,
+        faults=faults,
+        resilience=resilience,
     )
     tracer = _OBS.tracer
     with tracer.span(

@@ -11,11 +11,15 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.bids import Bid
 from repro.core.duals import DualSolution
 from repro.core.wsp import WSPInstance
 from repro.errors import MechanismError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults → core)
+    from repro.faults.report import RoundResilience
 
 __all__ = ["WinningBid", "AuctionOutcome", "RoundResult", "OnlineOutcome"]
 
@@ -280,6 +284,12 @@ class RoundResult:
     scaled_prices: Mapping[tuple[int, int], float]
     psi_after: Mapping[int, float]
     capacity_used: Mapping[int, int]
+    resilience: "RoundResilience | None" = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the round ended with unserved demand (fault path only)."""
+        return self.resilience is not None and self.resilience.degraded
 
     @property
     def social_cost(self) -> float:
@@ -297,8 +307,14 @@ class RoundResult:
         return self.outcome.total_payment
 
     def to_dict(self) -> dict:
-        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
-        return {
+        """JSON-compatible representation (round-trips via :meth:`from_dict`).
+
+        The ``resilience`` key is emitted only when the round actually saw
+        fault activity — fault-free rounds serialize byte-identically to
+        rounds produced before :mod:`repro.faults` existed, which is how
+        the null-plan guard tests can compare files directly.
+        """
+        data = {
             "round_index": self.round_index,
             "outcome": self.outcome.to_dict(),
             "original_bids": [
@@ -313,11 +329,19 @@ class RoundResult:
                 str(s): used for s, used in self.capacity_used.items()
             },
         }
+        if self.resilience is not None:
+            data["resilience"] = self.resilience.to_dict()
+        return data
 
     @staticmethod
     def from_dict(data: Mapping) -> "RoundResult":
         """Rebuild a round result from its :meth:`to_dict` form."""
         original = [Bid.from_dict(item) for item in data["original_bids"]]
+        resilience = None
+        if data.get("resilience") is not None:
+            from repro.faults.report import RoundResilience
+
+            resilience = RoundResilience.from_dict(data["resilience"])
         return RoundResult(
             round_index=int(data["round_index"]),
             outcome=AuctionOutcome.from_dict(data["outcome"]),
@@ -330,6 +354,7 @@ class RoundResult:
             capacity_used={
                 int(s): int(u) for s, u in data["capacity_used"].items()
             },
+            resilience=resilience,
         )
 
 
@@ -365,6 +390,29 @@ class OnlineOutcome:
     def winners_per_round(self) -> list[int]:
         """Number of accepted bids in each round."""
         return [len(r.outcome.winners) for r in self.rounds]
+
+    @property
+    def degraded_rounds(self) -> list[int]:
+        """Indices of rounds that ended with unserved demand (fault runs)."""
+        return [r.round_index for r in self.rounds if r.degraded]
+
+    @property
+    def uncovered_units(self) -> int:
+        """Total demand units the horizon left unserved (0 when fault-free)."""
+        return sum(
+            r.resilience.uncovered_units
+            for r in self.rounds
+            if r.resilience is not None
+        )
+
+    @property
+    def fault_events(self) -> int:
+        """Total faults injected across the horizon (0 when fault-free)."""
+        return sum(
+            len(r.resilience.events)
+            for r in self.rounds
+            if r.resilience is not None
+        )
 
     def verify_capacities(self) -> None:
         """Assert no seller exceeded its long-run capacity ``Θᵢ``."""

@@ -177,6 +177,8 @@ def make_online(
     capacities: Mapping[int, int],
     *,
     on_infeasible: str = "raise",
+    faults=None,
+    resilience=None,
     **options: Any,
 ):
     """Build an :class:`~repro.core.mechanism.OnlineMechanism` by name.
@@ -187,6 +189,13 @@ def make_online(
     baseline can drive the multi-round platform loop under MSOA's
     capacity discipline.  Unknown keyword options (per the spec's
     ``options`` set) are rejected up front.
+
+    ``faults`` (a :class:`~repro.faults.models.FaultPlan`) and
+    ``resilience`` (a :class:`~repro.faults.policies.ResiliencePolicy`)
+    activate fault injection and recovery uniformly across every
+    mechanism kind — this shared keyword surface is what the resilience
+    benchmark sweeps to compare SSAM against the baseline adapters under
+    identical fault trajectories.
     """
     spec = get_spec(name)
     unknown = set(options) - set(spec.options)
@@ -199,7 +208,11 @@ def make_online(
         from repro.core.msoa import MultiStageOnlineAuction
 
         return MultiStageOnlineAuction(
-            capacities, on_infeasible=on_infeasible, **options
+            capacities,
+            on_infeasible=on_infeasible,
+            faults=faults,
+            resilience=resilience,
+            **options,
         )
     if spec.kind != "single":
         raise ConfigurationError(
@@ -215,6 +228,8 @@ def make_online(
         payment_rule=spec.payment_rule,
         on_infeasible=on_infeasible,
         options=options,
+        faults=faults,
+        resilience=resilience,
     )
 
 
@@ -434,6 +449,7 @@ register(MechanismSpec(
     loader=_load_msoa,
     options=frozenset({
         "alpha", "payment_rule", "parallelism", "guard", "engine",
+        "faults", "resilience",
     }),
     # Online certification drives whole horizons: per-round coverage plus
     # capacity discipline (feasibility) and per-round IR are checkable;

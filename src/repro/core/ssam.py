@@ -376,6 +376,15 @@ def run_ssam(
         Winners with payments, dual-fitting certificate, and the
         ``W·Ξ`` ratio bound of Theorem 3.
 
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.workload import MarketConfig, generate_round
+    >>> instance = generate_round(MarketConfig(), np.random.default_rng(7))
+    >>> outcome = run_ssam(instance)
+    >>> outcome.satisfied and outcome.total_payment >= outcome.social_cost
+    True
+
     .. deprecated:: 1.1
         Passing ``payment_rule`` positionally is deprecated; use the
         keyword form ``run_ssam(instance, payment_rule=...)``.

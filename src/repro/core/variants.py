@@ -82,6 +82,8 @@ def run_msoa_base(
     parallelism: int = 1,
     engine: str = "fast",
     on_infeasible: str = "best_effort",
+    faults=None,
+    resilience=None,
 ) -> OnlineOutcome:
     """Plain MSOA: estimated demands, baseline capacities."""
     return run_msoa(
@@ -91,6 +93,8 @@ def run_msoa_base(
         parallelism=parallelism,
         engine=engine,
         on_infeasible=on_infeasible,
+        faults=faults,
+        resilience=resilience,
     )
 
 
@@ -101,6 +105,8 @@ def run_msoa_da(
     parallelism: int = 1,
     engine: str = "fast",
     on_infeasible: str = "best_effort",
+    faults=None,
+    resilience=None,
 ) -> OnlineOutcome:
     """MSOA-DA: oracle demands, baseline capacities."""
     return run_msoa(
@@ -110,6 +116,8 @@ def run_msoa_da(
         parallelism=parallelism,
         engine=engine,
         on_infeasible=on_infeasible,
+        faults=faults,
+        resilience=resilience,
     )
 
 
@@ -121,6 +129,8 @@ def run_msoa_rc(
     parallelism: int = 1,
     engine: str = "fast",
     on_infeasible: str = "best_effort",
+    faults=None,
+    resilience=None,
 ) -> OnlineOutcome:
     """MSOA-RC: estimated demands, capacities inflated by ``relaxation``."""
     return run_msoa(
@@ -130,6 +140,8 @@ def run_msoa_rc(
         parallelism=parallelism,
         engine=engine,
         on_infeasible=on_infeasible,
+        faults=faults,
+        resilience=resilience,
     )
 
 
@@ -141,6 +153,8 @@ def run_msoa_oa(
     parallelism: int = 1,
     engine: str = "fast",
     on_infeasible: str = "best_effort",
+    faults=None,
+    resilience=None,
 ) -> OnlineOutcome:
     """MSOA-OA: oracle demands *and* relaxed capacities."""
     return run_msoa(
@@ -150,6 +164,8 @@ def run_msoa_oa(
         parallelism=parallelism,
         engine=engine,
         on_infeasible=on_infeasible,
+        faults=faults,
+        resilience=resilience,
     )
 
 

@@ -206,6 +206,13 @@ class EdgePlatform:
     (so a baseline can drive the full Figure-2 loop end-to-end); an
     already-built :class:`~repro.core.mechanism.OnlineMechanism` is used
     as-is.
+
+    ``faults`` (a :class:`~repro.faults.models.FaultPlan`) and
+    ``resilience`` (a :class:`~repro.faults.policies.ResiliencePolicy`)
+    activate seeded fault injection and recovery inside the auction step;
+    they are forwarded to the mechanism the platform constructs, so they
+    cannot be combined with an already-built ``mechanism`` object
+    (configure that object directly instead).
     """
 
     def __init__(
@@ -220,6 +227,8 @@ class EdgePlatform:
         rng: np.random.Generator | None = None,
         horizon_rounds: int = 10,
         mechanism: str | OnlineMechanism | None = None,
+        faults=None,
+        resilience=None,
     ) -> None:
         if not clouds:
             raise ConfigurationError("at least one edge cloud is required")
@@ -252,6 +261,8 @@ class EdgePlatform:
                 capacities,
                 payment_rule=self.config.payment_rule,
                 on_infeasible="skip",
+                faults=faults,
+                resilience=resilience,
             )
         elif isinstance(mechanism, str):
             # Forward the platform's payment rule only to mechanisms that
@@ -263,9 +274,20 @@ class EdgePlatform:
                 else {}
             )
             self.auction = make_online(
-                mechanism, capacities, on_infeasible="skip", **options
+                mechanism,
+                capacities,
+                on_infeasible="skip",
+                faults=faults,
+                resilience=resilience,
+                **options,
             )
         else:
+            if faults is not None or resilience is not None:
+                raise ConfigurationError(
+                    "faults=/resilience= cannot be combined with an "
+                    "already-built mechanism object; pass them to that "
+                    "mechanism's constructor instead"
+                )
             self.auction = mechanism
         self._engine = SimulationEngine()
         self._servers: dict[int, RequestServer] = {}

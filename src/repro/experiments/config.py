@@ -9,9 +9,14 @@ qualitative shape.  Paper-scale runs use the full defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.obs.runtime import ObservabilityConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.faults.models import FaultPlan
+    from repro.faults.policies import ResiliencePolicy
 
 __all__ = ["ExperimentConfig", "QUICK", "FULL"]
 
@@ -53,6 +58,14 @@ class ExperimentConfig:
         Optional :class:`~repro.obs.ObservabilityConfig`; when set, the
         experiment runner activates tracing/metrics before dispatching
         mechanism runs (``None``, the default, keeps observability off).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` executed by every
+        *online* mechanism run of the sweep (MSOA variants and registry
+        adapters).  ``None`` (default) and null plans leave the sweep
+        bit-identical to an unfaulted one.
+    resilience:
+        Optional :class:`~repro.faults.ResiliencePolicy` for the fault
+        runs; requires ``faults``.
     """
 
     seeds: tuple[int, ...] = (11, 23, 37, 53, 71)
@@ -67,6 +80,8 @@ class ExperimentConfig:
     mechanism: str = "ssam"
     engine: str = "fast"
     observability: ObservabilityConfig | None = None
+    faults: "FaultPlan | None" = None
+    resilience: "ResiliencePolicy | None" = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -90,6 +105,27 @@ class ExperimentConfig:
                 "observability must be an ObservabilityConfig or None, got "
                 f"{type(self.observability).__name__}"
             )
+        if self.faults is not None or self.resilience is not None:
+            from repro.faults.models import FaultPlan
+            from repro.faults.policies import ResiliencePolicy
+
+            if self.faults is None:
+                raise ConfigurationError(
+                    "resilience requires faults (a policy alone has nothing "
+                    "to recover from)"
+                )
+            if not isinstance(self.faults, FaultPlan):
+                raise ConfigurationError(
+                    "faults must be a FaultPlan or None, got "
+                    f"{type(self.faults).__name__}"
+                )
+            if self.resilience is not None and not isinstance(
+                self.resilience, ResiliencePolicy
+            ):
+                raise ConfigurationError(
+                    "resilience must be a ResiliencePolicy or None, got "
+                    f"{type(self.resilience).__name__}"
+                )
         # Resolve against the registry so a typo fails at configuration
         # time (with the known names), not mid-sweep.
         from repro.core.registry import get_spec

@@ -247,6 +247,8 @@ def fig5a(config: ExperimentConfig = FULL) -> ResultTable:
                         payment_rule=PaymentRule.ITERATION_RUNNER_UP,
                         parallelism=config.parallelism,
                         engine=config.engine,
+                        faults=config.faults,
+                        resilience=config.resilience,
                     )
                     per_variant[name].append(
                         outcome.social_cost / offline.social_cost
@@ -287,6 +289,8 @@ def fig6a(config: ExperimentConfig = FULL) -> ResultTable:
                     payment_rule=PaymentRule.ITERATION_RUNNER_UP,
                     parallelism=config.parallelism,
                     engine=config.engine,
+                    faults=config.faults,
+                    resilience=config.resilience,
                 )
                 offline = run_offline_optimal(
                     horizon.rounds_true, horizon.capacities
@@ -339,6 +343,8 @@ def fig6b(config: ExperimentConfig = FULL) -> ResultTable:
                     horizon,
                     parallelism=config.parallelism,
                     engine=config.engine,
+                    faults=config.faults,
+                    resilience=config.resilience,
                 )
                 offline = run_offline_optimal(
                     horizon.rounds_true, horizon.capacities

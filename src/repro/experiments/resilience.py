@@ -1,0 +1,212 @@
+"""Resilience sweep: social cost and coverage under seller defaults.
+
+The paper's evaluation assumes every winning seller delivers.  This sweep
+measures what each online mechanism loses when they do not: for a grid of
+per-win default probabilities it runs the mechanism over the same seeded
+horizon with a :class:`~repro.faults.SellerDefault` plan active and
+reports social cost, demand coverage, and the recovery/abandonment split
+produced by the retry policy.
+
+Used by ``benchmarks/bench_resilience.py`` (the pytest-benchmark harness)
+and by ``repro-edge-auction bench --faults`` (the CLI entry point, which
+evaluates a user-supplied :class:`~repro.faults.FaultPlan` instead of the
+probability grid).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.analysis.reporting import ResultTable
+from repro.core.registry import get_spec, make_online
+from repro.errors import ConfigurationError
+from repro.workload.bidgen import MarketConfig, generate_horizon
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.outcomes import OnlineOutcome
+    from repro.faults.models import FaultPlan
+    from repro.faults.policies import ResiliencePolicy
+
+__all__ = [
+    "DEFAULT_RESILIENCE_MECHANISMS",
+    "evaluate_fault_plan",
+    "run_resilience_sweep",
+]
+
+DEFAULT_RESILIENCE_MECHANISMS: tuple[str, ...] = (
+    "msoa",
+    "pay-as-bid",
+    "greedy-density",
+)
+"""SSAM-online plus the two baseline adapters the sweep compares."""
+
+RESILIENCE_COLUMNS = (
+    "mechanism",
+    "p_default",
+    "social_cost",
+    "coverage",
+    "recovered",
+    "abandoned",
+    "degraded_rounds",
+    "fault_events",
+)
+
+
+def _check_mechanisms(mechanisms: Sequence[str]) -> tuple[str, ...]:
+    names = tuple(mechanisms)
+    if not names:
+        raise ConfigurationError("at least one mechanism is required")
+    for name in names:
+        if get_spec(name).kind not in ("single", "online"):
+            raise ConfigurationError(
+                f"mechanism {name!r} cannot run online; the resilience "
+                "sweep needs an online mechanism or a single-round "
+                "mechanism wrapped by the online adapter"
+            )
+    return names
+
+
+def _run_horizon(
+    name: str,
+    horizon,
+    capacities,
+    *,
+    plan: "FaultPlan | None",
+    policy: "ResiliencePolicy | None",
+) -> "OnlineOutcome":
+    mechanism = make_online(
+        name,
+        capacities,
+        on_infeasible="skip",
+        faults=plan,
+        resilience=policy if plan is not None else None,
+    )
+    for instance in horizon:
+        mechanism.process_round(instance)
+    return mechanism.finalize()
+
+
+def _add_outcome_row(
+    table: ResultTable, name: str, probability: float, outcome: "OnlineOutcome"
+) -> None:
+    demanded = sum(r.outcome.instance.total_demand for r in outcome.rounds)
+    unmet = sum(r.outcome.unmet_units for r in outcome.rounds)
+    recovered = sum(
+        r.resilience.recovered_units
+        for r in outcome.rounds
+        if r.resilience is not None
+    )
+    abandoned = sum(
+        r.resilience.abandoned_units
+        for r in outcome.rounds
+        if r.resilience is not None
+    )
+    table.add_row(
+        mechanism=name,
+        p_default=probability,
+        social_cost=outcome.social_cost,
+        coverage=1.0 - unmet / demanded if demanded else 1.0,
+        recovered=recovered,
+        abandoned=abandoned,
+        degraded_rounds=len(outcome.degraded_rounds),
+        fault_events=outcome.fault_events,
+    )
+
+
+def run_resilience_sweep(
+    *,
+    mechanisms: Sequence[str] = DEFAULT_RESILIENCE_MECHANISMS,
+    probabilities: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4),
+    rounds: int = 8,
+    seed: int = 11,
+    fault_seed: int = 0,
+    policy: "ResiliencePolicy | None" = None,
+    market: MarketConfig | None = None,
+) -> ResultTable:
+    """Sweep seller-default probability vs. social cost and coverage.
+
+    Every mechanism runs the *same* seeded horizon at every probability;
+    ``p_default = 0`` is the fault-free reference row (a null plan, so it
+    takes the exact unfaulted code path).  Faulted runs use the default
+    :class:`~repro.faults.ResiliencePolicy` unless one is supplied:
+    re-auction retries on default, partial-coverage degradation when the
+    market cannot recover.
+    """
+    from repro.faults.models import FaultPlan, SellerDefault
+
+    names = _check_mechanisms(mechanisms)
+    if not probabilities:
+        raise ConfigurationError("at least one default probability is required")
+    rng = np.random.default_rng(seed)
+    horizon, capacities = generate_horizon(
+        market or MarketConfig(), rng, rounds=rounds
+    )
+    table = ResultTable(
+        title=(
+            f"Resilience sweep: seller-default probability vs. cost/coverage "
+            f"({rounds} rounds, seed {seed})"
+        ),
+        columns=list(RESILIENCE_COLUMNS),
+    )
+    for name in names:
+        for probability in probabilities:
+            plan = FaultPlan(
+                seed=fault_seed,
+                seller_defaults=(SellerDefault(probability=probability),),
+            )
+            outcome = _run_horizon(
+                name,
+                horizon,
+                capacities,
+                plan=None if plan.is_null else plan,
+                policy=policy,
+            )
+            _add_outcome_row(table, name, probability, outcome)
+    return table
+
+
+def evaluate_fault_plan(
+    plan: "FaultPlan",
+    *,
+    mechanisms: Sequence[str] = DEFAULT_RESILIENCE_MECHANISMS,
+    rounds: int = 8,
+    seed: int = 11,
+    policy: "ResiliencePolicy | None" = None,
+    market: MarketConfig | None = None,
+) -> ResultTable:
+    """Evaluate one user-supplied fault plan against the fault-free run.
+
+    Two rows per mechanism — the fault-free reference (``p_default`` 0)
+    and the planned faults (``p_default`` reported as the plan's max
+    seller-default probability) — over the same seeded horizon.  Backs the
+    ``bench --faults <spec.json>`` CLI path.
+    """
+    names = _check_mechanisms(mechanisms)
+    rng = np.random.default_rng(seed)
+    horizon, capacities = generate_horizon(
+        market or MarketConfig(), rng, rounds=rounds
+    )
+    planned_p = max(
+        (m.probability for m in plan.seller_defaults), default=0.0
+    )
+    table = ResultTable(
+        title=f"Fault-plan evaluation ({rounds} rounds, seed {seed})",
+        columns=list(RESILIENCE_COLUMNS),
+    )
+    for name in names:
+        baseline = _run_horizon(
+            name, horizon, capacities, plan=None, policy=None
+        )
+        _add_outcome_row(table, name, 0.0, baseline)
+        faulted = _run_horizon(
+            name,
+            horizon,
+            capacities,
+            plan=None if plan.is_null else plan,
+            policy=policy,
+        )
+        _add_outcome_row(table, name, planned_p, faulted)
+    return table

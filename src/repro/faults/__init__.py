@@ -1,0 +1,81 @@
+"""Seeded fault injection and resilience for the auction path.
+
+The paper's analysis assumes faithful delivery: every winning seller
+provides what it pledged, every bid arrives on time, every edge cloud
+stays up.  :mod:`repro.faults` lets experiments drop each assumption in a
+controlled, reproducible way:
+
+* :mod:`~repro.faults.models` — declarative fault models
+  (:class:`SellerDefault`, :class:`BidDropout`, :class:`LateBid`,
+  :class:`CloudChurn`, :class:`DemandSurge`) bundled into a serde-able
+  :class:`FaultPlan` under a dedicated fault seed;
+* :mod:`~repro.faults.injector` — :class:`FaultInjector` executes a plan
+  over dedicated RNG streams, independent of the market generators;
+* :mod:`~repro.faults.policies` — :class:`ResiliencePolicy` configures
+  retries, backoff, bid timeouts, degradation, and demand carryover;
+* :mod:`~repro.faults.resilience` — the recovery engine shared by MSOA
+  and the registry adapters;
+* :mod:`~repro.faults.report` — :class:`FaultEvent` /
+  :class:`RecoveryAction` / :class:`RoundResilience`, the measurement
+  types attached to faulted rounds.
+
+Two invariants the test suite pins:
+
+1. **Null plans change nothing.**  ``faults=None`` and any plan with
+   :attr:`FaultPlan.is_null` produce outcomes bit-identical to an
+   unfaulted run, on both selection engines.
+2. **Faulted runs replay.**  The same plan (same fault seed) over the
+   same market produces the identical fault trajectory.
+
+Entry points accept ``faults=`` (a :class:`FaultPlan`) and
+``resilience=`` (a :class:`ResiliencePolicy`) keywords:
+:func:`repro.core.msoa.run_msoa`, :class:`repro.core.msoa.
+MultiStageOnlineAuction`, :func:`repro.core.registry.make_online`,
+:class:`repro.edge.platform.EdgePlatform`, and the CLI's ``--faults
+spec.json`` flag.  See ``docs/resilience.md`` for the full guide.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    FAULT_PLAN_SCHEMA_VERSION,
+    BidDropout,
+    CloudChurn,
+    DemandSurge,
+    FaultPlan,
+    LateBid,
+    SellerDefault,
+    load_fault_plan,
+    save_fault_plan,
+)
+from repro.faults.policies import DEFAULT_POLICY, ResiliencePolicy
+from repro.faults.report import (
+    FAULT_KINDS,
+    FaultEvent,
+    RecoveryAction,
+    RoundResilience,
+)
+from repro.faults.resilience import (
+    apply_pre_round_faults,
+    execute_with_resilience,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_SCHEMA_VERSION",
+    "BidDropout",
+    "CloudChurn",
+    "DemandSurge",
+    "DEFAULT_POLICY",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LateBid",
+    "RecoveryAction",
+    "ResiliencePolicy",
+    "RoundResilience",
+    "SellerDefault",
+    "apply_pre_round_faults",
+    "execute_with_resilience",
+    "load_fault_plan",
+    "save_fault_plan",
+]

@@ -1,0 +1,260 @@
+"""Seeded fault injection over the round loop's inputs and winners.
+
+:class:`FaultInjector` turns a declarative :class:`~repro.faults.models.
+FaultPlan` into concrete per-round perturbations.  All randomness comes
+from a dedicated :class:`~repro.sim.rng.RngRegistry` keyed by the plan's
+own ``seed`` — one named stream per fault kind — so fault draws are fully
+independent of the market/workload generators: the same market under two
+plans differs only where the faults differ, a re-run of the same plan
+replays the identical fault trajectory, and a plan whose every model is
+null (:attr:`FaultInjector.is_null`) provably perturbs nothing.
+
+The injector is *mechanism-agnostic*: it duck-types over anything with
+``.seller`` and ``.key`` (plain :class:`~repro.core.bids.Bid` objects and
+:class:`~repro.core.outcomes.WinningBid` wrappers both qualify), so the
+same instance serves MSOA rounds, the platform loop, and the
+single-round registry adapters.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.faults.models import FaultPlan
+from repro.faults.report import FaultEvent
+from repro.sim.rng import RngRegistry
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Stateful executor for one :class:`~repro.faults.models.FaultPlan`.
+
+    An injector is consumed by exactly one run: it owns the fault RNG
+    streams, whose positions advance as rounds are processed.  Reuse
+    across runs goes through :meth:`reset` (or a fresh injector), which
+    rewinds every stream to the plan's seed so the replay is identical.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self.reset()
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The declarative plan this injector executes."""
+        return self._plan
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this injector can never perturb anything."""
+        return self._plan.is_null
+
+    def reset(self) -> None:
+        """Rewind every fault stream to the start of the plan's seed."""
+        self._registry = RngRegistry(seed=self._plan.seed)
+        # CloudChurn departures are decided once per model (at its
+        # leave round), then remembered for the whole away window.
+        self._churn_decisions: dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Supply-side faults: bid dropout, late bids, cloud churn.
+    # ------------------------------------------------------------------
+
+    def filter_bids(
+        self,
+        round_index: int,
+        bids: Sequence,
+        *,
+        bid_timeout: float | None = None,
+    ) -> tuple[list, list[FaultEvent]]:
+        """Apply churn/dropout/late-bid faults to a round's bid pool.
+
+        Returns the surviving bids (in input order) and the injected
+        events.  ``bid_timeout`` is the active policy's per-round
+        collection deadline: a late bid whose drawn delay exceeds it is
+        dropped; with no timeout every late bid still makes the round
+        (the event is recorded either way).
+        """
+        if self.is_null or not bids:
+            return list(bids), []
+        away = self._away_sellers(round_index)
+        events: list[FaultEvent] = []
+        kept: list = []
+        dropout_rng = self._registry.stream("bid-dropout")
+        late_rng = self._registry.stream("late-bid")
+        for bid in bids:
+            seller = bid.seller
+            _, bid_index = bid.key
+            if seller in away:
+                events.append(
+                    FaultEvent(
+                        kind="cloud-churn",
+                        round_index=round_index,
+                        seller=seller,
+                        bid_index=bid_index,
+                    )
+                )
+                continue
+            dropped = False
+            for model in self._plan.bid_dropouts:
+                if model.is_null or not model.applies(round_index, seller):
+                    continue
+                if dropout_rng.random() < model.probability:
+                    events.append(
+                        FaultEvent(
+                            kind="bid-dropout",
+                            round_index=round_index,
+                            seller=seller,
+                            bid_index=bid_index,
+                        )
+                    )
+                    dropped = True
+                    break
+            if dropped:
+                continue
+            for model in self._plan.late_bids:
+                if model.is_null or not model.applies(round_index, seller):
+                    continue
+                if late_rng.random() < model.probability:
+                    low, high = model.delay_range
+                    delay = float(low + (high - low) * late_rng.random())
+                    timed_out = bid_timeout is not None and delay > bid_timeout
+                    events.append(
+                        FaultEvent(
+                            kind="late-bid",
+                            round_index=round_index,
+                            seller=seller,
+                            bid_index=bid_index,
+                            detail={
+                                "delay": delay,
+                                "timed_out": float(timed_out),
+                            },
+                        )
+                    )
+                    if timed_out:
+                        dropped = True
+                    break
+            if not dropped:
+                kept.append(bid)
+        return kept, events
+
+    def _away_sellers(self, round_index: int) -> frozenset[int]:
+        """Sellers hidden by cloud churn during ``round_index``."""
+        away: set[int] = set()
+        churn_rng = self._registry.stream("cloud-churn")
+        for position, model in enumerate(self._plan.cloud_churn):
+            if model.is_null or not model.covers_round(round_index):
+                continue
+            if position not in self._churn_decisions:
+                self._churn_decisions[position] = (
+                    model.probability >= 1.0
+                    or churn_rng.random() < model.probability
+                )
+            if self._churn_decisions[position]:
+                away.update(model.sellers)
+        return frozenset(away)
+
+    # ------------------------------------------------------------------
+    # Demand-side faults: surge.
+    # ------------------------------------------------------------------
+
+    def surge_demand(
+        self, round_index: int, demand: Mapping[int, int]
+    ) -> tuple[dict[int, int], list[FaultEvent]]:
+        """Apply demand surges to a round's buyer → units map.
+
+        Returns the (possibly amplified) demand and the injected events;
+        the input mapping is never mutated.
+        """
+        if self.is_null:
+            return dict(demand), []
+        surged = dict(demand)
+        events: list[FaultEvent] = []
+        surge_rng = self._registry.stream("demand-surge")
+        for model in self._plan.demand_surges:
+            if model.is_null:
+                continue
+            if model.rounds is not None:
+                fires = round_index in model.rounds
+            else:
+                fires = surge_rng.random() < model.probability
+            if not fires:
+                continue
+            surged = {
+                buyer: int(math.ceil(units * model.factor))
+                for buyer, units in surged.items()
+            }
+            events.append(
+                FaultEvent(
+                    kind="demand-surge",
+                    round_index=round_index,
+                    detail={"factor": model.factor},
+                )
+            )
+        return surged, events
+
+    # ------------------------------------------------------------------
+    # Delivery faults: winner defaults.
+    # ------------------------------------------------------------------
+
+    def winner_defaults(
+        self,
+        round_index: int,
+        winners: Iterable,
+        *,
+        attempt: int = 0,
+    ) -> tuple[frozenset[int], list[FaultEvent]]:
+        """Decide which of a selection's winners fail to deliver.
+
+        ``attempt`` is 0 for the round's primary auction and counts up
+        through retries — scripted ``(round, seller)`` defaults fire only
+        on attempt 0 (so golden scenarios are exactly reproducible),
+        while probabilistic defaults are drawn per win at *every*
+        attempt: retries can default again, compounding exactly as real
+        churn does.
+        """
+        if self.is_null:
+            return frozenset(), []
+        defaulted: set[int] = set()
+        events: list[FaultEvent] = []
+        default_rng = self._registry.stream("seller-default")
+        scripted = {
+            (r, s)
+            for model in self._plan.seller_defaults
+            for r, s in model.scripted
+        }
+        for winner in winners:
+            seller = winner.seller
+            _, bid_index = winner.key
+            if attempt == 0 and (round_index, seller) in scripted:
+                defaulted.add(seller)
+                events.append(
+                    FaultEvent(
+                        kind="seller-default",
+                        round_index=round_index,
+                        seller=seller,
+                        bid_index=bid_index,
+                        detail={"attempt": float(attempt), "scripted": 1.0},
+                    )
+                )
+                continue
+            for model in self._plan.seller_defaults:
+                if model.probability == 0.0:
+                    continue
+                if not model.applies(round_index, seller):
+                    continue
+                if default_rng.random() < model.probability:
+                    defaulted.add(seller)
+                    events.append(
+                        FaultEvent(
+                            kind="seller-default",
+                            round_index=round_index,
+                            seller=seller,
+                            bid_index=bid_index,
+                            detail={"attempt": float(attempt)},
+                        )
+                    )
+                    break
+        return frozenset(defaulted), events

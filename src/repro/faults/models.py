@@ -1,0 +1,408 @@
+"""Composable, serde-able fault models for churn-prone edge markets.
+
+The paper's MSOA analysis assumes every winning seller delivers what it
+pledged, every bid arrives on time, and every edge cloud stays up for the
+whole horizon.  Real edge clouds violate all three — sellers default,
+bids straggle past the collection deadline, clouds drop out mid-horizon —
+so this module gives each failure mode a declarative, seeded model:
+
+* :class:`SellerDefault` — a winning seller fails to deliver, with
+  probability ``p`` per win and/or at scripted ``(round, seller)`` pairs;
+* :class:`BidDropout` — a bid never arrives;
+* :class:`LateBid` — a bid arrives after a random delay; it is dropped
+  iff the delay exceeds the resilience policy's per-round
+  ``bid_timeout`` (no timeout → late bids still make the round);
+* :class:`CloudChurn` — a set of co-located sellers leaves at a round
+  boundary and (optionally) rejoins later;
+* :class:`DemandSurge` — a round's demand is multiplied by a factor.
+
+A :class:`FaultPlan` bundles any number of these under one dedicated
+fault seed.  Plans serialize to JSON (``to_dict``/``from_dict``,
+:func:`load_fault_plan`/:func:`save_fault_plan`) so a faulted experiment
+is fully described by its config + plan file, and the all-zero plan is
+recognizably *null* (:attr:`FaultPlan.is_null`) — guard tests pin that a
+null plan leaves every outcome bit-identical to the unfaulted run.
+
+>>> plan = FaultPlan(seed=7, seller_defaults=(SellerDefault(probability=0.2),))
+>>> plan.is_null
+False
+>>> FaultPlan.from_dict(plan.to_dict()) == plan
+True
+>>> FaultPlan().is_null
+True
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FAULT_PLAN_SCHEMA_VERSION",
+    "SellerDefault",
+    "BidDropout",
+    "LateBid",
+    "CloudChurn",
+    "DemandSurge",
+    "FaultPlan",
+    "load_fault_plan",
+    "save_fault_plan",
+]
+
+FAULT_PLAN_SCHEMA_VERSION = 1
+"""Version tag embedded in every serialized plan (bump on breaking
+changes to the ``to_dict`` schema)."""
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            f"{name} must be a probability in [0, 1], got {value}"
+        )
+
+
+def _as_optional_ints(value) -> tuple[int, ...] | None:
+    if value is None:
+        return None
+    return tuple(int(item) for item in value)
+
+
+@dataclass(frozen=True)
+class SellerDefault:
+    """A winning seller fails to deliver its pledged resources.
+
+    Attributes
+    ----------
+    probability:
+        Per-win default probability, drawn independently for every
+        winning bid (including re-auction winners — retries can default
+        too, exactly the compounding risk real churn produces).
+    sellers:
+        Restrict the model to these seller ids (``None`` = all sellers).
+    rounds:
+        Restrict the model to these round indices (``None`` = all rounds).
+    scripted:
+        ``(round_index, seller)`` pairs that default deterministically on
+        the round's primary auction, regardless of ``probability`` —
+        the reproducible way to build golden recovery scenarios.
+    """
+
+    probability: float = 0.0
+    sellers: tuple[int, ...] | None = None
+    rounds: tuple[int, ...] | None = None
+    scripted: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_probability("SellerDefault.probability", self.probability)
+        object.__setattr__(self, "sellers", _as_optional_ints(self.sellers))
+        object.__setattr__(self, "rounds", _as_optional_ints(self.rounds))
+        object.__setattr__(
+            self,
+            "scripted",
+            tuple((int(r), int(s)) for r, s in self.scripted),
+        )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model can never fire."""
+        return self.probability == 0.0 and not self.scripted
+
+    def applies(self, round_index: int, seller: int) -> bool:
+        """Whether the probabilistic part covers ``(round, seller)``."""
+        if self.rounds is not None and round_index not in self.rounds:
+            return False
+        return self.sellers is None or seller in self.sellers
+
+
+@dataclass(frozen=True)
+class BidDropout:
+    """A bid is lost before the round's collection closes.
+
+    ``probability`` is drawn independently per bid; ``sellers``/``rounds``
+    restrict the model as in :class:`SellerDefault`.
+    """
+
+    probability: float = 0.0
+    sellers: tuple[int, ...] | None = None
+    rounds: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_probability("BidDropout.probability", self.probability)
+        object.__setattr__(self, "sellers", _as_optional_ints(self.sellers))
+        object.__setattr__(self, "rounds", _as_optional_ints(self.rounds))
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model can never fire."""
+        return self.probability == 0.0
+
+    def applies(self, round_index: int, seller: int) -> bool:
+        """Whether the model covers ``(round, seller)``."""
+        if self.rounds is not None and round_index not in self.rounds:
+            return False
+        return self.sellers is None or seller in self.sellers
+
+
+@dataclass(frozen=True)
+class LateBid:
+    """A bid arrives after a uniform random delay.
+
+    With probability ``probability`` a bid is delayed by a draw from
+    ``U[delay_range]``.  Whether a delayed bid still makes the round is
+    the *policy's* call: it is dropped iff the active
+    :class:`~repro.faults.policies.ResiliencePolicy` sets a per-round
+    ``bid_timeout`` smaller than the drawn delay.  Without a timeout the
+    bid arrives late but in time, and only the event is recorded.
+    """
+
+    probability: float = 0.0
+    delay_range: tuple[float, float] = (0.0, 5.0)
+    sellers: tuple[int, ...] | None = None
+    rounds: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_probability("LateBid.probability", self.probability)
+        low, high = self.delay_range
+        if not 0 <= low <= high:
+            raise ConfigurationError(
+                f"invalid LateBid.delay_range {self.delay_range}"
+            )
+        object.__setattr__(
+            self, "delay_range", (float(low), float(high))
+        )
+        object.__setattr__(self, "sellers", _as_optional_ints(self.sellers))
+        object.__setattr__(self, "rounds", _as_optional_ints(self.rounds))
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model can never fire."""
+        return self.probability == 0.0
+
+    def applies(self, round_index: int, seller: int) -> bool:
+        """Whether the model covers ``(round, seller)``."""
+        if self.rounds is not None and round_index not in self.rounds:
+            return False
+        return self.sellers is None or seller in self.sellers
+
+
+@dataclass(frozen=True)
+class CloudChurn:
+    """An edge cloud (a set of co-located sellers) leaves mid-horizon.
+
+    From ``leave_round`` (inclusive) to ``rejoin_round`` (exclusive;
+    ``None`` = never rejoins) the listed sellers submit no bids.  With
+    ``probability < 1`` the departure is itself random: one draw at
+    ``leave_round`` decides whether this churn event happens at all.
+    """
+
+    sellers: tuple[int, ...] = ()
+    leave_round: int = 0
+    rejoin_round: int | None = None
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_probability("CloudChurn.probability", self.probability)
+        if self.leave_round < 0:
+            raise ConfigurationError(
+                f"CloudChurn.leave_round must be >= 0, got {self.leave_round}"
+            )
+        if self.rejoin_round is not None and self.rejoin_round <= self.leave_round:
+            raise ConfigurationError(
+                "CloudChurn.rejoin_round must be after leave_round, got "
+                f"{self.rejoin_round} <= {self.leave_round}"
+            )
+        object.__setattr__(
+            self, "sellers", tuple(int(s) for s in self.sellers)
+        )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model can never remove a bid."""
+        return not self.sellers or self.probability == 0.0
+
+    def covers_round(self, round_index: int) -> bool:
+        """Whether ``round_index`` falls in the away window."""
+        if round_index < self.leave_round:
+            return False
+        return self.rejoin_round is None or round_index < self.rejoin_round
+
+
+@dataclass(frozen=True)
+class DemandSurge:
+    """A round's demand is multiplied by ``factor`` (ceil-rounded).
+
+    Fires on every listed round (``rounds``), or with ``probability`` per
+    round when ``rounds`` is ``None`` — the stress model for rounds where
+    demand outstrips what the bid pool can cover and the degradation
+    path must produce a partial outcome instead of raising.
+    """
+
+    factor: float = 1.0
+    probability: float = 0.0
+    rounds: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_probability("DemandSurge.probability", self.probability)
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"DemandSurge.factor must be >= 1, got {self.factor}"
+            )
+        object.__setattr__(self, "rounds", _as_optional_ints(self.rounds))
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model can never change a round's demand."""
+        if self.factor == 1.0:
+            return True
+        return self.rounds is None and self.probability == 0.0
+
+
+_MODEL_TYPES: dict[str, type] = {
+    "seller_defaults": SellerDefault,
+    "bid_dropouts": BidDropout,
+    "late_bids": LateBid,
+    "cloud_churn": CloudChurn,
+    "demand_surges": DemandSurge,
+}
+
+
+def _model_to_dict(model) -> dict:
+    data: dict = {}
+    for spec in fields(model):
+        value = getattr(model, spec.name)
+        if value is None:
+            continue
+        if spec.name == "scripted":
+            value = [list(pair) for pair in value]
+        elif isinstance(value, tuple):
+            value = list(value)
+        data[spec.name] = value
+    return data
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A bundle of fault models plus the dedicated fault seed.
+
+    The ``seed`` drives a fault-only RNG stream family (see
+    :class:`~repro.faults.injector.FaultInjector`), fully independent of
+    the market/workload generators: the same market run under two plans
+    differs only where the faults differ, and a plan whose every model
+    :attr:`is_null` provably changes nothing.
+    """
+
+    seed: int = 0
+    seller_defaults: tuple[SellerDefault, ...] = ()
+    bid_dropouts: tuple[BidDropout, ...] = ()
+    late_bids: tuple[LateBid, ...] = ()
+    cloud_churn: tuple[CloudChurn, ...] = ()
+    demand_surges: tuple[DemandSurge, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, model_type in _MODEL_TYPES.items():
+            models = tuple(getattr(self, name))
+            for model in models:
+                if not isinstance(model, model_type):
+                    raise ConfigurationError(
+                        f"FaultPlan.{name} entries must be "
+                        f"{model_type.__name__}, got "
+                        f"{type(model).__name__}"
+                    )
+            object.__setattr__(self, name, models)
+
+    @property
+    def is_null(self) -> bool:
+        """Whether no model in the plan can ever fire."""
+        return all(
+            model.is_null
+            for name in _MODEL_TYPES
+            for model in getattr(self, name)
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        data: dict = {
+            "kind": "fault-plan",
+            "schema_version": FAULT_PLAN_SCHEMA_VERSION,
+            "seed": self.seed,
+        }
+        for name in _MODEL_TYPES:
+            models = getattr(self, name)
+            if models:
+                data[name] = [_model_to_dict(model) for model in models]
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "FaultPlan":
+        """Rebuild a plan from its :meth:`to_dict` form."""
+        kind = data.get("kind", "fault-plan")
+        if kind != "fault-plan":
+            raise ConfigurationError(
+                f"serialized fault plan has kind {kind!r}, "
+                "expected 'fault-plan'"
+            )
+        version = data.get("schema_version", FAULT_PLAN_SCHEMA_VERSION)
+        if version != FAULT_PLAN_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported fault-plan schema version {version!r} "
+                f"(this build reads version {FAULT_PLAN_SCHEMA_VERSION})"
+            )
+        kwargs: dict = {"seed": int(data.get("seed", 0))}
+        for name, model_type in _MODEL_TYPES.items():
+            entries = data.get(name, ())
+            try:
+                kwargs[name] = tuple(
+                    model_type(**{
+                        key: (
+                            tuple(tuple(p) for p in value)
+                            if key == "scripted"
+                            else tuple(value)
+                            if isinstance(value, list)
+                            else value
+                        )
+                        for key, value in entry.items()
+                    })
+                    for entry in entries
+                )
+            except TypeError as error:
+                raise ConfigurationError(
+                    f"malformed FaultPlan.{name} entry: {error}"
+                ) from error
+        return FaultPlan(**kwargs)
+
+
+def load_fault_plan(path: str | pathlib.Path) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON spec file.
+
+    This is what the CLI's ``--faults spec.json`` flag calls; see
+    ``docs/resilience.md`` for the spec format and a worked example.
+    """
+    source = pathlib.Path(path)
+    try:
+        payload = json.loads(source.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read fault plan {source}: {error}"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"{source} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"{source} must contain a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return FaultPlan.from_dict(payload)
+
+
+def save_fault_plan(plan: FaultPlan, path: str | pathlib.Path) -> None:
+    """Write ``plan`` as a JSON spec readable by :func:`load_fault_plan`."""
+    target = pathlib.Path(path)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(plan.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

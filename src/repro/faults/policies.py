@@ -1,0 +1,113 @@
+"""Resilience policy: what the platform *does* about injected faults.
+
+A :class:`ResiliencePolicy` is the knob set for the recovery machinery in
+:mod:`repro.faults.resilience` — how many retry re-auctions to run after
+winner defaults, how much to relax the price ceiling per backoff step,
+the per-round bid-collection timeout, whether a still-uncovered round
+degrades to a partial outcome or raises, and whether abandoned demand is
+carried into the next round.  The policy is pure configuration (a frozen,
+serde-able dataclass); the fault *models* live in
+:mod:`repro.faults.models` and the mechanics in
+:mod:`repro.faults.resilience`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResiliencePolicy", "DEFAULT_POLICY"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the round loop recovers from injected faults.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-auction attempts over the remaining bids after winners
+        default (0 = accept the loss immediately).
+    backoff_factor:
+        Multiplier applied to the round's price ceiling at each retry
+        (attempt ``k`` runs under ``ceiling * backoff_factor**k``), so
+        later attempts admit pricier bids — the auction analogue of
+        retry-with-backoff.  Ignored when the round has no ceiling.
+    bid_timeout:
+        Per-round bid-collection deadline; a late bid whose injected
+        delay exceeds it misses the round.  ``None`` = wait forever
+        (late bids are recorded but still compete).
+    degradation:
+        What to do when demand is still uncovered after the last retry:
+        ``"partial"`` returns a partial-coverage outcome whose
+        resilience report carries the explicit ``uncovered`` set;
+        ``"raise"`` propagates
+        :class:`~repro.errors.InfeasibleInstanceError` as the unfaulted
+        path would.
+    carry_uncovered:
+        Whether a round's abandoned demand is added to the next round's
+        demand (re-entering the auction at the next round's scaled
+        prices) instead of being dropped.
+    """
+
+    max_retries: int = 2
+    backoff_factor: float = 1.0
+    bid_timeout: float | None = None
+    degradation: str = "partial"
+    carry_uncovered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                "backoff_factor must be >= 1 (retries may only relax the "
+                f"ceiling), got {self.backoff_factor}"
+            )
+        if self.bid_timeout is not None and self.bid_timeout < 0:
+            raise ConfigurationError(
+                f"bid_timeout must be non-negative, got {self.bid_timeout}"
+            )
+        if self.degradation not in ("partial", "raise"):
+            raise ConfigurationError(
+                f"degradation must be 'partial' or 'raise', got "
+                f"{self.degradation!r}"
+            )
+
+    def ceiling_at(self, attempt: int, ceiling: float | None) -> float | None:
+        """The price ceiling retry ``attempt`` (1-based) runs under."""
+        if ceiling is None:
+            return None
+        return ceiling * self.backoff_factor**attempt
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "max_retries": self.max_retries,
+            "backoff_factor": self.backoff_factor,
+            "bid_timeout": self.bid_timeout,
+            "degradation": self.degradation,
+            "carry_uncovered": self.carry_uncovered,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ResiliencePolicy":
+        """Rebuild a policy from its :meth:`to_dict` form."""
+        return ResiliencePolicy(
+            max_retries=int(data.get("max_retries", 2)),
+            backoff_factor=float(data.get("backoff_factor", 1.0)),
+            bid_timeout=(
+                None if data.get("bid_timeout") is None
+                else float(data["bid_timeout"])
+            ),
+            degradation=str(data.get("degradation", "partial")),
+            carry_uncovered=bool(data.get("carry_uncovered", False)),
+        )
+
+
+DEFAULT_POLICY = ResiliencePolicy()
+"""The policy used when a fault plan is given without an explicit one."""

@@ -1,0 +1,237 @@
+"""What the resilience layer observed and did, per round and per horizon.
+
+These types are the *measurement* half of :mod:`repro.faults`: every
+injected fault becomes a :class:`FaultEvent`, every re-auction attempt a
+:class:`RecoveryAction`, and a round that saw any of either carries a
+:class:`RoundResilience` on its
+:class:`~repro.core.outcomes.RoundResult`.  A round with no fault
+activity carries ``None`` instead — never an empty report — which is what
+keeps no-fault and all-zero-plan runs bit-identical to unfaulted ones
+(the serialized round is byte-for-byte the same).
+
+Everything here is a frozen dataclass with ``to_dict``/``from_dict``
+serde, mirroring the outcome schema conventions of
+:mod:`repro.core.outcomes`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "RecoveryAction",
+    "RoundResilience",
+]
+
+FAULT_KINDS = frozenset({
+    "seller-default",
+    "bid-dropout",
+    "late-bid",
+    "cloud-churn",
+    "demand-surge",
+})
+"""Every event kind the injector can emit (see :mod:`repro.faults.models`)."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, attributed to the round it hit.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    round_index:
+        The auction round the fault was injected into.
+    seller:
+        The affected seller id (``None`` for demand-side faults).
+    bid_index:
+        The affected alternative-bid index (bid-level faults only).
+    detail:
+        Kind-specific numbers: the drawn delay for a late bid, the surge
+        factor for a demand surge, the retry attempt a default hit, ...
+    """
+
+    kind: str
+    round_index: int
+    seller: int | None = None
+    bid_index: int | None = None
+    detail: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known: "
+                f"{', '.join(sorted(FAULT_KINDS))}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        data: dict = {"kind": self.kind, "round_index": self.round_index}
+        if self.seller is not None:
+            data["seller"] = self.seller
+        if self.bid_index is not None:
+            data["bid_index"] = self.bid_index
+        if self.detail:
+            data["detail"] = {k: v for k, v in sorted(self.detail.items())}
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "FaultEvent":
+        """Rebuild an event from its :meth:`to_dict` form."""
+        return FaultEvent(
+            kind=str(data["kind"]),
+            round_index=int(data["round_index"]),
+            seller=None if data.get("seller") is None else int(data["seller"]),
+            bid_index=(
+                None if data.get("bid_index") is None
+                else int(data["bid_index"])
+            ),
+            detail={
+                str(k): float(v) for k, v in data.get("detail", {}).items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One re-auction attempt after winners defaulted.
+
+    Attributes
+    ----------
+    round_index / attempt:
+        Which round, and which retry (1-based; attempt 0 is the primary
+        auction and never appears here).
+    residual_demand:
+        The buyer → units map the retry tried to re-cover.
+    recovered_units:
+        Units actually delivered by this attempt's surviving winners.
+    ceiling:
+        The (possibly backoff-relaxed) price ceiling the retry ran under,
+        ``None`` when the round had no ceiling.
+    """
+
+    round_index: int
+    attempt: int
+    residual_demand: Mapping[int, int]
+    recovered_units: int
+    ceiling: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempt < 1:
+            raise ConfigurationError(
+                f"retry attempts are 1-based, got {self.attempt}"
+            )
+        if self.recovered_units < 0:
+            raise ConfigurationError(
+                f"recovered_units must be non-negative, got "
+                f"{self.recovered_units}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "round_index": self.round_index,
+            "attempt": self.attempt,
+            "residual_demand": {
+                str(b): u for b, u in sorted(self.residual_demand.items())
+            },
+            "recovered_units": self.recovered_units,
+            "ceiling": self.ceiling,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "RecoveryAction":
+        """Rebuild an action from its :meth:`to_dict` form."""
+        return RecoveryAction(
+            round_index=int(data["round_index"]),
+            attempt=int(data["attempt"]),
+            residual_demand={
+                int(b): int(u) for b, u in data["residual_demand"].items()
+            },
+            recovered_units=int(data["recovered_units"]),
+            ceiling=(
+                None if data.get("ceiling") is None
+                else float(data["ceiling"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RoundResilience:
+    """The degradation report for one round that saw fault activity.
+
+    Attributes
+    ----------
+    events:
+        Every fault injected into the round, in injection order.
+    recoveries:
+        The re-auction attempts run after winner defaults.
+    uncovered:
+        Buyer → units the round finally left unserved.  Empty means the
+        round fully recovered; non-empty means the outcome is a
+        *partial-coverage* outcome (graceful degradation instead of an
+        exception).
+    recovered_units / abandoned_units:
+        The recovered-vs-abandoned split of the demand that defaulted
+        winners put at risk: recovered units were re-covered by retries,
+        abandoned units end the round in :attr:`uncovered`.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    recoveries: tuple[RecoveryAction, ...] = ()
+    uncovered: Mapping[int, int] = field(default_factory=dict)
+    recovered_units: int = 0
+    abandoned_units: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the round ended with unserved demand."""
+        return any(units > 0 for units in self.uncovered.values())
+
+    @property
+    def uncovered_units(self) -> int:
+        """Total units left unserved by the round."""
+        return sum(units for units in self.uncovered.values() if units > 0)
+
+    @property
+    def defaulted_sellers(self) -> frozenset[int]:
+        """Sellers that defaulted on a win at any attempt of the round."""
+        return frozenset(
+            event.seller
+            for event in self.events
+            if event.kind == "seller-default" and event.seller is not None
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "recoveries": [action.to_dict() for action in self.recoveries],
+            "uncovered": {str(b): u for b, u in sorted(self.uncovered.items())},
+            "recovered_units": self.recovered_units,
+            "abandoned_units": self.abandoned_units,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "RoundResilience":
+        """Rebuild a report from its :meth:`to_dict` form."""
+        return RoundResilience(
+            events=tuple(
+                FaultEvent.from_dict(item) for item in data.get("events", ())
+            ),
+            recoveries=tuple(
+                RecoveryAction.from_dict(item)
+                for item in data.get("recoveries", ())
+            ),
+            uncovered={
+                int(b): int(u) for b, u in data.get("uncovered", {}).items()
+            },
+            recovered_units=int(data.get("recovered_units", 0)),
+            abandoned_units=int(data.get("abandoned_units", 0)),
+        )

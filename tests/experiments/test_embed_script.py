@@ -57,3 +57,61 @@ class TestApiDocsScript:
         assert text.startswith("# API reference")
         assert "## `repro.core.ssam`" in text
         assert "run_ssam" in text
+
+
+class TestApiDocsDrift:
+    def test_generated_reference_is_current(self):
+        """docs/api_reference.md must match a fresh build (the CI docs
+        gate): regenerate with ``python scripts_build_api_docs.py``."""
+        root = pathlib.Path(__file__).resolve().parents[2]
+        build = load_script("scripts_build_api_docs").build
+        on_disk = (root / "docs" / "api_reference.md").read_text()
+        assert build() == on_disk, (
+            "docs/api_reference.md is stale; run "
+            "`python scripts_build_api_docs.py`"
+        )
+
+
+class TestDocsLinkChecker:
+    def test_repo_docs_have_no_broken_links(self):
+        checker = load_script("scripts_check_docs_links")
+        problems = [
+            issue
+            for path in checker.CHECKED
+            for issue in checker.check_file(path)
+        ]
+        assert problems == []
+
+    def test_checker_catches_rot(self, tmp_path):
+        checker = load_script("scripts_check_docs_links")
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# Title\n\n[gone](missing.md) [bad](#no-such-heading)\n"
+            "[ok](#title)\n",
+            encoding="utf-8",
+        )
+        old_root = checker.ROOT
+        checker.ROOT = tmp_path
+        try:
+            problems = checker.check_file(page)
+        finally:
+            checker.ROOT = old_root
+        assert len(problems) == 2
+        assert any("missing.md" in p for p in problems)
+        assert any("no-such-heading" in p for p in problems)
+
+    def test_code_fences_and_external_urls_are_skipped(self, tmp_path):
+        checker = load_script("scripts_check_docs_links")
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# T\n\n```\n[not a link](nowhere.md)\n```\n"
+            "[ext](https://example.com/x) [mail](mailto:a@b.c)\n",
+            encoding="utf-8",
+        )
+        old_root = checker.ROOT
+        checker.ROOT = tmp_path
+        try:
+            problems = checker.check_file(page)
+        finally:
+            checker.ROOT = old_root
+        assert problems == []

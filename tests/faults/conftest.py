@@ -1,0 +1,15 @@
+"""Fault tests always start from — and restore — the disabled
+observability default, since several of them turn tracing on to assert
+fault/recovery events and the rest of the suite pins untraced
+bit-identity."""
+
+import pytest
+
+from repro.obs.runtime import _reset_for_tests
+
+
+@pytest.fixture(autouse=True)
+def _observability_reset():
+    _reset_for_tests()
+    yield
+    _reset_for_tests()

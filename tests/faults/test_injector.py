@@ -1,0 +1,163 @@
+"""The seeded injector: determinism, stream isolation, and per-kind
+semantics (scripted defaults, churn windows, timeout-gated late bids)."""
+
+from repro.faults import (
+    BidDropout,
+    CloudChurn,
+    DemandSurge,
+    FaultInjector,
+    FaultPlan,
+    LateBid,
+    SellerDefault,
+)
+
+
+def bids_of(instance):
+    return list(instance.bids)
+
+
+def make_plan(**kwargs):
+    kwargs.setdefault("seed", 5)
+    return FaultPlan(**kwargs)
+
+
+class TestDeterminism:
+    def test_two_injectors_replay_identically(self, make_instance):
+        plan = make_plan(
+            seller_defaults=(SellerDefault(probability=0.4),),
+            bid_dropouts=(BidDropout(probability=0.3),),
+            late_bids=(LateBid(probability=0.3),),
+        )
+        instance = make_instance(3)
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            kept, events = injector.filter_bids(0, bids_of(instance))
+            defaulted, default_events = injector.winner_defaults(
+                0, bids_of(instance)[:4]
+            )
+            runs.append((
+                [b.key for b in kept],
+                [e.to_dict() for e in events],
+                sorted(defaulted),
+                [e.to_dict() for e in default_events],
+            ))
+        assert runs[0] == runs[1]
+
+    def test_reset_rewinds_every_stream(self, make_instance):
+        plan = make_plan(
+            bid_dropouts=(BidDropout(probability=0.5),),
+            cloud_churn=(CloudChurn(sellers=(0,), leave_round=0,
+                                    probability=0.5),),
+        )
+        instance = make_instance(3)
+        injector = FaultInjector(plan)
+        first = [
+            injector.filter_bids(t, bids_of(instance))[0] for t in range(3)
+        ]
+        injector.reset()
+        second = [
+            injector.filter_bids(t, bids_of(instance))[0] for t in range(3)
+        ]
+        assert [[b.key for b in kept] for kept in first] == [
+            [b.key for b in kept] for kept in second
+        ]
+
+    def test_different_fault_seeds_diverge(self, make_instance):
+        instance = make_instance(3)
+        outcomes = []
+        for seed in (1, 2):
+            injector = FaultInjector(
+                make_plan(seed=seed,
+                          bid_dropouts=(BidDropout(probability=0.5),))
+            )
+            kept, _ = injector.filter_bids(0, bids_of(instance))
+            outcomes.append([b.key for b in kept])
+        assert outcomes[0] != outcomes[1]
+
+    def test_null_plan_never_perturbs(self, make_instance):
+        instance = make_instance(3)
+        injector = FaultInjector(make_plan())
+        assert injector.is_null
+        kept, events = injector.filter_bids(0, bids_of(instance))
+        assert kept == bids_of(instance) and events == []
+        surged, surge_events = injector.surge_demand(0, instance.demand)
+        assert surged == dict(instance.demand) and surge_events == []
+        defaulted, default_events = injector.winner_defaults(
+            0, bids_of(instance)
+        )
+        assert defaulted == frozenset() and default_events == []
+
+
+class TestSemantics:
+    def test_scripted_default_fires_only_on_attempt_zero(self, make_instance):
+        instance = make_instance(3)
+        seller = instance.bids[0].seller
+        plan = make_plan(
+            seller_defaults=(SellerDefault(scripted=((2, seller),)),)
+        )
+        injector = FaultInjector(plan)
+        hit, events = injector.winner_defaults(2, bids_of(instance))
+        assert hit == frozenset({seller})
+        assert events[0].detail["scripted"] == 1.0
+        retry_hit, _ = injector.winner_defaults(
+            2, bids_of(instance), attempt=1
+        )
+        assert retry_hit == frozenset()
+        other_round, _ = injector.winner_defaults(0, bids_of(instance))
+        assert other_round == frozenset()
+
+    def test_churn_hides_sellers_for_the_window(self, make_instance):
+        instance = make_instance(3)
+        seller = instance.bids[0].seller
+        plan = make_plan(
+            cloud_churn=(CloudChurn(sellers=(seller,), leave_round=1,
+                                    rejoin_round=3),)
+        )
+        injector = FaultInjector(plan)
+        for t, expect_away in ((0, False), (1, True), (2, True), (3, False)):
+            kept, events = injector.filter_bids(t, bids_of(instance))
+            away = {b.seller for b in bids_of(instance)} - {
+                b.seller for b in kept
+            }
+            assert (seller in away) is expect_away, t
+            if expect_away:
+                assert all(e.kind == "cloud-churn" for e in events)
+
+    def test_late_bid_dropped_only_past_timeout(self, make_instance):
+        instance = make_instance(3)
+        plan = make_plan(
+            late_bids=(LateBid(probability=1.0, delay_range=(2.0, 2.0)),)
+        )
+        # Delay is exactly 2: a 5-unit timeout keeps every bid, a 1-unit
+        # timeout drops them all; without a timeout the event is
+        # informational.
+        keep = FaultInjector(plan).filter_bids(
+            0, bids_of(instance), bid_timeout=5.0
+        )
+        drop = FaultInjector(plan).filter_bids(
+            0, bids_of(instance), bid_timeout=1.0
+        )
+        info = FaultInjector(plan).filter_bids(0, bids_of(instance))
+        assert len(keep[0]) == len(instance.bids)
+        assert drop[0] == []
+        assert len(info[0]) == len(instance.bids)
+        assert all(e.detail["timed_out"] == 0.0 for e in info[1])
+        assert all(e.detail["timed_out"] == 1.0 for e in drop[1])
+
+    def test_surge_scales_and_ceils(self):
+        plan = make_plan(demand_surges=(DemandSurge(factor=1.5, rounds=(1,)),))
+        injector = FaultInjector(plan)
+        unchanged, no_events = injector.surge_demand(0, {10: 3})
+        surged, events = injector.surge_demand(1, {10: 3, 20: 2})
+        assert unchanged == {10: 3} and no_events == []
+        assert surged == {10: 5, 20: 3}
+        assert [e.kind for e in events] == ["demand-surge"]
+
+    def test_dropout_removes_bids_with_events(self, make_instance):
+        instance = make_instance(3)
+        plan = make_plan(bid_dropouts=(BidDropout(probability=1.0),))
+        kept, events = FaultInjector(plan).filter_bids(0, bids_of(instance))
+        assert kept == []
+        assert len(events) == len(instance.bids)
+        assert {e.kind for e in events} == {"bid-dropout"}

@@ -1,0 +1,147 @@
+"""Fault-model dataclasses: validation, nullability, and serde.
+
+The plan file is the experiment's reproducibility contract — a faulted
+run is fully described by (config, plan), so ``to_dict``/``from_dict``
+must round-trip exactly and reject anything the injector could not
+execute."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_PLAN_SCHEMA_VERSION,
+    BidDropout,
+    CloudChurn,
+    DemandSurge,
+    FaultPlan,
+    LateBid,
+    SellerDefault,
+    load_fault_plan,
+    save_fault_plan,
+)
+
+FULL_PLAN = FaultPlan(
+    seed=42,
+    seller_defaults=(
+        SellerDefault(probability=0.2, sellers=(1, 2), rounds=(0, 3)),
+        SellerDefault(scripted=((1, 4), (2, 5))),
+    ),
+    bid_dropouts=(BidDropout(probability=0.1),),
+    late_bids=(LateBid(probability=0.3, delay_range=(1.0, 4.0)),),
+    cloud_churn=(CloudChurn(sellers=(7, 8), leave_round=2, rejoin_round=5),),
+    demand_surges=(DemandSurge(factor=1.5, rounds=(3,)),),
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("p", [-0.1, 1.5])
+    def test_probability_bounds(self, p):
+        for model_type in (SellerDefault, BidDropout, LateBid):
+            with pytest.raises(ConfigurationError):
+                model_type(probability=p)
+        with pytest.raises(ConfigurationError):
+            CloudChurn(sellers=(1,), probability=p)
+        with pytest.raises(ConfigurationError):
+            DemandSurge(factor=2.0, probability=p)
+
+    def test_surge_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemandSurge(factor=0.5, probability=0.1)
+
+    def test_churn_rejoin_before_leave_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CloudChurn(sellers=(1,), leave_round=4, rejoin_round=4)
+
+    def test_late_bid_delay_range_ordered(self):
+        with pytest.raises(ConfigurationError):
+            LateBid(probability=0.5, delay_range=(3.0, 1.0))
+
+    def test_plan_rejects_wrong_model_type(self):
+        with pytest.raises(ConfigurationError, match="seller_defaults"):
+            FaultPlan(seller_defaults=(BidDropout(probability=0.5),))
+
+
+class TestNullability:
+    def test_empty_plan_is_null(self):
+        assert FaultPlan().is_null
+
+    def test_zero_probability_models_are_null(self):
+        plan = FaultPlan(
+            seed=99,
+            seller_defaults=(SellerDefault(probability=0.0),),
+            bid_dropouts=(BidDropout(probability=0.0),),
+            late_bids=(LateBid(probability=0.0),),
+            cloud_churn=(CloudChurn(sellers=(), leave_round=0),),
+            demand_surges=(DemandSurge(factor=1.0, probability=1.0),),
+        )
+        assert plan.is_null
+
+    def test_scripted_default_is_not_null(self):
+        assert not FaultPlan(
+            seller_defaults=(SellerDefault(scripted=((0, 1),)),)
+        ).is_null
+
+    def test_any_live_model_makes_plan_live(self):
+        assert not FULL_PLAN.is_null
+
+    def test_applies_respects_restrictions(self):
+        model = SellerDefault(probability=0.5, sellers=(1,), rounds=(2,))
+        assert model.applies(2, 1)
+        assert not model.applies(2, 3)
+        assert not model.applies(1, 1)
+
+    def test_churn_window(self):
+        churn = CloudChurn(sellers=(1,), leave_round=2, rejoin_round=4)
+        assert [churn.covers_round(t) for t in range(5)] == [
+            False, False, True, True, False,
+        ]
+        forever = CloudChurn(sellers=(1,), leave_round=3)
+        assert forever.covers_round(100)
+
+
+class TestSerde:
+    def test_round_trip_full_plan(self):
+        assert FaultPlan.from_dict(FULL_PLAN.to_dict()) == FULL_PLAN
+
+    def test_dict_is_json_compatible_and_tagged(self):
+        data = json.loads(json.dumps(FULL_PLAN.to_dict()))
+        assert data["kind"] == "fault-plan"
+        assert data["schema_version"] == FAULT_PLAN_SCHEMA_VERSION
+        assert FaultPlan.from_dict(data) == FULL_PLAN
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        save_fault_plan(FULL_PLAN, path)
+        assert load_fault_plan(path) == FULL_PLAN
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultPlan.from_dict({"kind": "outcome", "seed": 0})
+
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema version"):
+            FaultPlan.from_dict(
+                {"kind": "fault-plan", "schema_version": 999}
+            )
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ConfigurationError, match="bid_dropouts"):
+            FaultPlan.from_dict(
+                {
+                    "kind": "fault-plan",
+                    "schema_version": FAULT_PLAN_SCHEMA_VERSION,
+                    "bid_dropouts": [{"nonsense": 1}],
+                }
+            )
+
+    def test_missing_file_message_names_path(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no-such-plan"):
+            load_fault_plan(tmp_path / "no-such-plan.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_fault_plan(path)

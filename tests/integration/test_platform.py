@@ -17,8 +17,17 @@ from repro.edge.platform import EdgePlatform, PlatformConfig
 from repro.edge.users import build_user_population
 
 
-def build_platform(seed=5, horizon_rounds=4, n_services=8, overload_targets=(1, 2)):
-    """A two-cloud deployment where a couple of services are overloaded."""
+def build_platform(
+    seed=5,
+    horizon_rounds=4,
+    n_services=8,
+    overload_targets=(1, 2),
+    **platform_kwargs,
+):
+    """A two-cloud deployment where a couple of services are overloaded.
+
+    Extra keyword arguments go to :class:`EdgePlatform` verbatim (e.g.
+    ``mechanism=``, ``faults=``, ``resilience=``)."""
     rng = np.random.default_rng(seed)
     clouds = [EdgeCloud(0, capacity=60.0), EdgeCloud(1, capacity=60.0)]
     services = []
@@ -62,6 +71,7 @@ def build_platform(seed=5, horizon_rounds=4, n_services=8, overload_targets=(1, 
         config=PlatformConfig(round_length=8.0, work_mean=0.5),
         rng=rng,
         horizon_rounds=horizon_rounds,
+        **platform_kwargs,
     )
 
 
