@@ -18,6 +18,15 @@ Run any mechanism by name    :func:`get_mechanism` /
 Run an online horizon        :func:`run_msoa` (or drive
                              :class:`MultiStageOnlineAuction` round by
                              round for streaming arrivals)
+Serve live auction rounds    :func:`serve` on a :class:`DistScenario`
+                             (message-driven platform; agents submit
+                             bids via :meth:`AgentHandle.submit_bid`,
+                             rounds run through
+                             :class:`RoundOrchestrator`; CLI:
+                             ``repro-edge-auction serve``)
+Check serving determinism    :func:`replay_scenario` — the synchronous
+                             oracle a seeded :func:`serve` session must
+                             match bit for bit
 Build a synthetic market     :func:`generate_round` /
                              :func:`generate_horizon` with
                              :class:`MarketConfig`
@@ -42,8 +51,16 @@ Inject faults / recover      :class:`FaultPlan` via keyword ``faults=``
 ===========================  ==========================================
 
 Mechanism options are keyword-only and share one vocabulary everywhere:
-``payment_rule=``, ``parallelism=``, ``guard=``, ``engine=``, and (for
-online runs) ``faults=``, ``resilience=``.
+``payment_rule=``, ``parallelism=`` (``"auto"`` by default — serial on
+small instances, pooled on large ones), ``guard=``, ``engine=``, and
+(for online runs) ``faults=``, ``resilience=``.
+
+.. deprecated:: 1.2
+    Wiring sellers and buyers directly into
+    :class:`~repro.edge.platform.EdgePlatform` warns; describe the
+    deployment as a :class:`DistScenario` and build through
+    :func:`serve` instead (the synchronous oracle stays available as
+    :func:`replay_scenario`).
 
 >>> import numpy as np
 >>> from repro.api import MarketConfig, generate_round, run_ssam
@@ -95,6 +112,15 @@ from repro.core.registry import (
 )
 from repro.core.ssam import PaymentRule, run_ssam
 from repro.core.wsp import WSPInstance
+from repro.dist import (
+    AgentHandle,
+    AuctionService,
+    DistScenario,
+    InMemoryTransport,
+    RoundOrchestrator,
+    replay_scenario,
+    serve,
+)
 from repro.errors import (
     ConfigurationError,
     InfeasibleInstanceError,
@@ -153,6 +179,14 @@ __all__ = [
     "WinningBid",
     "save_outcome",
     "load_outcome",
+    # distributed serving
+    "serve",
+    "AuctionService",
+    "RoundOrchestrator",
+    "AgentHandle",
+    "DistScenario",
+    "replay_scenario",
+    "InMemoryTransport",
     # references & tooling
     "solve_wsp_optimal",
     "run_engine_bench",

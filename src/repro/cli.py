@@ -10,6 +10,7 @@ Usage::
     repro-edge-auction quickstart            # a tiny end-to-end demo
     repro-edge-auction mechanisms            # list the mechanism registry
     repro-edge-auction run --mechanism vcg   # one mechanism, one market
+    repro-edge-auction serve --rounds 6 --check  # async platform + oracle check
     repro-edge-auction verify --mechanism ssam   # certify economic claims
 
 (Equivalently: ``python -m repro ...``.)
@@ -37,6 +38,23 @@ FIGURES = {
 }
 
 
+def _parallelism_arg(text: str) -> int | str:
+    """Parse ``--parallelism``: an integer worker count or ``auto``.
+
+    Range validation happens downstream (``validate_parallelism``), so
+    bad values surface as the CLI's usual one-line configuration errors
+    rather than argparse usage dumps.
+    """
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("Available experiments (paper figure panels):")
     for key, fn in FIGURES.items():
@@ -49,7 +67,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     import dataclasses
 
     config = QUICK if args.quick else FULL
-    if args.parallelism != 1:
+    if args.parallelism != config.parallelism:
         config = dataclasses.replace(config, parallelism=args.parallelism)
     if args.engine != "fast":
         config = dataclasses.replace(config, engine=args.engine)
@@ -61,7 +79,10 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         config = dataclasses.replace(
             config,
             observability=ObservabilityConfig(
-                trace_path=args.trace, metrics_path=args.metrics
+                trace_path=args.trace,
+                metrics_path=args.metrics,
+                trace_max_records=args.trace_limit,
+                trace_sample_every=args.trace_sample,
             ),
         )
     if args.faults:
@@ -114,6 +135,63 @@ def _cmd_compare(_: argparse.Namespace) -> int:
     table.add_row(mechanism="posted@35", social_cost=posted.social_cost,
                   payment=posted.total_payment)
     print(table.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.dist import DistScenario, replay_scenario, serve
+
+    faults = None
+    if args.faults:
+        from repro.faults import load_fault_plan
+
+        faults = load_fault_plan(args.faults)
+    scenario = DistScenario(
+        seed=args.seed,
+        horizon_rounds=args.rounds,
+        mechanism=args.mechanism,
+        faults=faults,
+    )
+    service = serve(scenario, grace_window=args.grace)
+    reports = service.run()
+    print(
+        f"served {len(reports)} rounds "
+        f"(seed {args.seed}, mechanism {args.mechanism or 'msoa'}, "
+        f"grace window {service.orchestrator.grace_window})"
+    )
+    for report in reports:
+        demand = sum(report.demand_units.values())
+        if report.auction is None:
+            print(f"  round {report.round_index}: no demand")
+            continue
+        winners = len(report.auction.outcome.winners)
+        print(
+            f"  round {report.round_index}: demand {demand} units, "
+            f"{winners} winning bids, social cost "
+            f"{report.auction.social_cost:.2f}"
+        )
+    ledger = service.ledger
+    print(
+        f"ledger: paid {ledger.total_paid:.2f}, "
+        f"charged {ledger.total_charged:.2f}, "
+        f"budget balanced: {ledger.is_budget_balanced}"
+    )
+    if args.check:
+        sync_reports = replay_scenario(scenario, args.rounds)
+        matches = [
+            (a.auction.outcome.to_dict() if a.auction else None)
+            == (s.auction.outcome.to_dict() if s.auction else None)
+            for a, s in zip(reports, sync_reports)
+        ]
+        if all(matches) and len(reports) == len(sync_reports):
+            print("determinism check: async outcomes bit-identical to "
+                  "synchronous replay")
+        else:
+            bad = [i for i, ok in enumerate(matches) if not ok]
+            print(
+                f"determinism check FAILED (rounds {bad})", file=sys.stderr
+            )
+            return 1
     return 0
 
 
@@ -377,6 +455,22 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write the metrics-registry JSON snapshot here on exit",
     )
+    parser.add_argument(
+        "--trace-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="roll the trace file after N records per segment "
+        "(bounded disk for long runs; default unbounded)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="K",
+        help="keep only every K-th top-level span tree in the trace "
+        "(default: keep all)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -399,10 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig.add_argument(
         "--parallelism",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for critical-payment replays (default 1)",
+        type=_parallelism_arg,
+        default="auto",
+        metavar="N|auto",
+        help="worker processes for critical-payment replays: an integer, "
+        "or 'auto' (default) to size the pool from each instance",
     )
     fig.add_argument(
         "--engine",
@@ -449,6 +544,38 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "mechanisms", help="list the mechanism registry"
     ).set_defaults(fn=_cmd_mechanisms)
+    serve = sub.add_parser(
+        "serve",
+        help="serve auction rounds on the distributed async platform "
+        "(repro.dist)",
+    )
+    serve.add_argument(
+        "--rounds", type=int, default=6, metavar="T",
+        help="number of auction rounds to serve (default 6)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=5, metavar="N",
+        help="scenario seed (default 5)",
+    )
+    serve.add_argument(
+        "--grace", type=float, default=1.0, metavar="W",
+        help="grace window per round on the virtual clock (default 1.0)",
+    )
+    serve.add_argument(
+        "--mechanism", default=None, metavar="NAME",
+        help="clearing mechanism registry name (default: the paper's MSOA)",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="after serving, replay the scenario synchronously and verify "
+        "the outcomes are bit-identical",
+    )
+    _add_faults_flag(
+        serve,
+        "fault-plan JSON (repro.faults); every served round clears under it",
+    )
+    _add_observability_flags(serve)
+    serve.set_defaults(fn=_cmd_serve)
     bench = sub.add_parser(
         "bench",
         help="time the fast engine vs the reference oracle "
@@ -544,7 +671,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if trace or metrics:
             from repro.obs import configure
 
-            configure(trace=trace, metrics=metrics)
+            configure(
+                trace=trace,
+                metrics=metrics,
+                trace_max_records=getattr(args, "trace_limit", None),
+                trace_sample_every=getattr(args, "trace_sample", None),
+            )
         try:
             return args.fn(args)
         finally:

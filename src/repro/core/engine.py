@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 
@@ -45,7 +46,7 @@ from repro.core.ssam import (
     _selection_key,
 )
 from repro.core.wsp import ActiveBidIndex, CoverageState
-from repro.errors import InfeasibleInstanceError
+from repro.errors import ConfigurationError, InfeasibleInstanceError
 from repro.obs.profiler import profiled
 from repro.obs.runtime import STATE as _OBS
 
@@ -53,6 +54,10 @@ __all__ = [
     "fast_greedy_selection",
     "fast_critical_payment",
     "compute_critical_payments",
+    "resolve_parallelism",
+    "validate_parallelism",
+    "AUTO_PARALLELISM_THRESHOLD",
+    "MAX_AUTO_WORKERS",
 ]
 
 _SelectionKey = tuple[float, float, int, int]
@@ -324,6 +329,59 @@ def _payment_worker(winner: Bid) -> float:
     )
 
 
+AUTO_PARALLELISM_THRESHOLD = 24_000
+"""Minimum ``n_bids × n_winners`` work units before ``"auto"`` forks.
+
+Calibrated against ``BENCH_engine.json``: the Figure-4(b) cases (≤150
+bids, work units in the hundreds-to-thousands) run 0.08–0.21× under a
+pool — process startup swamps the replays — while ``stress_large_n``
+(800 bids, ≈10⁵ work units) runs >10× faster.  The threshold sits an
+order of magnitude above the losing cases and below the winning one.
+"""
+
+MAX_AUTO_WORKERS = 8
+"""Ceiling on pool size under ``"auto"`` (payment replays saturate the
+memory bus before they saturate a big machine's core count)."""
+
+
+def validate_parallelism(parallelism) -> None:
+    """Fail fast on a bad ``parallelism`` value (``"auto"`` or int ≥ 1)."""
+    if parallelism == "auto":
+        return
+    if isinstance(parallelism, bool) or not isinstance(parallelism, int):
+        raise ConfigurationError(
+            f"parallelism must be 'auto' or a positive integer, "
+            f"got {parallelism!r}"
+        )
+    if parallelism < 1:
+        raise ConfigurationError(
+            f"parallelism must be 'auto' or a positive integer, "
+            f"got {parallelism}"
+        )
+
+
+def resolve_parallelism(parallelism, *, n_bids: int, n_winners: int) -> int:
+    """Turn a ``parallelism`` request into a concrete worker count.
+
+    Explicit integers are honoured as before (the caller opted in or out
+    of the pool deliberately).  ``"auto"`` — the default everywhere since
+    the serving redesign — picks serial execution whenever the payment
+    phase is too small to amortize pool startup, measured in
+    ``n_bids × n_winners`` work units (each of the ``n_winners`` critical
+    replays rescans up to ``n_bids`` bids), and otherwise caps the pool
+    at :data:`MAX_AUTO_WORKERS`, the machine's core count, and the number
+    of replays.
+    """
+    validate_parallelism(parallelism)
+    if parallelism != "auto":
+        return int(parallelism)
+    if n_winners < 2:
+        return 1
+    if n_bids * n_winners < AUTO_PARALLELISM_THRESHOLD:
+        return 1
+    return max(2, min(os.cpu_count() or 1, MAX_AUTO_WORKERS, n_winners))
+
+
 @profiled("ssam.payments")
 def compute_critical_payments(
     instance,
@@ -331,16 +389,25 @@ def compute_critical_payments(
     *,
     exact_guard: bool = False,
     guard_feasibility: bool = True,
-    parallelism: int = 1,
+    parallelism: int | str = "auto",
     use_fast: bool = True,
 ) -> list[float]:
     """Critical values for every winner, optionally in parallel.
 
-    ``parallelism`` caps the worker count (1 = serial, the default).  The
-    pool path preserves winner order; any environment where a process pool
-    cannot be created degrades gracefully to the serial path.
+    ``parallelism`` caps the worker count: an explicit integer is used
+    as-is (1 = serial), while ``"auto"`` (the default) sizes the pool
+    from the instance via :func:`resolve_parallelism`.  The pool path
+    preserves winner order; any environment where a process pool cannot
+    be created degrades gracefully to the serial path.
     """
-    workers = min(int(parallelism), len(winners))
+    workers = min(
+        resolve_parallelism(
+            parallelism,
+            n_bids=len(instance.bids),
+            n_winners=len(winners),
+        ),
+        len(winners),
+    )
     if workers > 1:
         context = (instance, exact_guard, guard_feasibility, use_fast)
         try:

@@ -35,6 +35,7 @@ from repro.core.ratios import (
     msoa_competitive_bound,
     ssam_ratio_bound,
 )
+from repro.core.engine import validate_parallelism
 from repro.core.ssam import PaymentRule, run_ssam
 from repro.core.wsp import WSPInstance
 from repro.errors import ConfigurationError, InfeasibleInstanceError
@@ -66,7 +67,9 @@ class MultiStageOnlineAuction:
         Forwarded to each round's SSAM run.
     parallelism:
         Worker processes for each round's critical-payment replays
-        (forwarded to :func:`~repro.core.ssam.run_ssam`).
+        (forwarded to :func:`~repro.core.ssam.run_ssam`).  ``"auto"``
+        (default) sizes the pool per round from the instance; explicit
+        integers are honoured as before.
     guard:
         Whether rounds run with the stranding-lookahead feasibility
         guard (forwarded to :func:`~repro.core.ssam.run_ssam`).
@@ -100,7 +103,7 @@ class MultiStageOnlineAuction:
         *,
         alpha: float | None = None,
         payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
-        parallelism: int = 1,
+        parallelism: int | str = "auto",
         guard: bool = True,
         engine: str = "fast",
         on_infeasible: str = "raise",
@@ -119,6 +122,7 @@ class MultiStageOnlineAuction:
             )
         if alpha is not None and alpha <= 0:
             raise ConfigurationError(f"alpha must be positive, got {alpha}")
+        validate_parallelism(parallelism)
         self._capacities = dict(capacities)
         self._alpha = alpha
         self._payment_rule = payment_rule
@@ -456,7 +460,7 @@ def run_msoa(
     *deprecated_args: PaymentRule,
     alpha: float | None = None,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
-    parallelism: int = 1,
+    parallelism: int | str = "auto",
     guard: bool = True,
     engine: str = "fast",
     on_infeasible: str = "raise",

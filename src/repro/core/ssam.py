@@ -336,7 +336,7 @@ def run_ssam(
     instance: WSPInstance,
     *deprecated_args: PaymentRule,
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
-    parallelism: int = 1,
+    parallelism: int | str = "auto",
     guard: bool = True,
     engine: str = "fast",
     original_prices: dict[tuple[int, int], float] | None = None,
@@ -352,7 +352,11 @@ def run_ssam(
     parallelism:
         Worker processes for the per-winner critical-payment replays
         (``PaymentRule.CRITICAL_RERUN`` only; the replays are mutually
-        independent).  1 (default) computes them serially.
+        independent).  ``"auto"`` (default) runs serially on small
+        instances and sizes a pool from the instance otherwise (see
+        :func:`repro.core.engine.resolve_parallelism`); an explicit
+        integer forces that worker count (1 = serial), exactly as
+        before.
     guard:
         Whether the stranding-lookahead feasibility guard steers the
         greedy away from choices that provably dead-end a buyer.  Disable
@@ -406,11 +410,13 @@ def run_ssam(
         raise ConfigurationError(
             f"engine must be 'fast' or 'reference', got {engine!r}"
         )
-    if parallelism < 1:
-        raise ConfigurationError(
-            f"parallelism must be a positive integer, got {parallelism}"
-        )
-    from repro.core.engine import compute_critical_payments, fast_greedy_selection
+    from repro.core.engine import (
+        compute_critical_payments,
+        fast_greedy_selection,
+        validate_parallelism,
+    )
+
+    validate_parallelism(parallelism)
 
     use_fast = engine == "fast"
     select = fast_greedy_selection if use_fast else greedy_selection

@@ -1,0 +1,68 @@
+"""Distributed serving of the online auction (:mod:`repro.dist`).
+
+The message-driven form of the paper's platform: sellers and buyers are
+independent :mod:`asyncio` agents that talk to a long-lived
+:class:`RoundOrchestrator` over a pluggable :class:`Transport`, while
+simulation, demand estimation, and clearing stay on the shared
+:class:`~repro.edge.platform.EdgePlatform` core — which is what makes a
+seeded in-memory run bit-identical to the synchronous replay of the same
+:class:`DistScenario` (see :func:`replay_scenario` and
+``docs/distributed.md`` for the determinism contract).
+
+Entry points: :func:`serve` (also re-exported as :func:`repro.api.serve`)
+builds an :class:`AuctionService`; ``service.run(rounds)`` serves a
+one-shot session; ``service.connect(seller_id)`` hands out an
+:class:`AgentHandle` for caller-driven agents.
+"""
+
+from repro.dist.agents import (
+    ORCHESTRATOR_ENDPOINT,
+    AgentHandle,
+    AgentStreamPolicy,
+    BuyerAgent,
+    SellerAgent,
+    default_policy_factory,
+    seller_endpoint,
+    seller_stream,
+)
+from repro.dist.messages import (
+    MESSAGE_SCHEMA_VERSION,
+    BidSubmission,
+    Envelope,
+    OutcomeNotice,
+    RoundOpen,
+    Shutdown,
+    message_from_dict,
+    message_to_dict,
+)
+from repro.dist.orchestrator import RoundOrchestrator
+from repro.dist.scenario import DistScenario, replay_scenario
+from repro.dist.service import AuctionService, serve
+from repro.dist.transport import InMemoryTransport, Mailbox, Transport
+
+__all__ = [
+    "serve",
+    "AuctionService",
+    "RoundOrchestrator",
+    "DistScenario",
+    "replay_scenario",
+    "AgentHandle",
+    "SellerAgent",
+    "BuyerAgent",
+    "AgentStreamPolicy",
+    "default_policy_factory",
+    "seller_endpoint",
+    "seller_stream",
+    "ORCHESTRATOR_ENDPOINT",
+    "Transport",
+    "InMemoryTransport",
+    "Mailbox",
+    "Envelope",
+    "RoundOpen",
+    "BidSubmission",
+    "OutcomeNotice",
+    "Shutdown",
+    "message_to_dict",
+    "message_from_dict",
+    "MESSAGE_SCHEMA_VERSION",
+]

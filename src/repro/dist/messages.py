@@ -1,0 +1,245 @@
+"""Wire-format message types of the distributed auction platform.
+
+Every interaction between the :class:`~repro.dist.orchestrator.
+RoundOrchestrator` and its agents is one of the frozen dataclasses below,
+wrapped in an :class:`Envelope` by the transport.  The types are plain
+data — no behaviour, no references to live platform state — and each one
+round-trips through ``to_dict``/``from_dict``, so a socket or HTTP
+transport can serialize them as JSON without touching this module.
+
+The protocol is deliberately small:
+
+* :class:`RoundOpen` — the platform opens a round for one seller,
+  announcing the public context (which co-located microservices are
+  needy, how many units the seller may pledge) and the grace-window
+  ``deadline`` by which the seller's bids must arrive;
+* :class:`BidSubmission` — the seller's reply: zero or more alternative
+  bids for the round (an empty submission is an explicit decline, which
+  releases the round barrier without waiting for the wall-clock guard);
+* :class:`OutcomeNotice` — the platform broadcasts each cleared round's
+  winners, payments, and transfers to every connected agent;
+* :class:`Shutdown` — the platform is closing; agents should exit.
+
+Timestamps (``opened_at``, ``deadline``, :attr:`Envelope.deliver_at`) are
+*virtual* times on the transport's clock, which keeps grace-window
+semantics deterministic under the in-memory transport and maps to wall
+clocks on a real one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.bids import Bid
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MESSAGE_SCHEMA_VERSION",
+    "RoundOpen",
+    "BidSubmission",
+    "OutcomeNotice",
+    "Shutdown",
+    "Envelope",
+    "message_to_dict",
+    "message_from_dict",
+]
+
+MESSAGE_SCHEMA_VERSION = 1
+"""Bump on breaking changes to any message's ``to_dict`` layout."""
+
+
+@dataclass(frozen=True)
+class RoundOpen:
+    """The platform opens an auction round for one seller.
+
+    Carries exactly the public information the synchronous loop hands to
+    a :class:`~repro.edge.platform.BiddingPolicy`: the round index, the
+    co-located needy microservices the seller may cover, and the maximum
+    units it can still pledge.  ``deadline`` is the virtual time the
+    grace window closes — a submission delivered after it is late.
+    """
+
+    round_index: int
+    seller_id: int
+    local_buyers: tuple[int, ...]
+    max_units: int
+    opened_at: float
+    deadline: float
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "round_open",
+            "round_index": self.round_index,
+            "seller_id": self.seller_id,
+            "local_buyers": list(self.local_buyers),
+            "max_units": self.max_units,
+            "opened_at": self.opened_at,
+            "deadline": self.deadline,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "RoundOpen":
+        return RoundOpen(
+            round_index=int(data["round_index"]),
+            seller_id=int(data["seller_id"]),
+            local_buyers=tuple(int(b) for b in data["local_buyers"]),
+            max_units=int(data["max_units"]),
+            opened_at=float(data["opened_at"]),
+            deadline=float(data["deadline"]),
+        )
+
+
+@dataclass(frozen=True)
+class BidSubmission:
+    """One seller's bids for one round (empty = explicit decline)."""
+
+    round_index: int
+    seller_id: int
+    bids: tuple[Bid, ...] = ()
+
+    def __post_init__(self) -> None:
+        for bid in self.bids:
+            if bid.seller != self.seller_id:
+                raise ConfigurationError(
+                    f"submission for seller {self.seller_id} contains a bid "
+                    f"from seller {bid.seller}"
+                )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "bid_submission",
+            "round_index": self.round_index,
+            "seller_id": self.seller_id,
+            "bids": [bid.to_dict() for bid in self.bids],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "BidSubmission":
+        return BidSubmission(
+            round_index=int(data["round_index"]),
+            seller_id=int(data["seller_id"]),
+            bids=tuple(Bid.from_dict(b) for b in data["bids"]),
+        )
+
+
+@dataclass(frozen=True)
+class OutcomeNotice:
+    """Broadcast summary of one cleared round.
+
+    ``winners`` lists winning bid keys ``(seller, index)`` with the
+    payment each earned; ``transfers`` lists ``(seller, covered buyers)``
+    resource movements.  Enough for a seller to learn whether it won and
+    for a buyer to learn what it received, without shipping the whole
+    :class:`~repro.core.outcomes.RoundResult` over the wire.
+    """
+
+    round_index: int
+    winners: tuple[tuple[int, int, float], ...] = ()
+    transfers: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    social_cost: float = 0.0
+
+    def payment_to(self, seller_id: int) -> float:
+        """Total payment the round owes ``seller_id``."""
+        return sum(p for s, _, p in self.winners if s == seller_id)
+
+    def units_to(self, buyer_id: int) -> int:
+        """Units ``buyer_id`` received this round."""
+        return sum(
+            1 for _, covered in self.transfers if buyer_id in covered
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "outcome_notice",
+            "round_index": self.round_index,
+            "winners": [
+                [seller, index, payment]
+                for seller, index, payment in self.winners
+            ],
+            "transfers": [
+                [seller, sorted(covered)] for seller, covered in self.transfers
+            ],
+            "social_cost": self.social_cost,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "OutcomeNotice":
+        return OutcomeNotice(
+            round_index=int(data["round_index"]),
+            winners=tuple(
+                (int(s), int(i), float(p)) for s, i, p in data["winners"]
+            ),
+            transfers=tuple(
+                (int(s), tuple(int(b) for b in covered))
+                for s, covered in data["transfers"]
+            ),
+            social_cost=float(data["social_cost"]),
+        )
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """The platform is closing; the receiving agent should exit."""
+
+    reason: str = "served"
+
+    def to_dict(self) -> dict:
+        return {"kind": "shutdown", "reason": self.reason}
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Shutdown":
+        return Shutdown(reason=str(data.get("reason", "served")))
+
+
+_MESSAGE_KINDS = {
+    "round_open": RoundOpen,
+    "bid_submission": BidSubmission,
+    "outcome_notice": OutcomeNotice,
+    "shutdown": Shutdown,
+}
+
+
+def message_to_dict(message) -> dict:
+    """Serialize any protocol message with its schema version."""
+    payload = message.to_dict()
+    payload["schema_version"] = MESSAGE_SCHEMA_VERSION
+    return payload
+
+
+def message_from_dict(data: Mapping):
+    """Inverse of :func:`message_to_dict`; dispatches on ``kind``."""
+    version = data.get("schema_version", MESSAGE_SCHEMA_VERSION)
+    if version != MESSAGE_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported message schema version {version!r} (this build "
+            f"speaks version {MESSAGE_SCHEMA_VERSION})"
+        )
+    kind = data.get("kind")
+    cls = _MESSAGE_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown message kind {kind!r}")
+    return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Transport wrapper around one message.
+
+    ``seq`` is a transport-wide monotone counter (deterministic total
+    order without wall clocks); ``sent_at``/``deliver_at`` are virtual
+    times — an envelope whose ``deliver_at`` exceeds the round deadline
+    models a message that was genuinely late on the wire.
+    """
+
+    seq: int
+    sender: str
+    recipient: str
+    sent_at: float
+    deliver_at: float
+    message: object = field(compare=False)
+
+    @property
+    def delay(self) -> float:
+        """The message's in-flight latency on the virtual clock."""
+        return self.deliver_at - self.sent_at

@@ -1,0 +1,193 @@
+"""Pluggable message transports for the distributed auction platform.
+
+The orchestrator and every agent talk exclusively through a
+:class:`Transport`: named endpoints register a :class:`Mailbox`, senders
+address recipients by endpoint name, and each delivery is an
+:class:`~repro.dist.messages.Envelope` stamped with a transport-wide
+sequence number and virtual send/delivery times.
+
+:class:`InMemoryTransport` is the first implementation: mailboxes are
+``asyncio.Queue`` objects, delivery is immediate on the wall clock, and
+latency is modelled on a *virtual clock* — ``send(..., delay=d)`` stamps
+the envelope ``deliver_at = now + d`` without sleeping, so a grace-window
+deadline is an exact, reproducible comparison instead of a race.  The
+interface is shaped so a socket/HTTP transport can drop in later: nothing
+above this module assumes in-process delivery, only named endpoints,
+ordered envelopes, and the two clock stamps (which a wall-clock transport
+gets for free).
+
+Determinism contract: for a fixed sequence of ``send`` calls the envelope
+stream (``seq``, stamps, per-recipient FIFO order) is identical across
+runs — the transport introduces no randomness and reads no wall clock.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from collections.abc import Iterable
+
+from repro.dist.messages import Envelope
+from repro.errors import ConfigurationError, TransportError
+
+__all__ = ["Mailbox", "Transport", "InMemoryTransport"]
+
+
+class Mailbox:
+    """One endpoint's ordered inbox of :class:`Envelope` deliveries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._queue: asyncio.Queue[Envelope] = asyncio.Queue()
+
+    def put(self, envelope: Envelope) -> None:
+        """Deliver one envelope (never blocks; the queue is unbounded)."""
+        self._queue.put_nowait(envelope)
+
+    async def get(self) -> Envelope:
+        """Wait for the next envelope in delivery order."""
+        return await self._queue.get()
+
+    def get_nowait(self) -> Envelope | None:
+        """The next envelope if one is already delivered, else ``None``."""
+        try:
+            return self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    def empty(self) -> bool:
+        """Whether no delivery is currently pending."""
+        return self._queue.empty()
+
+
+class Transport(abc.ABC):
+    """Interface every transport implementation provides.
+
+    Implementations own a monotone virtual clock (:attr:`now`) and a
+    monotone envelope sequence; both are what round orchestration keys
+    its determinism on.
+    """
+
+    @abc.abstractmethod
+    def register(self, endpoint: str) -> Mailbox:
+        """Create (and return) the mailbox for a new named endpoint."""
+
+    @abc.abstractmethod
+    def send(
+        self, recipient: str, message, *, sender: str = "", delay: float = 0.0
+    ) -> Envelope:
+        """Send ``message`` to ``recipient``; returns the stamped envelope."""
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """The transport's current virtual time."""
+
+    @abc.abstractmethod
+    def advance_to(self, when: float) -> None:
+        """Move the virtual clock forward to ``when`` (never backward)."""
+
+    @abc.abstractmethod
+    def endpoints(self) -> Iterable[str]:
+        """The currently registered endpoint names."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Shut the transport down; subsequent sends raise."""
+
+
+class InMemoryTransport(Transport):
+    """Deterministic in-process transport over ``asyncio`` queues.
+
+    Messages are delivered to the recipient's mailbox immediately (the
+    receiving coroutine wakes on its next ``await``); the ``delay``
+    argument models network latency purely on the virtual clock, which is
+    how a late bid becomes an *actually late message* without real-time
+    sleeps — the orchestrator compares ``envelope.deliver_at`` against
+    the round deadline.
+    """
+
+    def __init__(self) -> None:
+        self._mailboxes: dict[str, Mailbox] = {}
+        self._seq = 0
+        self._now = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def register(self, endpoint: str) -> Mailbox:
+        if self._closed:
+            raise TransportError("transport is closed")
+        if not endpoint:
+            raise ConfigurationError("endpoint name must be non-empty")
+        if endpoint in self._mailboxes:
+            raise ConfigurationError(
+                f"endpoint {endpoint!r} is already registered"
+            )
+        mailbox = Mailbox(endpoint)
+        self._mailboxes[endpoint] = mailbox
+        return mailbox
+
+    def endpoints(self) -> tuple[str, ...]:
+        return tuple(self._mailboxes)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self, recipient: str, message, *, sender: str = "", delay: float = 0.0
+    ) -> Envelope:
+        if self._closed:
+            raise TransportError("transport is closed")
+        mailbox = self._mailboxes.get(recipient)
+        if mailbox is None:
+            raise TransportError(
+                f"no endpoint {recipient!r} is registered on this transport"
+            )
+        if delay < 0:
+            raise ConfigurationError(
+                f"delay must be non-negative, got {delay}"
+            )
+        self._seq += 1
+        envelope = Envelope(
+            seq=self._seq,
+            sender=sender,
+            recipient=recipient,
+            sent_at=self._now,
+            deliver_at=self._now + delay,
+            message=message,
+        )
+        mailbox.put(envelope)
+        return envelope
+
+    def broadcast(
+        self, message, *, sender: str = "", exclude: tuple[str, ...] = ()
+    ) -> list[Envelope]:
+        """Send ``message`` to every registered endpoint (minus ``exclude``)."""
+        return [
+            self.send(endpoint, message, sender=sender)
+            for endpoint in self._mailboxes
+            if endpoint not in exclude and endpoint != sender
+        ]
+
+    # ------------------------------------------------------------------
+    # the virtual clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        if when < self._now:
+            raise ConfigurationError(
+                f"cannot move the virtual clock backward "
+                f"({when} < {self._now})"
+            )
+        self._now = when
+
+    def close(self) -> None:
+        self._closed = True

@@ -17,6 +17,7 @@ bid only covers needy microservices co-located on its own site.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -41,7 +42,16 @@ from repro.sim.events import EventKind
 from repro.sim.metrics import RoundSnapshot
 from repro.sim.processes import ArrivalProcess, RequestServer
 
-__all__ = ["PlatformConfig", "BiddingPolicy", "TruthfulCostPolicy", "EdgePlatform", "PlatformRoundReport", "Ledger"]
+__all__ = [
+    "PlatformConfig",
+    "BiddingPolicy",
+    "TruthfulCostPolicy",
+    "EdgePlatform",
+    "PlatformRoundReport",
+    "RoundContext",
+    "SellerContext",
+    "Ledger",
+]
 
 
 @dataclass(frozen=True)
@@ -182,6 +192,47 @@ class Ledger:
 
 
 @dataclass(frozen=True)
+class SellerContext:
+    """What one potential seller needs to know to bid in a round.
+
+    The platform announces this (it is public information: who is needy
+    on the seller's own cloud, and how many units the seller may still
+    pledge); the seller's private data — its cost and its bid randomness
+    — never leaves the seller.
+    """
+
+    seller_id: int
+    local_buyers: tuple[int, ...]
+    max_units: int
+
+
+@dataclass(frozen=True)
+class RoundContext:
+    """The opening state of one auction round.
+
+    Produced by :meth:`EdgePlatform.begin_round` after the simulation has
+    advanced and demand has been estimated, but *before* any bid has been
+    collected.  The synchronous loop feeds it straight to
+    :meth:`EdgePlatform.collect_bids`; the distributed serving layer
+    (:mod:`repro.dist`) broadcasts its :class:`SellerContext` entries
+    over a transport instead and gathers the replies within a grace
+    window.  Either way, :meth:`EdgePlatform.complete_round` clears the
+    collected bids through the same mechanism code.
+    """
+
+    round_index: int
+    snapshots: tuple[RoundSnapshot, ...]
+    demand_units: Mapping[int, int]
+    buyers: Mapping[int, int]
+    seller_contexts: tuple[SellerContext, ...]
+
+    @property
+    def has_demand(self) -> bool:
+        """Whether any buyer needs units this round."""
+        return bool(self.buyers)
+
+
+@dataclass(frozen=True)
 class PlatformRoundReport:
     """Everything observable about one platform round."""
 
@@ -200,6 +251,23 @@ class PlatformRoundReport:
 class EdgePlatform:
     """Drives the full simulate → estimate → auction → reallocate loop.
 
+    The round lifecycle is split into three phases so that bid collection
+    can happen over a transport: :meth:`begin_round` advances the
+    simulation and estimates demand, :meth:`collect_bids` asks the
+    in-process bidding policy for every seller's bids, and
+    :meth:`complete_round` clears the collected bids and applies the
+    transfers.  :meth:`run_round` chains the three synchronously; the
+    distributed serving layer (:mod:`repro.dist`, built through
+    :func:`repro.api.serve`) replaces the middle phase with a
+    message-driven round trip to independent seller agents.
+
+    .. deprecated:: 1.2
+        Constructing :class:`EdgePlatform` directly (wiring sellers and
+        buyers into one synchronous loop) emits a
+        :class:`DeprecationWarning`; the documented construction path is
+        :func:`repro.api.serve`.  The synchronous loop itself is fully
+        supported — only the direct wiring is deprecated.
+
     The per-round auction is pluggable through ``mechanism``: the default
     (``None``) runs MSOA as in the paper; a registry name (``"pay-as-bid"``,
     ``"vcg"``, ...) runs that mechanism under the same capacity discipline
@@ -216,6 +284,58 @@ class EdgePlatform:
     """
 
     def __init__(
+        self,
+        clouds: Sequence[EdgeCloud],
+        network: BackhaulNetwork,
+        users: Sequence[EndUser],
+        estimator: DemandEstimator,
+        *,
+        config: PlatformConfig | None = None,
+        bidding_policy: BiddingPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        horizon_rounds: int = 10,
+        mechanism: str | OnlineMechanism | None = None,
+        faults=None,
+        resilience=None,
+    ) -> None:
+        warnings.warn(
+            "wiring sellers and buyers directly into EdgePlatform is "
+            "deprecated as the construction path; build the serving "
+            "platform through repro.api.serve() (repro.dist.AuctionService) "
+            "instead — the synchronous loop keeps working, but the facade "
+            "is the documented entry point",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(
+            clouds,
+            network,
+            users,
+            estimator,
+            config=config,
+            bidding_policy=bidding_policy,
+            rng=rng,
+            horizon_rounds=horizon_rounds,
+            mechanism=mechanism,
+            faults=faults,
+            resilience=resilience,
+        )
+
+    @classmethod
+    def _create(cls, *args, **kwargs) -> "EdgePlatform":
+        """Construct a platform without the direct-wiring deprecation.
+
+        The serving facade (:func:`repro.api.serve`,
+        :func:`repro.dist.replay_scenario`) builds its platform core
+        through here; end users constructing :class:`EdgePlatform`
+        directly get the :class:`DeprecationWarning` steering them to
+        the facade.
+        """
+        self = object.__new__(cls)
+        self._init(*args, **kwargs)
+        return self
+
+    def _init(
         self,
         clouds: Sequence[EdgeCloud],
         network: BackhaulNetwork,
@@ -329,41 +449,124 @@ class EdgePlatform:
             process.start(self._engine)
 
     # ------------------------------------------------------------------
-    # the per-round loop
+    # the per-round lifecycle
     # ------------------------------------------------------------------
+    def begin_round(self) -> RoundContext:
+        """Open a round: simulate, estimate demand, announce seller contexts.
+
+        Advances the request simulator by one round length, snapshots the
+        per-microservice indicators, estimates every microservice's
+        extra-resource demand, and computes each potential seller's
+        public bidding context.  No bid is collected and no state beyond
+        the simulation clock changes — the round is completed by
+        :meth:`complete_round` once bids are in (directly via
+        :meth:`collect_bids`, or over a transport in :mod:`repro.dist`).
+        """
+        round_index = len(self.reports)
+        round_start = self._engine.now
+        round_end = round_start + self.config.round_length
+        with _OBS.tracer.span("platform.simulate", round_index=round_index):
+            self._engine.run_until(round_end)
+        snapshots = tuple(
+            server.stats.snapshot(round_index, round_start, round_end)
+            for server in self._servers.values()
+        )
+        for server in self._servers.values():
+            server.stats.reset(round_end)
+        demand_units = self.estimator.estimate_round(snapshots)
+        buyers = {b: u for b, u in demand_units.items() if u > 0}
+        return RoundContext(
+            round_index=round_index,
+            snapshots=snapshots,
+            demand_units=demand_units,
+            buyers=buyers,
+            seller_contexts=self.seller_contexts(buyers),
+        )
+
+    def seller_contexts(
+        self, buyers: Mapping[int, int]
+    ) -> tuple[SellerContext, ...]:
+        """The public per-seller bidding contexts for a buyer set.
+
+        Sellers are enumerated in ascending id order — the canonical
+        order every bid-collection path (synchronous policy loop and
+        distributed orchestrator alike) must preserve so that clearing
+        is deterministic.
+        """
+        contexts: list[SellerContext] = []
+        for sid, service in sorted(self._services.items()):
+            if sid in buyers:
+                continue  # a needy microservice does not sell this round
+            if not service.is_potential_seller:
+                continue
+            local_buyers = sorted(
+                b for b in buyers if b in self.clouds[service.cloud]
+            )
+            if not local_buyers:
+                continue
+            remaining = service.remaining_share_capacity
+            max_units = int(min(
+                service.spare,
+                remaining if remaining is not None else service.spare,
+            ))
+            contexts.append(
+                SellerContext(
+                    seller_id=sid,
+                    local_buyers=tuple(local_buyers),
+                    max_units=max_units,
+                )
+            )
+        return tuple(contexts)
+
+    def collect_bids(self, context: RoundContext) -> list[Bid]:
+        """Ask the configured bidding policy for every seller's bids."""
+        bids: list[Bid] = []
+        for sc in context.seller_contexts:
+            bids.extend(
+                self.bidding_policy.make_bids(
+                    sc.seller_id, list(sc.local_buyers), sc.max_units, self.rng
+                )
+            )
+        return bids
+
+    def complete_round(
+        self, context: RoundContext, bids: Sequence[Bid]
+    ) -> PlatformRoundReport:
+        """Clear a round's collected bids and apply the winning transfers.
+
+        Runs the configured mechanism on the admissible bids, moves the
+        won resources between microservices, books the money flows, and
+        appends (and returns) the round's report.  This is the single
+        clearing path shared by the synchronous loop and the distributed
+        orchestrator — which is what makes the two bit-identical on the
+        same collected bids.
+        """
+        auction_result, transfers = self._run_auction(context.buyers, bids)
+        report = PlatformRoundReport(
+            round_index=context.round_index,
+            snapshots=context.snapshots,
+            demand_units=context.demand_units,
+            auction=auction_result,
+            transfers=transfers,
+        )
+        self.reports.append(report)
+        return report
+
     @profiled("platform.round")
     def run_round(self) -> PlatformRoundReport:
-        """Advance one full round; return what happened."""
-        round_index = len(self.reports)
+        """Advance one full round synchronously; return what happened."""
         with _OBS.tracer.span(
-            "platform.round", round_index=round_index
+            "platform.round", round_index=len(self.reports)
         ) as round_span:
-            round_start = self._engine.now
-            round_end = round_start + self.config.round_length
-            with _OBS.tracer.span("platform.simulate"):
-                self._engine.run_until(round_end)
-            snapshots = tuple(
-                server.stats.snapshot(round_index, round_start, round_end)
-                for server in self._servers.values()
-            )
-            for server in self._servers.values():
-                server.stats.reset(round_end)
-            demand_units = self.estimator.estimate_round(snapshots)
-            auction_result, transfers = self._run_auction(demand_units)
-            report = PlatformRoundReport(
-                round_index=round_index,
-                snapshots=snapshots,
-                demand_units=demand_units,
-                auction=auction_result,
-                transfers=transfers,
-            )
+            context = self.begin_round()
+            bids = self.collect_bids(context)
+            report = self.complete_round(context, bids)
             _OBS.tracer.annotate(
                 round_span,
                 social_cost=report.social_cost,
-                transfers=len(transfers),
-                demand_units=sum(demand_units.values()),
+                transfers=len(report.transfers),
+                demand_units=sum(context.demand_units.values()),
             )
-            self.reports.append(report)
             return report
 
     def run(self, rounds: int | None = None) -> list[PlatformRoundReport]:
@@ -374,38 +577,12 @@ class EdgePlatform:
     # ------------------------------------------------------------------
     # auction round
     # ------------------------------------------------------------------
-    def _collect_bids(self, buyers: Mapping[int, int]) -> list[Bid]:
-        bids: list[Bid] = []
-        for sid, service in sorted(self._services.items()):
-            if sid in buyers:
-                continue  # a needy microservice does not sell this round
-            if not service.is_potential_seller:
-                continue
-            local_buyers = sorted(
-                b
-                for b in buyers
-                if b in self.clouds[service.cloud]
-            )
-            if not local_buyers:
-                continue
-            remaining = service.remaining_share_capacity
-            max_units = int(min(
-                service.spare,
-                remaining if remaining is not None else service.spare,
-            ))
-            bids.extend(
-                self.bidding_policy.make_bids(sid, local_buyers, max_units, self.rng)
-            )
-        return bids
-
     @profiled("platform.auction")
     def _run_auction(
-        self, demand_units: Mapping[int, int]
+        self, buyers: Mapping[int, int], bids: Sequence[Bid]
     ) -> tuple[RoundResult | None, tuple[tuple[int, frozenset[int]], ...]]:
-        buyers = {b: u for b, u in demand_units.items() if u > 0}
         if not buyers:
             return None, ()
-        bids = self._collect_bids(buyers)
         # The ceiling is a public reserve price: asks above it are not
         # admissible.  (Without this admission rule a pivotal over-asker
         # would be paid its ceiling-capped critical value, below its ask.)

@@ -19,6 +19,7 @@ __all__ = [
     "CapacityExceededError",
     "SimulationError",
     "ObservabilityError",
+    "TransportError",
 ]
 
 
@@ -69,4 +70,13 @@ class ObservabilityError(ReproError, RuntimeError):
     Raised by the trace readers (:func:`repro.obs.read_trace`,
     :func:`repro.obs.summarize`) — never by the write path, which must
     stay failure-free on the auction hot paths.
+    """
+
+
+class TransportError(ReproError, RuntimeError):
+    """A message could not be routed on a :mod:`repro.dist` transport.
+
+    Raised for sends to unregistered endpoints and for operations on a
+    closed transport — the distributed analogues of a configuration
+    mistake, surfaced at the messaging layer where they occur.
     """

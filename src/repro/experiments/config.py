@@ -47,7 +47,8 @@ class ExperimentConfig:
     parallelism:
         Worker processes for critical-payment replays inside every
         mechanism run of the sweep (forwarded to ``run_ssam``/``run_msoa``;
-        1 = serial).
+        1 = serial).  ``"auto"`` sizes the pool per instance — serial on
+        small cases, parallel on large ones.
     mechanism:
         Registry name of the single-round mechanism the single-stage
         panels (3a/3b/4a) run; ``"ssam"`` reproduces the paper.
@@ -76,7 +77,7 @@ class ExperimentConfig:
     horizon_rounds: int = 10
     estimation_sigma: float = 0.35
     capacity_relaxation: float = 2.0
-    parallelism: int = 1
+    parallelism: int | str = 1
     mechanism: str = "ssam"
     engine: str = "fast"
     observability: ObservabilityConfig | None = None
@@ -92,8 +93,9 @@ class ExperimentConfig:
             raise ConfigurationError("estimation_sigma must be non-negative")
         if self.capacity_relaxation < 1.0:
             raise ConfigurationError("capacity_relaxation must be >= 1")
-        if self.parallelism < 1:
-            raise ConfigurationError("parallelism must be a positive integer")
+        from repro.core.engine import validate_parallelism
+
+        validate_parallelism(self.parallelism)
         if self.engine not in ("fast", "reference"):
             raise ConfigurationError(
                 f"engine must be 'fast' or 'reference', got {self.engine!r}"

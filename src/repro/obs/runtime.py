@@ -53,10 +53,20 @@ class ObservabilityConfig:
         Where the metrics-registry JSON snapshot is written when the
         session is disabled/finalized; ``None`` keeps metrics in memory
         only (read them via :func:`get_metrics`).
+    trace_max_records:
+        Roll the trace file to ``<name>.1`` whenever a segment reaches
+        this many records (``None`` = unbounded; see
+        :class:`~repro.obs.tracer.Tracer`) — the bounded-disk mode for
+        long-lived serving.
+    trace_sample_every:
+        Keep only every k-th top-level span tree (``None``/1 = keep
+        all) — the bounded-volume sampling mode.
     """
 
     trace_path: str | None = None
     metrics_path: str | None = None
+    trace_max_records: int | None = None
+    trace_sample_every: int | None = None
 
 
 class _ObservabilityState:
@@ -79,6 +89,8 @@ def configure(
     *,
     trace: str | pathlib.Path | None = None,
     metrics: str | pathlib.Path | None = None,
+    trace_max_records: int | None = None,
+    trace_sample_every: int | None = None,
 ) -> ObservabilityConfig:
     """Enable observability for the process and return the active config.
 
@@ -89,6 +101,10 @@ def configure(
     :class:`~repro.obs.metrics.MetricsRegistry` is installed either way,
     so counters always start from zero for the session.
 
+    ``trace_max_records``/``trace_sample_every`` opt the tracer into its
+    bounded rolling/sampling modes (for long-lived serving sessions);
+    both default to the classic unbounded behaviour.
+
     Any previously active session is finalized first (its trace closed,
     its metrics flushed), so re-configuring is always safe.
     """
@@ -97,8 +113,18 @@ def configure(
     config = ObservabilityConfig(
         trace_path=str(trace) if trace is not None else None,
         metrics_path=str(metrics) if metrics is not None else None,
+        trace_max_records=trace_max_records,
+        trace_sample_every=trace_sample_every,
     )
-    tracer = Tracer(config.trace_path) if config.trace_path else NULL_TRACER
+    tracer = (
+        Tracer(
+            config.trace_path,
+            max_records=config.trace_max_records,
+            sample_every=config.trace_sample_every,
+        )
+        if config.trace_path
+        else NULL_TRACER
+    )
     STATE.tracer = tracer
     STATE.metrics = MetricsRegistry()
     STATE.config = config
@@ -119,7 +145,12 @@ def activate(config: ObservabilityConfig | None) -> None:
         return
     if STATE.enabled and STATE.config == config:
         return
-    configure(trace=config.trace_path, metrics=config.metrics_path)
+    configure(
+        trace=config.trace_path,
+        metrics=config.metrics_path,
+        trace_max_records=config.trace_max_records,
+        trace_sample_every=config.trace_sample_every,
+    )
 
 
 def disable() -> MetricsRegistry | None:
@@ -153,6 +184,8 @@ def observing(
     *,
     trace: str | pathlib.Path | None = None,
     metrics: str | pathlib.Path | None = None,
+    trace_max_records: int | None = None,
+    trace_sample_every: int | None = None,
 ) -> Iterator[MetricsRegistry]:
     """Scoped observability: enable on entry, finalize on exit.
 
@@ -163,7 +196,12 @@ def observing(
             run_ssam(instance)
             assert metrics.counter("ssam.runs").value == 1
     """
-    configure(trace=trace, metrics=metrics)
+    configure(
+        trace=trace,
+        metrics=metrics,
+        trace_max_records=trace_max_records,
+        trace_sample_every=trace_sample_every,
+    )
     registry = STATE.metrics
     assert isinstance(registry, MetricsRegistry)
     try:

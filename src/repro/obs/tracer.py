@@ -21,6 +21,20 @@ attach to the innermost open span.  Exceptions unwind spans with
 ``status: "error"`` — a truncated phase is visible in the trace instead
 of silently absent.
 
+Long-lived serving (:mod:`repro.dist`) must not grow the trace without
+bound, so the writer has two opt-in bounded modes, composable and both
+deciding only at *top-level span boundaries* (so every kept span tree is
+complete and every written segment is a valid standalone trace):
+
+* ``sample_every=k`` keeps every k-th top-level span tree (the first,
+  the k+1-th, ...) and drops the rest entirely — suppressed records get
+  no ``seq`` numbers, so the stream's sequence stays gap-free;
+* ``max_records=n`` rolls the file once a segment reaches ``n`` records:
+  the current segment is closed with a footer (marked ``"rolled"``),
+  renamed to ``<name>.1`` (replacing the previous rollover), and a fresh
+  header opens the next segment — disk usage is bounded by roughly two
+  segments.
+
 :data:`NULL_TRACER` is the disabled-path null object: ``span`` returns a
 shared re-entrant no-op context manager and ``event`` does nothing, so
 instrumented code is branch-free.
@@ -76,12 +90,33 @@ class _Span:
 
 
 class Tracer:
-    """JSONL span/event writer bound to one output file."""
+    """JSONL span/event writer bound to one output file.
+
+    ``max_records`` and ``sample_every`` are the bounded-memory modes for
+    long-lived serving; see the module docstring.  Both default to off,
+    which preserves the classic write-everything behaviour exactly.
+    """
 
     enabled = True
 
-    def __init__(self, path: str | pathlib.Path) -> None:
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        *,
+        max_records: int | None = None,
+        sample_every: int | None = None,
+    ) -> None:
+        if max_records is not None and max_records < 2:
+            raise ConfigurationError(
+                f"max_records must be at least 2, got {max_records}"
+            )
+        if sample_every is not None and sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be at least 1, got {sample_every}"
+            )
         self.path = pathlib.Path(path)
+        self.max_records = max_records
+        self.sample_every = sample_every
         try:
             self._handle = open(self.path, "w", encoding="utf-8")
         except OSError as error:
@@ -93,14 +128,22 @@ class Tracer:
         self._stack: list[int] = []
         self._spans_seen = 0
         self._closed = False
-        self._write(
-            {
-                "kind": "header",
-                "schema": TRACE_SCHEMA,
-                "version": TRACE_SCHEMA_VERSION,
-                "created_unix": time.time(),
-            }
-        )
+        self._segment = 0
+        self._segment_records = 0
+        self._toplevel_seen = 0
+        self._suppress_depth = 0
+        self._write(self._header())
+
+    def _header(self) -> dict:
+        record = {
+            "kind": "header",
+            "schema": TRACE_SCHEMA,
+            "version": TRACE_SCHEMA_VERSION,
+            "created_unix": time.time(),
+        }
+        if self._segment:
+            record["segment"] = self._segment
+        return record
 
     # ------------------------------------------------------------------
     # the public surface instrumented code calls
@@ -111,6 +154,8 @@ class Tracer:
 
     def event(self, name: str, **fields) -> None:
         """Emit one event attached to the innermost open span (0 if none)."""
+        if self._suppress_depth:
+            return  # inside a sampled-out span tree
         self._seq += 1
         self._write(
             {
@@ -136,7 +181,20 @@ class Tracer:
     # ------------------------------------------------------------------
     # span bookkeeping
     # ------------------------------------------------------------------
-    def _open_span(self, name: str, fields: dict) -> int:
+    def _open_span(self, name: str, fields: dict) -> int | None:
+        if self._suppress_depth:
+            self._suppress_depth += 1
+            return None
+        if (
+            self.sample_every is not None
+            and self.sample_every > 1
+            and not self._stack
+        ):
+            keep = self._toplevel_seen % self.sample_every == 0
+            self._toplevel_seen += 1
+            if not keep:
+                self._suppress_depth = 1
+                return None
         span_id = self._next_span_id
         self._next_span_id += 1
         self._seq += 1
@@ -155,6 +213,9 @@ class Tracer:
         return span_id
 
     def _close_span(self, span: _Span, *, duration: float, status: str) -> None:
+        if span.span_id is None:
+            self._suppress_depth = max(0, self._suppress_depth - 1)
+            return
         # Unwind to the span being closed: an exception that skipped inner
         # __exit__ calls must not leave phantom open spans on the stack.
         while self._stack and self._stack[-1] != span.span_id:
@@ -173,6 +234,38 @@ class Tracer:
                 "fields": span.end_fields or {},
             }
         )
+        if (
+            self.max_records is not None
+            and not self._stack
+            and self._segment_records >= self.max_records
+        ):
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Close the current segment and start a fresh one in its place."""
+        self._seq += 1
+        self._write(
+            {
+                "kind": "footer",
+                "seq": self._seq,
+                "spans": self._spans_seen,
+                "rolled": True,
+            }
+        )
+        self._handle.close()
+        previous = self.path.with_name(self.path.name + ".1")
+        try:
+            self.path.replace(previous)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot roll trace file {self.path}: {error}"
+            ) from error
+        self._segment += 1
+        self._seq = 0
+        self._spans_seen = 0
+        self._segment_records = 0
+        self._write(self._header())
 
     def annotate(self, span: _Span, **fields) -> None:
         """Attach fields to ``span``'s eventual ``span_end`` record.
@@ -189,6 +282,7 @@ class Tracer:
     def _write(self, record: Mapping) -> None:
         if self._closed:
             return
+        self._segment_records += 1
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 

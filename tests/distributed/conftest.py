@@ -1,0 +1,17 @@
+"""Dist-suite fixtures: observability isolation for orchestrator metrics.
+
+The orchestrator emits ``dist.*`` counters and trace events through the
+global observability state; every test here starts from — and restores —
+the disabled default so enabled tracers never leak across tests.
+"""
+
+import pytest
+
+from repro.obs.runtime import _reset_for_tests
+
+
+@pytest.fixture(autouse=True)
+def _observability_reset():
+    _reset_for_tests()
+    yield
+    _reset_for_tests()

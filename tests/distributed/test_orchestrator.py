@@ -1,0 +1,213 @@
+"""Round orchestration over real asynchrony: grace window, guards, events."""
+
+import asyncio
+
+import pytest
+
+from repro.dist import (
+    AuctionService,
+    DistScenario,
+    InMemoryTransport,
+    RoundOrchestrator,
+)
+from repro.dist.messages import BidSubmission, RoundOpen, Shutdown
+from repro.errors import ConfigurationError
+from repro.obs.runtime import observing
+from repro.obs.tracer import read_trace
+
+pytestmark = pytest.mark.dist
+
+SCENARIO = DistScenario(seed=5, horizon_rounds=4)
+
+
+def _events(records, name):
+    return [
+        r for r in records if r.get("kind") == "event" and r.get("name") == name
+    ]
+
+
+class TestGraceWindow:
+    def test_slow_sellers_miss_the_window(self):
+        """A submission delivered past the deadline is a real late bid."""
+        delays = {sid: 5.0 for sid in SCENARIO.seller_ids()}
+        with observing() as metrics:
+            service = AuctionService(
+                SCENARIO, grace_window=1.0, seller_delays=delays
+            )
+            reports = service.run(rounds=3)
+            assert len(reports) == 3
+            assert metrics.counter("dist.submissions_late").value > 0
+            assert metrics.counter("dist.submissions_accepted").value == 0
+        # every round still cleared — just over an empty bid pool
+        assert all(not report.transfers for report in reports)
+
+    def test_fast_sellers_make_the_window(self):
+        with observing() as metrics:
+            service = AuctionService(SCENARIO, grace_window=1.0)
+            service.run(rounds=3)
+            assert metrics.counter("dist.submissions_late").value == 0
+            assert metrics.counter("dist.submissions_accepted").value > 0
+
+    def test_only_the_delayed_seller_is_excluded(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        delays = {3: 9.0}
+        with observing(trace=trace) as metrics:
+            service = AuctionService(
+                SCENARIO, grace_window=1.0, seller_delays=delays
+            )
+            service.run(rounds=3)
+            late = metrics.counter("dist.submissions_late").value
+            assert late > 0
+            assert metrics.counter("dist.submissions_accepted").value > 0
+        late_events = _events(read_trace(trace), "dist.late_bid")
+        assert len(late_events) == late
+        assert {e["fields"]["seller"] for e in late_events} == {3}
+
+
+class TestSubmissionGuards:
+    def test_duplicate_submissions_are_counted_and_dropped(self):
+        async def session():
+            service = AuctionService(SCENARIO, grace_window=1.0)
+            handle = service.connect(3)
+
+            async def eager_agent():
+                while True:
+                    envelope = await handle.next_message()
+                    message = envelope.message
+                    if isinstance(message, Shutdown):
+                        return
+                    if isinstance(message, RoundOpen):
+                        handle.submit_bid(message)
+                        handle.submit_bid(message)  # once too often
+
+            task = asyncio.create_task(eager_agent())
+            await service.serve_rounds(rounds=2)
+            await task
+
+        with observing() as metrics:
+            asyncio.run(session())
+            assert metrics.counter("dist.submissions_duplicate").value >= 1
+
+    def test_stale_submission_is_dropped(self):
+        async def session():
+            service = AuctionService(SCENARIO, grace_window=1.0)
+            handle = service.connect(3)
+
+            async def confused_agent():
+                while True:
+                    envelope = await handle.next_message()
+                    message = envelope.message
+                    if isinstance(message, Shutdown):
+                        return
+                    if isinstance(message, RoundOpen):
+                        handle.transport.send(
+                            "orchestrator",
+                            BidSubmission(
+                                round_index=message.round_index + 7,
+                                seller_id=3,
+                            ),
+                            sender=handle.endpoint,
+                        )
+                        handle.submit_bid(message)
+
+            task = asyncio.create_task(confused_agent())
+            await service.serve_rounds(rounds=2)
+            await task
+
+        with observing() as metrics:
+            asyncio.run(session())
+            assert metrics.counter("dist.submissions_stale").value >= 1
+
+    def test_silent_agent_trips_the_wall_clock_guard(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+
+        async def session():
+            service = AuctionService(
+                SCENARIO, grace_window=1.0, wall_timeout=0.05
+            )
+            service.connect(3)  # connected, but nobody ever answers
+            return await service.serve_rounds(rounds=1)
+
+        with observing(trace=trace) as metrics:
+            reports = asyncio.run(session())
+            assert len(reports) == 1
+            assert metrics.counter("dist.submissions_timeout").value >= 1
+        timeout_events = _events(read_trace(trace), "dist.bid_timeout")
+        assert {e["fields"]["seller"] for e in timeout_events} == {3}
+
+    def test_unattached_seller_round_still_clears(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        platform = SCENARIO.build_platform()
+        orchestrator = RoundOrchestrator(
+            platform, InMemoryTransport(), grace_window=1.0, wall_timeout=0.5
+        )
+        with observing(trace=trace) as metrics:
+            report = asyncio.run(orchestrator.run_round())
+            assert metrics.counter("dist.rounds").value == 1
+            assert metrics.counter("dist.submissions_accepted").value == 0
+        assert report.round_index == 0
+        assert not report.transfers
+        assert _events(read_trace(trace), "dist.seller_unattached")
+
+
+class TestOutcomeBroadcast:
+    def test_buyer_observers_see_their_granted_units(self):
+        service = AuctionService(SCENARIO, grace_window=1.0)
+        buyers = [service.observe_buyer(b) for b in SCENARIO.overloaded]
+        reports = service.run(rounds=4)
+        granted = sum(
+            1
+            for report in reports
+            for _, covered in report.transfers
+            for buyer in covered
+            if buyer in SCENARIO.overloaded
+        )
+        observed = sum(
+            units
+            for buyer in buyers
+            for units in buyer.units_received.values()
+        )
+        assert granted > 0
+        assert observed == granted
+
+    def test_seller_agents_record_their_earnings(self):
+        service = AuctionService(SCENARIO, grace_window=1.0)
+        reports = service.run(rounds=4)
+        paid = sum(
+            winner.payment
+            for report in reports
+            if report.auction is not None
+            for winner in report.auction.outcome.winners
+        )
+        earned = sum(
+            amount
+            for agent in service.sellers.values()
+            for amount in agent.earnings.values()
+        )
+        assert paid > 0
+        assert earned == pytest.approx(paid)
+
+
+class TestValidation:
+    def test_grace_window_and_wall_timeout_must_be_positive(self):
+        platform = SCENARIO.build_platform()
+        with pytest.raises(ConfigurationError, match="grace_window"):
+            RoundOrchestrator(platform, InMemoryTransport(), grace_window=0.0)
+        with pytest.raises(ConfigurationError, match="wall_timeout"):
+            RoundOrchestrator(
+                platform, InMemoryTransport(), wall_timeout=0.0
+            )
+
+    def test_seller_cannot_attach_twice(self):
+        platform = SCENARIO.build_platform()
+        orchestrator = RoundOrchestrator(platform, InMemoryTransport())
+        orchestrator.attach_seller(3, "seller-3")
+        with pytest.raises(ConfigurationError, match="already attached"):
+            orchestrator.attach_seller(3, "elsewhere")
+        assert orchestrator.attached_sellers == (3,)
+
+    def test_connect_after_serving_starts_is_rejected(self):
+        service = AuctionService(SCENARIO, grace_window=1.0)
+        service.run(rounds=1)
+        with pytest.raises(ConfigurationError, match="connect"):
+            service.connect(3)

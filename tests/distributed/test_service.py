@@ -1,0 +1,170 @@
+"""The redesigned serving API: facade, deprecation, CLI entry point."""
+
+import asyncio
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.api
+from repro.cli import main
+from repro.demand.estimator import DemandEstimator, DemandWeights
+from repro.demand.indicators import RequestRateIndicator
+from repro.dist import AuctionService, DistScenario, replay_scenario, serve
+from repro.dist.messages import RoundOpen, Shutdown
+from repro.edge.cloud import EdgeCloud
+from repro.edge.network import build_backhaul
+from repro.edge.platform import EdgePlatform
+from repro.edge.users import build_user_population
+
+pytestmark = pytest.mark.dist
+
+SCENARIO = DistScenario(seed=5, horizon_rounds=3)
+
+
+class TestServeFacade:
+    def test_serve_is_exported_from_the_api_module(self):
+        for name in (
+            "serve",
+            "AuctionService",
+            "RoundOrchestrator",
+            "AgentHandle",
+            "DistScenario",
+            "replay_scenario",
+            "InMemoryTransport",
+        ):
+            assert name in repro.api.__all__
+            assert hasattr(repro.api, name)
+
+    def test_serve_returns_a_ready_service(self):
+        service = serve(SCENARIO)
+        assert isinstance(service, AuctionService)
+        reports = service.run()
+        assert len(reports) == SCENARIO.horizon_rounds
+        assert service.reports is service.platform.reports
+        assert service.ledger.is_budget_balanced
+
+    def test_serve_defaults_grace_window_from_resilience_policy(self):
+        from repro.faults import FaultPlan, LateBid, ResiliencePolicy
+
+        scenario = DistScenario(
+            seed=5,
+            faults=FaultPlan(
+                seed=1,
+                late_bids=(
+                    LateBid(probability=0.1, delay_range=(0.0, 1.0)),
+                ),
+            ),
+            resilience=ResiliencePolicy(bid_timeout=2.5),
+        )
+        service = serve(scenario)
+        assert service.orchestrator.grace_window == 2.5
+        assert serve(SCENARIO).orchestrator.grace_window == 1.0
+
+    def test_manual_agent_drives_its_own_seller(self):
+        async def session():
+            service = AuctionService(SCENARIO, grace_window=1.0)
+            handle = service.connect(3)
+            opened = []
+
+            async def scripted_agent():
+                while True:
+                    envelope = await handle.next_message()
+                    message = envelope.message
+                    if isinstance(message, Shutdown):
+                        return
+                    if isinstance(message, RoundOpen):
+                        opened.append(message.round_index)
+                        handle.submit_bid(message)  # explicit decline
+
+            task = asyncio.create_task(scripted_agent())
+            reports = await service.serve_rounds(rounds=2)
+            await task
+            return opened, reports
+
+        opened, reports = asyncio.run(session())
+        assert len(reports) == 2
+        assert opened  # the seller was genuinely consulted
+        # seller 3 declined every round, so it never appears as a winner
+        assert all(
+            winner.bid.seller != 3
+            for report in reports
+            if report.auction is not None
+            for winner in report.auction.outcome.winners
+        )
+
+
+class TestDeprecatedWiring:
+    def _direct_pieces(self):
+        rng = np.random.default_rng(5)
+        clouds = [EdgeCloud(0, capacity=40.0), EdgeCloud(1, capacity=40.0)]
+        network = build_backhaul(rng, n_clouds=2)
+        users = build_user_population(
+            rng,
+            n_users=10,
+            access_points=2,
+            services=(1, 2),
+            sensitive_rate=0.25,
+            tolerant_rate=0.5,
+        )
+        estimator = DemandEstimator(
+            weights=DemandWeights(waiting=2.0, processing=1.0, request_rate=1.0),
+            request_rate=RequestRateIndicator(delta=0.5, neighbour_density=8.0),
+            max_units=3,
+        )
+        return clouds, network, users, estimator, rng
+
+    def test_direct_platform_wiring_warns_but_works(self):
+        clouds, network, users, estimator, rng = self._direct_pieces()
+        with pytest.warns(DeprecationWarning, match="serve"):
+            platform = EdgePlatform(
+                clouds, network, users, estimator, rng=rng, horizon_rounds=2
+            )
+        reports = platform.run(2)  # deprecated, not broken
+        assert len(reports) == 2
+
+    def test_facade_paths_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            serve(SCENARIO).run(rounds=1)
+            replay_scenario(SCENARIO, rounds=1)
+            SCENARIO.build_platform()
+
+
+class TestServeCli:
+    def test_serve_subcommand_reports_rounds_and_ledger(self, capsys):
+        exit_code = main(["serve", "--rounds", "2", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "served 2 rounds" in out
+        assert "ledger:" in out
+        assert "budget balanced: True" in out
+
+    def test_serve_check_flag_asserts_determinism(self, capsys):
+        exit_code = main(
+            ["serve", "--rounds", "2", "--seed", "5", "--check"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "determinism check: async outcomes bit-identical" in out
+
+    def test_serve_accepts_registry_mechanisms(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--rounds",
+                "2",
+                "--mechanism",
+                "pay-as-bid",
+                "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mechanism pay-as-bid" in out
+
+    def test_serve_rejects_bad_grace_window(self, capsys):
+        exit_code = main(["serve", "--rounds", "1", "--grace", "-1"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "grace_window" in captured.err

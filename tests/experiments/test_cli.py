@@ -33,7 +33,9 @@ class TestParser:
     def test_fig_parallelism_flag_parsed(self):
         args = build_parser().parse_args(["fig", "4b", "--parallelism", "4"])
         assert args.parallelism == 4
-        assert build_parser().parse_args(["fig", "4b"]).parallelism == 1
+        assert build_parser().parse_args(["fig", "4b"]).parallelism == "auto"
+        args = build_parser().parse_args(["fig", "4b", "--parallelism", "auto"])
+        assert args.parallelism == "auto"
 
     def test_bench_flags_parsed(self):
         args = build_parser().parse_args(

@@ -1,0 +1,177 @@
+"""Bounded trace modes: top-level sampling and segment rolling.
+
+Long-lived serving (``repro.dist``) must not grow the trace without
+bound; these suites pin the two opt-in modes of
+:class:`repro.obs.tracer.Tracer` — ``sample_every`` keeps every k-th
+top-level span tree whole, ``max_records`` rolls the file into
+self-contained segments — and that both stay readable by
+:func:`read_trace` and :func:`repro.obs.summary.summarize`.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.summary import summarize
+from repro.obs.tracer import Tracer, read_trace
+
+
+def _write_trees(tracer, n, events_per_tree=1):
+    for i in range(n):
+        with tracer.span("tree", index=i) as outer:
+            tracer.annotate(outer, index=i)
+            for _ in range(events_per_tree):
+                tracer.event("tick", index=i)
+            with tracer.span("inner", index=i):
+                pass
+
+
+class TestSampledMode:
+    def test_keeps_every_kth_toplevel_tree(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, sample_every=3)
+        _write_trees(tracer, 9)
+        tracer.close()
+        records = read_trace(path)
+        kept = [
+            r["fields"]["index"]
+            for r in records
+            if r.get("kind") == "span_start" and r.get("name") == "tree"
+        ]
+        assert kept == [0, 3, 6]
+
+    def test_kept_trees_are_complete(self, tmp_path):
+        """Sampling decides per tree: nested spans and events come along."""
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, sample_every=2)
+        _write_trees(tracer, 4, events_per_tree=2)
+        tracer.close()
+        records = read_trace(path)
+        inner = [
+            r for r in records
+            if r.get("kind") == "span_start" and r.get("name") == "inner"
+        ]
+        events = [r for r in records if r.get("kind") == "event"]
+        assert len(inner) == 2
+        assert len(events) == 4
+        assert {r["fields"]["index"] for r in events} == {0, 2}
+
+    def test_sequence_stays_gap_free_and_summarizable(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, sample_every=3)
+        _write_trees(tracer, 9)
+        tracer.close()
+        records = read_trace(path)
+        seqs = [r["seq"] for r in records if "seq" in r]
+        assert seqs == list(range(1, len(seqs) + 1))
+        summarize(records)  # must not raise
+
+    def test_sample_every_one_keeps_everything(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, sample_every=1)
+        _write_trees(tracer, 5)
+        tracer.close()
+        starts = [
+            r for r in read_trace(path)
+            if r.get("kind") == "span_start" and r.get("name") == "tree"
+        ]
+        assert len(starts) == 5
+
+
+class TestRollingMode:
+    def test_rolls_into_bounded_standalone_segments(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, max_records=12)
+        _write_trees(tracer, 20)
+        tracer.close()
+        rolled = path.with_name(path.name + ".1")
+        assert rolled.exists()
+        current = read_trace(path)
+        previous = read_trace(rolled)
+        # the rolled segment closes with a marked footer; the live one
+        # closes with the ordinary final footer
+        assert previous[-1]["kind"] == "footer"
+        assert previous[-1].get("rolled") is True
+        assert current[-1]["kind"] == "footer"
+        assert "rolled" not in current[-1]
+        assert current[0].get("segment", 0) > 0
+        summarize(current)
+        summarize(previous)
+
+    def test_rotation_only_happens_between_trees(self, tmp_path):
+        """A segment never splits a span tree: every start has its end."""
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, max_records=10)
+        _write_trees(tracer, 25)
+        tracer.close()
+        for segment in (path, path.with_name(path.name + ".1")):
+            records = read_trace(segment)
+            starts = [r["id"] for r in records if r["kind"] == "span_start"]
+            ends = [r["id"] for r in records if r["kind"] == "span_end"]
+            assert sorted(starts) == sorted(ends)
+
+    def test_disk_usage_is_bounded_by_two_segments(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, max_records=12)
+        _write_trees(tracer, 200)
+        tracer.close()
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["trace.jsonl", "trace.jsonl.1"]
+        # each segment holds one tree past the cap at most (footer+header
+        # bookkeeping aside), not the whole run
+        assert len(read_trace(path)) < 30
+        assert len(read_trace(path.with_name(path.name + ".1"))) < 30
+
+    def test_modes_compose(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, max_records=12, sample_every=2)
+        _write_trees(tracer, 40)
+        tracer.close()
+        records = read_trace(path)
+        kept = [
+            r["fields"]["index"]
+            for r in records
+            if r.get("kind") == "span_start" and r.get("name") == "tree"
+        ]
+        assert kept  # some trees survived both bounds
+        assert all(index % 2 == 0 for index in kept)
+
+
+class TestValidation:
+    def test_max_records_must_be_at_least_two(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_records"):
+            Tracer(tmp_path / "t.jsonl", max_records=1)
+
+    def test_sample_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="sample_every"):
+            Tracer(tmp_path / "t.jsonl", sample_every=0)
+
+    def test_unbounded_default_is_unchanged(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        _write_trees(tracer, 30)
+        tracer.close()
+        assert not path.with_name(path.name + ".1").exists()
+        starts = [
+            r for r in read_trace(path)
+            if r.get("kind") == "span_start" and r.get("name") == "tree"
+        ]
+        assert len(starts) == 30
+
+
+class TestRuntimeWiring:
+    def test_observing_forwards_bounded_options(self, tmp_path):
+        from repro.obs.runtime import observing
+
+        path = tmp_path / "trace.jsonl"
+        with observing(trace=path, trace_sample_every=2):
+            from repro.obs.runtime import get_tracer
+
+            tracer = get_tracer()
+            assert tracer.sample_every == 2
+            _write_trees(tracer, 4)
+        kept = [
+            r["fields"]["index"]
+            for r in read_trace(path)
+            if r.get("kind") == "span_start" and r.get("name") == "tree"
+        ]
+        assert kept == [0, 2]
