@@ -16,14 +16,32 @@ from repro.core.mechanism import outcome_from_selection
 from repro.core.outcomes import AuctionOutcome
 from repro.core.ssam import greedy_selection
 from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
 
 __all__ = ["PayAsBidResult", "run_pay_as_bid"]
 
 
-def run_pay_as_bid(instance: WSPInstance) -> AuctionOutcome:
-    """Greedy winner selection, pay-as-bid payments."""
+def run_pay_as_bid(
+    instance: WSPInstance, *, engine: str = "fast"
+) -> AuctionOutcome:
+    """Greedy winner selection, pay-as-bid payments.
+
+    ``engine`` picks the selection implementation (``"fast"``,
+    ``"reference"`` or ``"columnar"``); all three produce the same
+    allocation, so the choice only affects speed.
+    """
+    if engine == "fast":
+        from repro.core.engine import fast_greedy_selection as select
+    elif engine == "columnar":
+        from repro.core.columnar import columnar_greedy_selection as select
+    elif engine == "reference":
+        select = greedy_selection
+    else:
+        raise ConfigurationError(
+            f"engine must be 'fast', 'reference' or 'columnar', got {engine!r}"
+        )
     demand = {b: u for b, u in instance.demand.items() if u > 0}
-    steps = greedy_selection(instance.bids, demand) if demand else ()
+    steps = select(instance.bids, demand) if demand else ()
     return outcome_from_selection(
         instance,
         tuple(step.bid for step in steps),

@@ -150,6 +150,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         horizon_rounds=args.rounds,
         mechanism=args.mechanism,
+        engine=args.engine,
         faults=faults,
     )
     service = serve(scenario, grace_window=args.grace)
@@ -359,17 +360,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(table.render())
         return 0
 
+    if args.scale:
+        return _run_scale_bench(args)
+
     payload = run_engine_bench(
         parallelism=args.parallelism, quick=args.quick
     )
     print(render_engine_bench(payload))
-    target = write_engine_bench(payload, args.out)
+    target = write_engine_bench(payload, args.out or "BENCH_engine.json")
     print(f"\nwrote {target}")
     if not all(row["equivalent"] for row in payload["cases"]):
         print("ERROR: fast engine diverged from the reference oracle",
               file=sys.stderr)
         return 1
     return 0
+
+
+def _run_scale_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_scale import (
+        check_scale_regression,
+        load_scale_bench,
+        render_scale_bench,
+        run_scale_bench,
+        write_scale_bench,
+    )
+
+    payload = run_scale_bench(quick=args.quick)
+    print(render_scale_bench(payload))
+    target = write_scale_bench(payload, args.out or "BENCH_scale.json")
+    print(f"\nwrote {target}")
+    ok = True
+    if not all(row["equivalent"] for row in payload["cases"]) or not payload[
+        "msoa"
+    ]["equivalent"]:
+        print(
+            "ERROR: columnar engine diverged from the fast/reference oracle",
+            file=sys.stderr,
+        )
+        ok = False
+    if args.against:
+        baseline = load_scale_bench(args.against)
+        failures = check_scale_regression(payload, baseline)
+        if failures:
+            print(
+                f"ERROR: speedup regression vs {args.against}:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            ok = False
+        else:
+            print(f"no regression vs {args.against} (tolerance 20%)")
+    return 0 if ok else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -501,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig.add_argument(
         "--engine",
-        choices=("fast", "reference"),
+        choices=("fast", "reference", "columnar"),
         default="fast",
         help="selection engine for every mechanism run (default fast)",
     )
@@ -566,6 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="clearing mechanism registry name (default: the paper's MSOA)",
     )
     serve.add_argument(
+        "--engine",
+        choices=("fast", "reference", "columnar"),
+        default="fast",
+        help="clearing engine for mechanisms that accept one (default fast)",
+    )
+    serve.add_argument(
         "--check", action="store_true",
         help="after serving, replay the scenario synchronously and verify "
         "the outcomes are bit-identical",
@@ -579,10 +627,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="time the fast engine vs the reference oracle "
-        "(writes BENCH_engine.json)",
+        "(writes BENCH_engine.json; --scale for the columnar tier)",
     )
     bench.add_argument(
         "--quick", action="store_true", help="CI-sized cases (faster)"
+    )
+    bench.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the 10^4-10^5-bid columnar tier instead (serial vs "
+        "columnar vs batched payments + MSOA incrementality; writes "
+        "BENCH_scale.json)",
+    )
+    bench.add_argument(
+        "--against",
+        default=None,
+        metavar="PATH",
+        help="--scale only: compare speedups against this committed "
+        "BENCH_scale.json and fail on a >20%% regression",
     )
     bench.add_argument(
         "--parallelism",
@@ -593,8 +655,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_engine.json",
-        help="output JSON path (default: BENCH_engine.json)",
+        default=None,
+        help="output JSON path (default: BENCH_engine.json, or "
+        "BENCH_scale.json with --scale)",
     )
     _add_faults_flag(
         bench,
@@ -637,7 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--engine",
-        choices=("fast", "reference"),
+        choices=("fast", "reference", "columnar"),
         default=None,
         help="selection engine for mechanisms that accept one",
     )

@@ -1,0 +1,667 @@
+"""Columnar numerical core: the numpy-backed engine representation.
+
+The fast engine (:mod:`repro.core.engine`) removed the reference loop's
+per-iteration rescans, but it still walks Python objects — dict-of-set
+coverage maps, per-bid ``Bid`` attribute loads, a heap of tuples.  At
+10^4–10^5 bids that object layer is the ceiling.  This module rebuilds
+the greedy machinery on flat numpy arrays:
+
+* :class:`ColumnarInstance` — the immutable *structure* of a market:
+  price/seller/index columns, a CSR-style bid→buyer incidence (plus its
+  CSC transpose and a dense bid×buyer mask), per-seller bid groupings,
+  and a seller×buyer coverage matrix for the stranding guard.  Built
+  once from ``(bids, demand)``; re-pricing (MSOA's ψ-scaled rounds)
+  shares every structural array via :meth:`ColumnarInstance.with_bids`.
+* :class:`ColumnarState` — the mutable per-run arrays (granted units,
+  active mask, marginal utilities, supplier counts).  ``fork()`` is a
+  handful of ``ndarray.copy()`` calls, which is what makes the batched
+  payment kernel cheap.
+* :func:`columnar_greedy_selection` — the greedy selection loop as
+  vectorized candidate scans (``lexsort`` over the exact reference key
+  ``(ratio, price, seller, index)``).
+* :func:`columnar_critical_payments` — a batched critical-value kernel.
+  For a winner chosen at main-run iteration ``k``, the +∞-replay of
+  :func:`repro.core.ssam._critical_payment` provably follows the main
+  trajectory for every iteration before ``k`` (the stranding guard is
+  price-independent, and an ∞-priced bid sorts last so it is never
+  preferred while its real-priced twin was still losing).  The kernel
+  therefore walks the main trajectory *once*, accumulating every
+  pending winner's threshold per iteration, and forks a state copy only
+  at each winner's own divergence point to finish its private suffix —
+  instead of re-running the whole greedy once per winner.
+
+Bit-identical outcomes to the ``fast``/``reference`` engines are the
+contract (IEEE-754 division of the same operands, the same lexicographic
+candidate order, the same guard walk), pinned by
+``tests/properties/test_columnar_equivalence.py``.
+
+The layout targets the paper's regime — buyers (edge cloudlets) number
+in the tens while bids number in the thousands-to-hundreds-of-thousands
+— so dense ``n_bids × n_buyers`` and ``n_sellers × n_buyers`` masks are
+deliberately used for the guard probes; memory is linear in ``n·B``.
+
+Use ``run_ssam(..., engine="columnar")`` rather than calling these
+directly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.bids import Bid
+from repro.core.ssam import GreedyStep, _residual_feasible
+from repro.core.wsp import CoverageState
+from repro.errors import InfeasibleInstanceError
+from repro.obs.profiler import profiled
+from repro.obs.runtime import STATE as _OBS
+
+__all__ = [
+    "ColumnarInstance",
+    "ColumnarState",
+    "columnar_greedy_selection",
+    "columnar_critical_payments",
+    "structure_fingerprint",
+]
+
+
+def structure_fingerprint(
+    bids: Sequence[Bid], demand: Mapping[int, int]
+) -> tuple:
+    """Hashable identity of a market's *structure* (prices excluded).
+
+    Two instances with equal fingerprints share seller/index/coverage
+    columns and the demand vector, so a :class:`ColumnarInstance` built
+    for one can be re-priced for the other via
+    :meth:`ColumnarInstance.with_bids` — the MSOA incrementality hook.
+    """
+    return (
+        tuple((b.seller, b.index, b.covered) for b in bids),
+        tuple(demand.items()),
+    )
+
+
+class ColumnarInstance:
+    """Immutable columnar view of one winner-selection problem.
+
+    All arrays are index-aligned with ``bids`` (rows) and the demand
+    map's key order (buyer columns).  Structural arrays are shared, not
+    copied, across re-pricings (:meth:`with_bids`).
+    """
+
+    __slots__ = (
+        "bids",
+        "demand_map",
+        "buyers",
+        "demand",
+        "prices",
+        "seller_ids",
+        "bid_indices",
+        "seller_rows",
+        "sellers",
+        "cover",
+        "cover_indptr",
+        "cover_cols",
+        "covering_rows",
+        "seller_bid_rows",
+        "seller_cov",
+        "initial_utilities",
+        "initial_suppliers",
+        "row_of",
+        "fingerprint",
+    )
+
+    def __init__(self, **fields) -> None:
+        for name in self.__slots__:
+            object.__setattr__(self, name, fields[name])
+
+    @classmethod
+    @profiled("columnar.build")
+    def build(
+        cls, bids: Sequence[Bid], demand: Mapping[int, int]
+    ) -> "ColumnarInstance":
+        """Construct the columnar layout from a bid list and demand map."""
+        if _OBS.enabled:
+            _OBS.metrics.counter("engine.columnar.builds").inc()
+        bids = tuple(bids)
+        n = len(bids)
+        buyers = [int(b) for b in demand]
+        buyer_pos = {buyer: j for j, buyer in enumerate(buyers)}
+        n_buyers = len(buyers)
+        demand_arr = np.fromiter(
+            (demand[b] for b in buyers), dtype=np.int64, count=n_buyers
+        )
+        prices = np.fromiter(
+            (b.price for b in bids), dtype=np.float64, count=n
+        )
+        seller_ids = np.fromiter(
+            (b.seller for b in bids), dtype=np.int64, count=n
+        )
+        bid_indices = np.fromiter(
+            (b.index for b in bids), dtype=np.int64, count=n
+        )
+        sellers, seller_rows = np.unique(seller_ids, return_inverse=True)
+        seller_rows = seller_rows.astype(np.int64)
+        n_sellers = sellers.size
+
+        cover_indptr = np.zeros(n + 1, dtype=np.int64)
+        cols_per_bid: list[list[int]] = []
+        for i, bid in enumerate(bids):
+            cols = sorted(
+                buyer_pos[b] for b in bid.covered if b in buyer_pos
+            )
+            cols_per_bid.append(cols)
+            cover_indptr[i + 1] = cover_indptr[i] + len(cols)
+        cover_cols = np.fromiter(
+            (c for cols in cols_per_bid for c in cols),
+            dtype=np.int64,
+            count=int(cover_indptr[-1]),
+        )
+        cover = np.zeros((n, n_buyers), dtype=bool)
+        rows_rep = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(cover_indptr)
+        )
+        cover[rows_rep, cover_cols] = True
+
+        covering_rows: list[np.ndarray] = [
+            np.flatnonzero(cover[:, j]) for j in range(n_buyers)
+        ]
+        seller_bid_rows: list[np.ndarray] = [
+            np.flatnonzero(seller_rows == s) for s in range(n_sellers)
+        ]
+        seller_cov = np.zeros((n_sellers, n_buyers), dtype=bool)
+        np.logical_or.at(seller_cov, seller_rows, cover)
+
+        positive = demand_arr > 0
+        initial_utilities = (cover & positive[None, :]).sum(
+            axis=1, dtype=np.int64
+        )
+        initial_suppliers = seller_cov.sum(axis=0, dtype=np.int64)
+
+        return cls(
+            bids=bids,
+            demand_map=dict(demand),
+            buyers=buyers,
+            demand=demand_arr,
+            prices=prices,
+            seller_ids=seller_ids,
+            bid_indices=bid_indices,
+            seller_rows=seller_rows,
+            sellers=sellers,
+            cover=cover,
+            cover_indptr=cover_indptr,
+            cover_cols=cover_cols,
+            covering_rows=covering_rows,
+            seller_bid_rows=seller_bid_rows,
+            seller_cov=seller_cov,
+            initial_utilities=initial_utilities,
+            initial_suppliers=initial_suppliers,
+            row_of={bid.key: i for i, bid in enumerate(bids)},
+            fingerprint=structure_fingerprint(bids, demand),
+        )
+
+    @property
+    def n_bids(self) -> int:
+        return len(self.bids)
+
+    @property
+    def n_buyers(self) -> int:
+        return len(self.buyers)
+
+    def with_bids(self, bids: Sequence[Bid]) -> "ColumnarInstance":
+        """Re-price the instance, sharing every structural array.
+
+        ``bids`` must be structurally identical to the originals (same
+        sellers, indices, and coverage sets, in the same order) — only
+        prices may differ.  This is the MSOA round-to-round refresh: a
+        new ψ-scaled price column, zero structural work.  The caller is
+        responsible for the structural match (compare
+        :func:`structure_fingerprint`); lengths and keys are checked.
+        """
+        bids = tuple(bids)
+        if len(bids) != len(self.bids):
+            raise ValueError(
+                f"with_bids: expected {len(self.bids)} bids, got {len(bids)}"
+            )
+        for new, old in zip(bids, self.bids):
+            if new.key != old.key:
+                raise ValueError(
+                    f"with_bids: bid key mismatch {new.key} != {old.key}"
+                )
+        if _OBS.enabled:
+            _OBS.metrics.counter("engine.columnar.price_refreshes").inc()
+        prices = np.fromiter(
+            (b.price for b in bids), dtype=np.float64, count=len(bids)
+        )
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields["bids"] = bids
+        fields["prices"] = prices
+        return ColumnarInstance(**fields)
+
+
+class ColumnarState:
+    """Mutable greedy-run state over a :class:`ColumnarInstance`.
+
+    Mirrors :class:`~repro.core.wsp.CoverageState` +
+    :class:`~repro.core.wsp.ActiveBidIndex` exactly: ``granted`` may
+    overshoot demand (a winner covers an already-saturated buyer),
+    ``utilities`` only ever decrease, sellers leave the market
+    wholesale, and ``suppliers`` counts distinct in-market sellers with
+    any bid covering the buyer.
+    """
+
+    __slots__ = (
+        "inst",
+        "prices",
+        "granted",
+        "active",
+        "utilities",
+        "suppliers",
+        "unsat",
+        "unmet",
+    )
+
+    def __init__(
+        self, inst: ColumnarInstance, prices: np.ndarray | None = None
+    ) -> None:
+        self.inst = inst
+        self.prices = inst.prices if prices is None else prices
+        self.granted = np.zeros(inst.n_buyers, dtype=np.int64)
+        self.active = np.ones(inst.n_bids, dtype=bool)
+        self.utilities = inst.initial_utilities.copy()
+        self.suppliers = inst.initial_suppliers.copy()
+        self.unsat = inst.demand > 0
+        self.unmet = int(inst.demand.sum())
+
+    def fork(self) -> "ColumnarState":
+        """Independent copy (payment suffix replays mutate it freely)."""
+        twin = ColumnarState.__new__(ColumnarState)
+        twin.inst = self.inst
+        twin.prices = self.prices
+        twin.granted = self.granted.copy()
+        twin.active = self.active.copy()
+        twin.utilities = self.utilities.copy()
+        twin.suppliers = self.suppliers.copy()
+        twin.unsat = self.unsat.copy()
+        twin.unmet = self.unmet
+        return twin
+
+    @property
+    def satisfied(self) -> bool:
+        return self.unmet == 0
+
+    def coverage_before(self) -> dict[int, int]:
+        """Granted units per buyer, as the reference engine's dict."""
+        return {
+            buyer: int(units)
+            for buyer, units in zip(self.inst.buyers, self.granted)
+        }
+
+    def would_strand(self, row: int) -> bool:
+        """Vector twin of :meth:`ActiveBidIndex.would_strand`.
+
+        Accepting ``row`` consumes its seller; some unsatisfied buyer is
+        stranded iff its residual demand exceeds the count of *other*
+        in-market sellers still covering it.
+        """
+        inst = self.inst
+        need = inst.demand - self.granted
+        need = need - inst.cover[row]
+        mask = self.unsat & (need > 0)
+        if not mask.any():
+            return False
+        avail = self.suppliers - inst.seller_cov[inst.seller_rows[row]]
+        return bool(np.any(avail[mask] < need[mask]))
+
+    def would_strand_many(self, rows: np.ndarray) -> np.ndarray:
+        """:meth:`would_strand` for many candidate rows in one shot."""
+        inst = self.inst
+        need = (inst.demand - self.granted)[None, :] - inst.cover[rows]
+        mask = self.unsat[None, :] & (need > 0)
+        avail = (
+            self.suppliers[None, :]
+            - inst.seller_cov[inst.seller_rows[rows]]
+        )
+        return np.any(mask & (avail < need), axis=1)
+
+    def apply_win(self, row: int) -> int:
+        """Grant the bid's coverage; propagate utility decrements.
+
+        Returns the marginal units contributed, like
+        :meth:`CoverageState.apply` (overshoot grants count zero).
+        """
+        inst = self.inst
+        cols = inst.cover_cols[
+            inst.cover_indptr[row] : inst.cover_indptr[row + 1]
+        ]
+        was_unsat = self.unsat[cols]
+        gained = int(was_unsat.sum())
+        self.granted[cols] += 1
+        newly = cols[was_unsat & (self.granted[cols] >= inst.demand[cols])]
+        for buyer_col in newly:
+            self.unsat[buyer_col] = False
+            covering = inst.covering_rows[buyer_col]
+            self.utilities[covering] -= 1
+        self.unmet -= gained
+        return gained
+
+    def remove_seller(self, seller_row: int) -> None:
+        """Deactivate every bid of the seller; update supplier counts."""
+        inst = self.inst
+        self.active[inst.seller_bid_rows[seller_row]] = False
+        self.suppliers -= inst.seller_cov[seller_row]
+
+    def active_bids(self) -> list[Bid]:
+        """The in-market ``Bid`` objects, in submission order."""
+        bids = self.inst.bids
+        return [bids[i] for i in np.flatnonzero(self.active)]
+
+    def coverage_view(self) -> CoverageState:
+        """A :class:`CoverageState` snapshot (exact-guard escalations)."""
+        return CoverageState(
+            demand=self.inst.demand_map, granted=self.coverage_before()
+        )
+
+
+def _ordered_candidates(
+    state: ColumnarState,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Candidate rows and their ratios, in exact reference order.
+
+    The reference engine sorts candidates by the tuple
+    ``(ratio, price, seller, index)``; ``np.lexsort`` with the primary
+    key last reproduces that ordering bit-for-bit (the ratios are the
+    same IEEE-754 divisions the reference performs).
+    """
+    rows = np.flatnonzero(state.active & (state.utilities > 0))
+    if rows.size == 0:
+        return rows, np.empty(0, dtype=np.float64)
+    inst = state.inst
+    prices = state.prices[rows]
+    ratios = prices / state.utilities[rows]
+    perm = np.lexsort(
+        (inst.bid_indices[rows], inst.seller_ids[rows], prices, ratios)
+    )
+    return rows[perm], ratios[perm]
+
+
+def _guarded_choice(
+    state: ColumnarState,
+    order: np.ndarray,
+    *,
+    guard_feasibility: bool,
+    exact_guard: bool,
+) -> int:
+    """Position of the chosen candidate within ``order``.
+
+    Walks candidates in ascending key order, passing over the ones the
+    stranding guard (and, when escalated, the exact residual-feasibility
+    check) rejects; if none is safe the guard is waived for the
+    iteration and the overall best is taken — exactly the reference
+    walk.
+    """
+    if not guard_feasibility:
+        return 0
+    for pos in range(order.size):
+        row = int(order[pos])
+        if state.would_strand(row):
+            continue
+        if exact_guard and not _residual_feasible(
+            state.inst.bids[row], state.active_bids(), state.coverage_view()
+        ):
+            continue
+        return pos
+    return 0
+
+
+@profiled("ssam.selection")
+def columnar_greedy_selection(
+    bids: Sequence[Bid],
+    demand: Mapping[int, int],
+    *,
+    require_feasible: bool = True,
+    guard_feasibility: bool = True,
+    exact_guard: bool = False,
+    columnar: ColumnarInstance | None = None,
+) -> list[GreedyStep]:
+    """Vectorized twin of :func:`repro.core.ssam.greedy_selection`.
+
+    Same contract, same trace, same exceptions.  Pass a prebuilt
+    ``columnar`` instance (for the same bids/demand) to skip the layout
+    construction — the MSOA incremental path does.
+    """
+    inst = (
+        columnar
+        if columnar is not None
+        else ColumnarInstance.build(bids, demand)
+    )
+    state = ColumnarState(inst)
+    steps: list[GreedyStep] = []
+    iteration = 0
+    while not state.satisfied:
+        order, ratios = _ordered_candidates(state)
+        if _OBS.enabled:
+            _OBS.metrics.counter("engine.columnar.candidates_scanned").inc(
+                int(order.size)
+            )
+        if order.size == 0:
+            if require_feasible:
+                raise InfeasibleInstanceError(
+                    f"{state.unmet} demand units cannot be covered by the "
+                    "remaining bids"
+                )
+            break
+        chosen_pos = _guarded_choice(
+            state,
+            order,
+            guard_feasibility=guard_feasibility,
+            exact_guard=exact_guard,
+        )
+        row = int(order[chosen_pos])
+        steps.append(
+            GreedyStep(
+                iteration=iteration,
+                bid=inst.bids[row],
+                utility=int(state.utilities[row]),
+                ratio=float(ratios[chosen_pos]),
+                runner_up_ratio=(
+                    float(ratios[chosen_pos + 1])
+                    if chosen_pos + 1 < order.size
+                    else None
+                ),
+                coverage_before=state.coverage_before(),
+            )
+        )
+        state.apply_win(row)
+        state.remove_seller(int(inst.seller_rows[row]))
+        iteration += 1
+    return steps
+
+
+def _suffix_replay(
+    state: ColumnarState,
+    winner_row: int,
+    threshold: float,
+    *,
+    guard_feasibility: bool,
+    exact_guard: bool,
+    ceiling: float,
+) -> float:
+    """Finish one winner's +∞ critical replay from its divergence point.
+
+    ``state`` is a private fork whose price column already carries +∞
+    at ``winner_row``; the loop body is the exact tail of
+    :func:`repro.core.ssam._critical_payment`.
+    """
+    inst = state.inst
+    winner_seller = int(inst.seller_rows[winner_row])
+    infinite = inst.bids[winner_row].with_price(math.inf)
+    while not state.satisfied:
+        order, ratios = _ordered_candidates(state)
+        winner_utility = (
+            int(state.utilities[winner_row])
+            if state.active[winner_row]
+            else 0
+        )
+        if order.size == 0:
+            if winner_utility > 0:
+                threshold = max(threshold, winner_utility * ceiling)
+            break
+        chosen_pos = _guarded_choice(
+            state,
+            order,
+            guard_feasibility=guard_feasibility,
+            exact_guard=exact_guard,
+        )
+        row = int(order[chosen_pos])
+        if row == winner_row:
+            if winner_utility > 0:
+                threshold = max(threshold, winner_utility * ceiling)
+            break
+        winner_safe = not guard_feasibility or not state.would_strand(
+            winner_row
+        )
+        if winner_safe and guard_feasibility and exact_guard:
+            winner_safe = _residual_feasible(
+                infinite, state.active_bids(), state.coverage_view()
+            )
+        if winner_utility > 0 and winner_safe:
+            threshold = max(
+                threshold, winner_utility * float(ratios[chosen_pos])
+            )
+        state.apply_win(row)
+        if int(inst.seller_rows[row]) == winner_seller:
+            break
+        state.remove_seller(int(inst.seller_rows[row]))
+    return threshold
+
+
+@profiled("columnar.payments")
+def columnar_critical_payments(
+    instance,
+    winners: Sequence[Bid],
+    *,
+    exact_guard: bool = False,
+    guard_feasibility: bool = True,
+    columnar: ColumnarInstance | None = None,
+    trajectory: Sequence[GreedyStep] | None = None,
+) -> list[float]:
+    """Batched critical values: one shared prefix, per-winner suffixes.
+
+    Each winner's critical replay provably coincides with the main
+    greedy trajectory up to the iteration where that winner was chosen
+    (see the module docstring), so a single pass over the trajectory
+    accumulates every pending winner's threshold — the winner's current
+    marginal utility times the iteration's selected ratio, whenever the
+    winner is guard-safe — and a state fork at each winner's own
+    iteration finishes its divergent suffix with the winner priced +∞.
+    A bid whose seller sibling wins first resolves at that iteration
+    (the replay breaks there), matching the scalar replay's early exit.
+
+    ``trajectory`` (the main run's :class:`GreedyStep` list) skips the
+    re-selection pass; omitted, the kernel re-derives it.  Results are
+    bit-identical to :func:`repro.core.engine.fast_critical_payment`
+    per winner.
+    """
+    if not winners:
+        return []
+    demand = {b: u for b, u in instance.demand.items() if u > 0}
+    inst = (
+        columnar
+        if columnar is not None
+        else ColumnarInstance.build(instance.bids, demand)
+    )
+    if trajectory is None:
+        trajectory = columnar_greedy_selection(
+            instance.bids,
+            demand,
+            guard_feasibility=guard_feasibility,
+            exact_guard=exact_guard,
+            columnar=inst,
+        )
+    traj_rows = [inst.row_of[step.bid.key] for step in trajectory]
+    winner_rows = [inst.row_of[w.key] for w in winners]
+    ceiling = instance.effective_ceiling
+
+    thresholds: dict[int, float] = {}
+    resolved: dict[int, float] = {}
+    pending: list[int] = []
+    for row in winner_rows:
+        if row not in thresholds:
+            thresholds[row] = 0.0
+            pending.append(row)
+
+    state = ColumnarState(inst)
+    forks = 0
+    for chosen_row in traj_rows:
+        if not pending:
+            break
+        if state.satisfied:
+            break
+        ratio = float(
+            state.prices[chosen_row] / state.utilities[chosen_row]
+        )
+        chosen_seller = int(inst.seller_rows[chosen_row])
+        if chosen_row in thresholds and chosen_row not in resolved:
+            # This winner's replay diverges here: fork a private state
+            # with the winner priced +∞ and run its suffix to the end.
+            prices = state.prices.copy()
+            prices[chosen_row] = math.inf
+            fork = state.fork()
+            fork.prices = prices
+            resolved[chosen_row] = _suffix_replay(
+                fork,
+                chosen_row,
+                thresholds[chosen_row],
+                guard_feasibility=guard_feasibility,
+                exact_guard=exact_guard,
+                ceiling=ceiling,
+            )
+            pending.remove(chosen_row)
+            forks += 1
+        survivors = [row for row in pending if row != chosen_row]
+        if survivors:
+            rows = np.asarray(survivors, dtype=np.int64)
+            utilities = np.where(
+                state.active[rows], state.utilities[rows], 0
+            )
+            updatable = utilities > 0
+            if guard_feasibility and updatable.any():
+                unsafe = state.would_strand_many(rows)
+                if exact_guard:
+                    for k in np.flatnonzero(updatable & ~unsafe):
+                        infinite = inst.bids[int(rows[k])].with_price(
+                            math.inf
+                        )
+                        if not _residual_feasible(
+                            infinite,
+                            state.active_bids(),
+                            state.coverage_view(),
+                        ):
+                            unsafe[k] = True
+                updatable &= ~unsafe
+            for k in np.flatnonzero(updatable):
+                row = int(rows[k])
+                thresholds[row] = max(
+                    thresholds[row], int(utilities[k]) * ratio
+                )
+        state.apply_win(chosen_row)
+        for row in list(pending):
+            if int(inst.seller_rows[row]) == chosen_seller:
+                # A sibling of this bid's seller won: the scalar replay
+                # breaks here, freezing the accumulated threshold.
+                resolved[row] = thresholds[row]
+                pending.remove(row)
+        state.remove_seller(chosen_seller)
+    for row in pending:
+        resolved[row] = thresholds[row]
+    if _OBS.enabled:
+        metrics = _OBS.metrics
+        metrics.counter("engine.columnar.payment_batches").inc()
+        metrics.counter("engine.columnar.payment_forks").inc(forks)
+        metrics.counter("engine.columnar.payment_prefix_iterations").inc(
+            len(traj_rows)
+        )
+    return [resolved[row] for row in winner_rows]

@@ -391,6 +391,9 @@ def compute_critical_payments(
     guard_feasibility: bool = True,
     parallelism: int | str = "auto",
     use_fast: bool = True,
+    engine: str | None = None,
+    columnar=None,
+    trajectory=None,
 ) -> list[float]:
     """Critical values for every winner, optionally in parallel.
 
@@ -399,7 +402,29 @@ def compute_critical_payments(
     from the instance via :func:`resolve_parallelism`.  The pool path
     preserves winner order; any environment where a process pool cannot
     be created degrades gracefully to the serial path.
+
+    ``engine="columnar"`` dispatches to the batched
+    :func:`repro.core.columnar.columnar_critical_payments` kernel
+    instead, which shares the greedy prefix across all winners in one
+    serial pass (``parallelism`` is ignored there — the batching already
+    removes the per-winner replays a pool would distribute).  Pass the
+    prebuilt ``columnar`` layout and the main run's ``trajectory``
+    (its :class:`~repro.core.ssam.GreedyStep` list) to skip redundant
+    rebuild/re-selection work; both default to being derived on demand.
+    When ``engine`` is ``None`` (default), ``use_fast`` selects between
+    the fast and reference scalar replays as before.
     """
+    if engine == "columnar":
+        from repro.core.columnar import columnar_critical_payments
+
+        return columnar_critical_payments(
+            instance,
+            winners,
+            exact_guard=exact_guard,
+            guard_feasibility=guard_feasibility,
+            columnar=columnar,
+            trajectory=trajectory,
+        )
     workers = min(
         resolve_parallelism(
             parallelism,

@@ -75,7 +75,17 @@ class MultiStageOnlineAuction:
         guard (forwarded to :func:`~repro.core.ssam.run_ssam`).
     engine:
         Selection engine for every round: ``"fast"`` (default,
-        incremental) or ``"reference"`` (the naive oracle loop).
+        incremental), ``"columnar"`` (numpy-vectorized kernels with
+        round-to-round layout carry), or ``"reference"`` (the naive
+        oracle loop).
+    columnar_incremental:
+        ``engine="columnar"`` only: carry the columnar layout across
+        rounds and refresh just the ψ-scaled price column whenever a
+        round's market *structure* (bids' sellers/indices/coverage and
+        the positive demand map) is unchanged, instead of rebuilding the
+        index arrays from scratch.  Outcomes are bit-identical either
+        way (an incrementality test enforces it); disable only to
+        benchmark the cold-rebuild path.
     on_infeasible:
         ``"raise"`` (default) propagates an infeasible round;
         ``"skip"`` records the round with an empty winner set instead;
@@ -106,6 +116,7 @@ class MultiStageOnlineAuction:
         parallelism: int | str = "auto",
         guard: bool = True,
         engine: str = "fast",
+        columnar_incremental: bool = True,
         on_infeasible: str = "raise",
         faults: "FaultPlan | FaultInjector | None" = None,
         resilience: "ResiliencePolicy | None" = None,
@@ -132,6 +143,8 @@ class MultiStageOnlineAuction:
             "engine": engine,
         }
         self._on_infeasible = on_infeasible
+        self._columnar_incremental = bool(columnar_incremental)
+        self._columnar_cache = None
         self._injector, self._policy = resolve_fault_args(faults, resilience)
         self._carry: dict[int, int] = {}
         self._psi: dict[int, float] = {seller: 0.0 for seller in capacities}
@@ -180,6 +193,43 @@ class MultiStageOnlineAuction:
     def _scaled_price(self, bid: Bid) -> float:
         """Line 8: ``∇ᵗᵢⱼ = Jᵗᵢⱼ + |Sᵗᵢⱼ|·ψᵢᵗ⁻¹``."""
         return bid.price + bid.size * self._psi.get(bid.seller, 0.0)
+
+    def _columnar_kwargs(self, instance: WSPInstance) -> dict:
+        """The ``columnar=`` forward for a round's :func:`run_ssam` call.
+
+        On the columnar engine with incrementality enabled, the layout
+        built for an earlier round is re-priced in place whenever this
+        round's structure matches it (same bids' sellers/indices/
+        coverage, same positive demand) — ψ only moves prices, so the
+        common case across rounds is a pure price-column refresh.  Any
+        structural change (capacity exclusions, redrawn bids, faults,
+        clamped demand) misses the cache and rebuilds.
+        """
+        if (
+            self._ssam_options["engine"] != "columnar"
+            or not self._columnar_incremental
+        ):
+            return {}
+        from repro.core.columnar import (
+            ColumnarInstance,
+            structure_fingerprint,
+        )
+
+        demand = {b: u for b, u in instance.demand.items() if u > 0}
+        if not demand:
+            return {}
+        fingerprint = structure_fingerprint(instance.bids, demand)
+        cached = self._columnar_cache
+        if cached is not None and cached.fingerprint == fingerprint:
+            prepared = cached.with_bids(instance.bids)
+            if _OBS.enabled:
+                _OBS.metrics.counter("engine.columnar.cache_hits").inc()
+        else:
+            prepared = ColumnarInstance.build(instance.bids, demand)
+            if _OBS.enabled:
+                _OBS.metrics.counter("engine.columnar.cache_misses").inc()
+        self._columnar_cache = prepared
+        return {"columnar": prepared}
 
     @profiled("msoa.round")
     def process_round(self, instance: WSPInstance) -> RoundResult:
@@ -267,6 +317,7 @@ class MultiStageOnlineAuction:
                             for key in scaled_prices
                         },
                         **self._ssam_options,
+                        **self._columnar_kwargs(scaled_instance),
                     )
                 except InfeasibleInstanceError:
                     if self._on_infeasible == "raise":
@@ -340,6 +391,7 @@ class MultiStageOnlineAuction:
                     for bid in inst.bids
                 },
                 **self._ssam_options,
+                **self._columnar_kwargs(inst),
             )
 
         try:
@@ -416,6 +468,7 @@ class MultiStageOnlineAuction:
                     for key in (bid.key for bid in scaled_instance.bids)
                 },
                 **self._ssam_options,
+                **self._columnar_kwargs(clamped_instance),
             )
         except InfeasibleInstanceError:
             return run_ssam(
@@ -463,6 +516,7 @@ def run_msoa(
     parallelism: int | str = "auto",
     guard: bool = True,
     engine: str = "fast",
+    columnar_incremental: bool = True,
     on_infeasible: str = "raise",
     faults: "FaultPlan | FaultInjector | None" = None,
     resilience: "ResiliencePolicy | None" = None,
@@ -519,6 +573,7 @@ def run_msoa(
         parallelism=parallelism,
         guard=guard,
         engine=engine,
+        columnar_incremental=columnar_incremental,
         on_infeasible=on_infeasible,
         faults=faults,
         resilience=resilience,

@@ -376,6 +376,7 @@ register(MechanismSpec(
     complete=True,
     payment_rule="pay-as-bid",
     loader=_load_pay_as_bid,
+    options=frozenset({"engine"}),
     # Same monotone allocation as SSAM, but paying announced prices is
     # manipulable: truthfulness and critical payments are *expected* to
     # fail, and the certification suite records exactly that.

@@ -36,6 +36,7 @@ import enum
 import math
 import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.bids import Bid
 from repro.core.duals import DualSolution
@@ -45,6 +46,9 @@ from repro.core.wsp import CoverageState, WSPInstance
 from repro.errors import ConfigurationError, InfeasibleInstanceError
 from repro.obs.profiler import profiled
 from repro.obs.runtime import STATE as _OBS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (columnar → ssam)
+    from repro.core.columnar import ColumnarInstance
 
 __all__ = ["PaymentRule", "run_ssam", "greedy_selection", "GreedyStep"]
 
@@ -340,6 +344,7 @@ def run_ssam(
     guard: bool = True,
     engine: str = "fast",
     original_prices: dict[tuple[int, int], float] | None = None,
+    columnar: "ColumnarInstance | None" = None,
 ) -> AuctionOutcome:
     """Execute the single-stage auction on ``instance``.
 
@@ -365,9 +370,17 @@ def run_ssam(
         instances.
     engine:
         ``"fast"`` (default) runs the incremental
-        :mod:`repro.core.engine` hot path; ``"reference"`` runs the
-        naive rescan-everything loop kept as the correctness oracle.
-        Both produce identical outcomes (a property test enforces this).
+        :mod:`repro.core.engine` hot path; ``"columnar"`` runs the
+        numpy-vectorized :mod:`repro.core.columnar` kernels (batched
+        critical payments, cheap round-to-round state carry);
+        ``"reference"`` runs the naive rescan-everything loop kept as
+        the correctness oracle.  All three produce identical outcomes
+        (a property test enforces this).
+    columnar:
+        A prebuilt :class:`~repro.core.columnar.ColumnarInstance` for
+        this instance's bids and positive demand (``engine="columnar"``
+        only) — the MSOA incremental path passes its carried, re-priced
+        layout here to skip the structural rebuild.
     original_prices:
         When SSAM runs inside the online framework, bid prices have been
         *scaled*; this maps bid keys back to the announced prices so the
@@ -406,9 +419,9 @@ def run_ssam(
             stacklevel=2,
         )
         payment_rule = deprecated_args[0]
-    if engine not in ("fast", "reference"):
+    if engine not in ("fast", "reference", "columnar"):
         raise ConfigurationError(
-            f"engine must be 'fast' or 'reference', got {engine!r}"
+            f"engine must be 'fast', 'reference' or 'columnar', got {engine!r}"
         )
     from repro.core.engine import (
         compute_critical_payments,
@@ -421,6 +434,28 @@ def run_ssam(
     use_fast = engine == "fast"
     select = fast_greedy_selection if use_fast else greedy_selection
     demand = {b: u for b, u in instance.demand.items() if u > 0}
+    cinst = None
+    if engine == "columnar" and demand:
+        from repro.core.columnar import (
+            ColumnarInstance,
+            columnar_greedy_selection,
+        )
+
+        if columnar is not None:
+            if len(columnar.bids) != len(instance.bids):
+                raise ConfigurationError(
+                    "columnar layout does not match the instance: "
+                    f"{len(columnar.bids)} rows vs {len(instance.bids)} bids"
+                )
+            cinst = columnar
+        else:
+            cinst = ColumnarInstance.build(instance.bids, demand)
+
+        def select(bids, demand, **kwargs):  # noqa: F811 - engine dispatch
+            return columnar_greedy_selection(
+                bids, demand, columnar=cinst, **kwargs
+            )
+
     duals = DualSolution(instance=instance)
     tracer = _OBS.tracer
     with tracer.span(
@@ -479,6 +514,9 @@ def run_ssam(
                     guard_feasibility=guard,
                     parallelism=parallelism,
                     use_fast=use_fast,
+                    engine=engine,
+                    columnar=cinst,
+                    trajectory=steps,
                 )
             else:
                 payments = [_runner_up_payment(instance, step) for step in steps]

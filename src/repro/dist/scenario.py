@@ -54,7 +54,10 @@ class DistScenario:
     ...) or ``None`` for the paper's MSOA; ``faults``/``resilience``
     are forwarded to the mechanism exactly as in the synchronous
     platform (they are frozen plans, so sharing one across replays is
-    safe).
+    safe).  ``engine`` selects the clearing engine (``"fast"``,
+    ``"reference"`` or ``"columnar"``) for mechanisms that accept one —
+    outcomes are engine-independent, so the determinism contract holds
+    for every choice.
     """
 
     seed: int = 5
@@ -69,10 +72,16 @@ class DistScenario:
     bids_per_seller: int = 2
     unit_cost_range: tuple[float, float] = (10.0, 35.0)
     mechanism: str | None = None
+    engine: str = "fast"
     faults: object | None = None
     resilience: object | None = None
 
     def __post_init__(self) -> None:
+        if self.engine not in ("fast", "reference", "columnar"):
+            raise ConfigurationError(
+                "engine must be 'fast', 'reference' or 'columnar', "
+                f"got {self.engine!r}"
+            )
         if self.n_clouds < 1:
             raise ConfigurationError("n_clouds must be at least 1")
         if self.n_services < 1:
@@ -87,6 +96,7 @@ class DistScenario:
             work_mean=self.work_mean,
             bids_per_seller=self.bids_per_seller,
             unit_cost_range=self.unit_cost_range,
+            engine=self.engine,
         )
 
     def policy_factory(self) -> Callable[[], BiddingPolicy]:

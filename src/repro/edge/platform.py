@@ -65,8 +65,14 @@ class PlatformConfig:
     speed_per_unit: float = 1.0
     work_mean: float = 1.0
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("fast", "reference", "columnar"):
+            raise ConfigurationError(
+                "engine must be 'fast', 'reference' or 'columnar', "
+                f"got {self.engine!r}"
+            )
         if self.round_length <= 0:
             raise ConfigurationError("round_length must be positive")
         if self.bids_per_seller <= 0:
@@ -380,19 +386,25 @@ class EdgePlatform:
             self.auction: OnlineMechanism = MultiStageOnlineAuction(
                 capacities,
                 payment_rule=self.config.payment_rule,
+                engine=self.config.engine,
                 on_infeasible="skip",
                 faults=faults,
                 resilience=resilience,
             )
         elif isinstance(mechanism, str):
-            # Forward the platform's payment rule only to mechanisms that
-            # understand it (per the registry spec); rounds where demand
-            # outstrips the admissible bid pool are skipped, as with MSOA.
-            options = (
-                {"payment_rule": self.config.payment_rule}
-                if "payment_rule" in get_spec(mechanism).options
-                else {}
-            )
+            # Forward the platform's payment rule and engine only to
+            # mechanisms that understand them (per the registry spec);
+            # rounds where demand outstrips the admissible bid pool are
+            # skipped, as with MSOA.
+            spec_options = get_spec(mechanism).options
+            options = {
+                name: value
+                for name, value in (
+                    ("payment_rule", self.config.payment_rule),
+                    ("engine", self.config.engine),
+                )
+                if name in spec_options
+            }
             self.auction = make_online(
                 mechanism,
                 capacities,

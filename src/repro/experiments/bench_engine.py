@@ -197,17 +197,35 @@ def write_engine_bench(
 
 
 def render_engine_bench(payload: dict) -> str:
-    """A terminal-friendly summary of one bench payload."""
+    """A terminal-friendly summary of one bench payload.
+
+    Rows whose parallel path is *slower* than the reference loop
+    (``speedup_parallel < 1``) are flagged inline and recapped in a
+    trailing ``WARNING`` line — a sub-1x "speedup" means the process
+    pool's overhead exceeded its payoff on that case and should be
+    treated as a regression signal, not noise.
+    """
     lines = [
         f"engine bench (parallelism={payload['parallelism']}, "
         f"quick={payload['quick']})",
         f"{'case':<16} {'bids':>5} {'ref ms':>9} {'fast ms':>9} "
         f"{'par ms':>9} {'speedup':>8} {'equal':>6}",
     ]
+    slow: list[str] = []
     for row in payload["cases"]:
+        speedup = row["speedup_parallel"]
+        flag = ""
+        if speedup is not None and speedup < 1.0:
+            slow.append(row["case"])
+            flag = "  [SLOWER than reference]"
         lines.append(
             f"{row['case']:<16} {row['bids']:>5} {row['reference_ms']:>9.2f} "
             f"{row['fast_ms']:>9.2f} {row['fast_parallel_ms']:>9.2f} "
-            f"{row['speedup_parallel']:>7.1f}x {str(row['equivalent']):>6}"
+            f"{speedup:>7.1f}x {str(row['equivalent']):>6}{flag}"
+        )
+    if slow:
+        lines.append(
+            "WARNING: parallel engine slower than the reference on: "
+            + ", ".join(slow)
         )
     return "\n".join(lines)

@@ -1,0 +1,459 @@
+"""Scale bench: the columnar kernels at 10^4–10^5 bids.
+
+Where :mod:`repro.experiments.bench_engine` tracks the fast engine
+against the reference oracle on paper-sized markets, this tier measures
+the regime the columnar core was built for — bid counts two to three
+orders of magnitude past the paper's sweeps:
+
+* single-round cases at 10^4 and 10^5 bids timing the reference loop
+  (where affordable), the fast engine serial, and the columnar engine
+  with its batched critical-payment kernel, plus isolated payment-phase
+  timings (per-winner serial replays vs. one batched prefix-sharing
+  pass);
+* an MSOA horizon with stable round structure and ample capacities,
+  timing the incremental layout carry (price-column refresh on cache
+  hit) against a cold rebuild every round.
+
+Every timed pair is checked for outcome equivalence through
+``AuctionOutcome.to_dict()`` — the columnar contract is bit-identity,
+so a speedup that moves any winner, payment, or dual is a bug.
+
+The payload is written to ``BENCH_scale.json`` (tracked at the repo
+root) and CI re-runs the quick tier against the committed artifact,
+failing on a >20% speedup regression via
+:func:`check_scale_regression`.
+
+Run from the CLI::
+
+    repro-edge-auction bench --scale            # full tier (10^5 case)
+    repro-edge-auction bench --scale --quick    # CI-sized tier
+    repro-edge-auction bench --scale --quick --against BENCH_scale.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.errors import ConfigurationError
+from repro.workload.bidgen import MarketConfig, generate_round
+
+__all__ = [
+    "ScaleBenchCase",
+    "default_scale_cases",
+    "run_scale_bench",
+    "write_scale_bench",
+    "render_scale_bench",
+    "load_scale_bench",
+    "check_scale_regression",
+]
+
+SCALE_BENCH_PATH = "BENCH_scale.json"
+"""Default output file (repo root); committed so CI can gate regressions."""
+
+REGRESSION_TOLERANCE = 0.2
+"""Allowed relative speedup drop before :func:`check_scale_regression`
+flags a case (20%, absorbing runner noise without hiding real losses)."""
+
+
+@dataclass(frozen=True)
+class ScaleBenchCase:
+    """One timed market instance of the scale bench.
+
+    ``time_reference`` controls whether the O(n²)-ish reference loop is
+    timed at all — at 10^5 bids it is prohibitively slow, so the large
+    case reports only fast-vs-columnar.  ``repeats`` is best-of-N.
+    """
+
+    name: str
+    config: MarketConfig
+    seed: int = 2019
+    repeats: int = 3
+    time_reference: bool = True
+
+
+@dataclass(frozen=True)
+class MsoaScaleCase:
+    """The MSOA incrementality case: one market replayed for ``rounds``.
+
+    Reusing one instance keeps the round *structure* stable (ψ only
+    moves prices), so the incremental path degenerates to price-column
+    refreshes — exactly the cache-hit regime the carry optimizes.
+    Capacities are set far above total demand so no admissibility
+    exclusion perturbs the structure mid-horizon.
+    """
+
+    name: str
+    config: MarketConfig
+    rounds: int = 6
+    seed: int = 7
+    repeats: int = 3
+
+
+def default_scale_cases(
+    *, quick: bool = False
+) -> tuple[list[ScaleBenchCase], MsoaScaleCase]:
+    """The scale tier: 10^4-bid case (+10^5 on the full tier) and MSOA.
+
+    The quick tier keeps the 10^4-bid case — including its reference
+    timing, which anchors the committed artifact's speedup floor — and
+    drops only the 10^5-bid case; every retained case is byte-identical
+    in configuration to its full-tier twin so the CI regression gate
+    compares like with like.
+    """
+    base = dict(n_buyers=16, demand_units_range=(1, 3), coverage_range=(1, 3))
+    cases = [
+        ScaleBenchCase(
+            name="scale_10k",
+            config=MarketConfig(n_sellers=5_000, **base),
+        )
+    ]
+    if not quick:
+        cases.append(
+            ScaleBenchCase(
+                name="scale_100k",
+                config=MarketConfig(n_sellers=50_000, **base),
+                time_reference=False,
+            )
+        )
+    msoa = MsoaScaleCase(
+        name="msoa_incremental",
+        config=MarketConfig(
+            n_sellers=2_000,
+            n_buyers=12,
+            demand_units_range=(1, 3),
+            coverage_range=(1, 3),
+        ),
+    )
+    return cases, msoa
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run_single_case(case: ScaleBenchCase) -> dict:
+    from repro.core.columnar import (
+        ColumnarInstance,
+        columnar_greedy_selection,
+    )
+    from repro.core.engine import compute_critical_payments
+
+    rng = np.random.default_rng(case.seed)
+    instance = generate_round(case.config, rng)
+
+    fast_outcome = run_ssam(
+        instance, payment_rule=PaymentRule.CRITICAL_RERUN, engine="fast"
+    )
+    columnar_outcome = run_ssam(
+        instance, payment_rule=PaymentRule.CRITICAL_RERUN, engine="columnar"
+    )
+    equivalent = fast_outcome.to_dict() == columnar_outcome.to_dict()
+
+    reference_s = None
+    if case.time_reference:
+        reference_outcome = run_ssam(
+            instance,
+            payment_rule=PaymentRule.CRITICAL_RERUN,
+            engine="reference",
+        )
+        equivalent = (
+            equivalent
+            and reference_outcome.to_dict() == fast_outcome.to_dict()
+        )
+        reference_s = _best_of(
+            case.repeats,
+            lambda: run_ssam(
+                instance,
+                payment_rule=PaymentRule.CRITICAL_RERUN,
+                engine="reference",
+            ),
+        )
+    fast_s = _best_of(
+        case.repeats,
+        lambda: run_ssam(
+            instance, payment_rule=PaymentRule.CRITICAL_RERUN, engine="fast"
+        ),
+    )
+    columnar_s = _best_of(
+        case.repeats,
+        lambda: run_ssam(
+            instance,
+            payment_rule=PaymentRule.CRITICAL_RERUN,
+            engine="columnar",
+        ),
+    )
+
+    # Isolate the payment phase: per-winner serial replays (the fast
+    # engine's rule) vs. one batched prefix-sharing pass.  Both start
+    # from the same precomputed trajectory so only the kernels differ.
+    cinst = ColumnarInstance.build(instance.bids, instance.demand)
+    steps = columnar_greedy_selection(
+        instance.bids, instance.demand, columnar=cinst
+    )
+    winners = tuple(step.bid for step in steps)
+    serial_payments = compute_critical_payments(
+        instance, winners, parallelism=1
+    )
+    batched_payments = compute_critical_payments(
+        instance,
+        winners,
+        engine="columnar",
+        columnar=cinst,
+        trajectory=steps,
+    )
+    equivalent = equivalent and serial_payments == batched_payments
+    fast_payment_s = _best_of(
+        case.repeats,
+        lambda: compute_critical_payments(instance, winners, parallelism=1),
+    )
+    batched_payment_s = _best_of(
+        case.repeats,
+        lambda: compute_critical_payments(
+            instance,
+            winners,
+            engine="columnar",
+            columnar=cinst,
+            trajectory=steps,
+        ),
+    )
+    return {
+        "case": case.name,
+        "bids": len(instance.bids),
+        "demand_units": instance.total_demand,
+        "winners": len(fast_outcome.winners),
+        "equivalent": equivalent,
+        "reference_ms": (
+            reference_s * 1000.0 if reference_s is not None else None
+        ),
+        "fast_ms": fast_s * 1000.0,
+        "columnar_ms": columnar_s * 1000.0,
+        "fast_payment_ms": fast_payment_s * 1000.0,
+        "batched_payment_ms": batched_payment_s * 1000.0,
+        "speedup_columnar": (
+            reference_s / columnar_s
+            if reference_s is not None and columnar_s > 0
+            else None
+        ),
+        "columnar_vs_fast": fast_s / columnar_s if columnar_s > 0 else None,
+        "payment_batch_speedup": (
+            fast_payment_s / batched_payment_s
+            if batched_payment_s > 0
+            else None
+        ),
+    }
+
+
+def _run_msoa_case(case: MsoaScaleCase) -> dict:
+    from repro.core.msoa import run_msoa
+
+    rng = np.random.default_rng(case.seed)
+    instance = generate_round(case.config, rng)
+    rounds = [instance] * case.rounds
+    sellers = {bid.seller for bid in instance.bids}
+    # Ample capacity: no seller is ever excluded, so every round after
+    # the first is a structural cache hit for the incremental path.
+    capacities = {seller: 10 * instance.total_demand for seller in sellers}
+
+    incremental = run_msoa(
+        rounds, capacities, engine="columnar", columnar_incremental=True
+    )
+    cold = run_msoa(
+        rounds, capacities, engine="columnar", columnar_incremental=False
+    )
+    equivalent = incremental.to_dict() == cold.to_dict()
+
+    incremental_s = _best_of(
+        case.repeats,
+        lambda: run_msoa(
+            rounds, capacities, engine="columnar", columnar_incremental=True
+        ),
+    )
+    cold_s = _best_of(
+        case.repeats,
+        lambda: run_msoa(
+            rounds, capacities, engine="columnar", columnar_incremental=False
+        ),
+    )
+    return {
+        "case": case.name,
+        "bids": len(instance.bids),
+        "rounds": case.rounds,
+        "equivalent": equivalent,
+        "incremental_ms": incremental_s * 1000.0,
+        "cold_ms": cold_s * 1000.0,
+        "incremental_ms_per_round": incremental_s * 1000.0 / case.rounds,
+        "cold_ms_per_round": cold_s * 1000.0 / case.rounds,
+        "incremental_speedup": (
+            cold_s / incremental_s if incremental_s > 0 else None
+        ),
+    }
+
+
+def run_scale_bench(
+    *,
+    quick: bool = False,
+    cases: list[ScaleBenchCase] | None = None,
+    msoa_case: MsoaScaleCase | None = None,
+) -> dict:
+    """Time the scale tier and return the bench payload."""
+    default_cases, default_msoa = default_scale_cases(quick=quick)
+    if cases is None:
+        cases = default_cases
+    if msoa_case is None:
+        msoa_case = default_msoa
+    return {
+        "bench": "scale",
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cases": [_run_single_case(case) for case in cases],
+        "msoa": _run_msoa_case(msoa_case),
+    }
+
+
+def write_scale_bench(
+    payload: dict, path: str | pathlib.Path = SCALE_BENCH_PATH
+) -> pathlib.Path:
+    """Write a scale-bench payload to disk (default ``BENCH_scale.json``)."""
+    target = pathlib.Path(path)
+    try:
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot write bench results to {target}: {error}"
+        ) from error
+    return target
+
+
+def load_scale_bench(path: str | pathlib.Path) -> dict:
+    """Read a previously written scale-bench payload."""
+    target = pathlib.Path(path)
+    try:
+        payload = json.loads(target.read_text())
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read bench baseline {target}: {error}"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"bench baseline {target} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict) or payload.get("bench") != "scale":
+        raise ConfigurationError(
+            f"bench baseline {target} is not a scale-bench payload"
+        )
+    return payload
+
+
+def _fmt_ms(value: float | None) -> str:
+    return f"{value:>10.1f}" if value is not None else f"{'-':>10}"
+
+
+def _fmt_x(value: float | None) -> str:
+    return f"{value:>7.1f}x" if value is not None else f"{'-':>8}"
+
+
+def render_scale_bench(payload: dict) -> str:
+    """A terminal-friendly summary of one scale-bench payload."""
+    lines = [
+        f"scale bench (quick={payload['quick']})",
+        f"{'case':<14} {'bids':>7} {'ref ms':>10} {'fast ms':>10} "
+        f"{'col ms':>10} {'col/ref':>8} {'col/fast':>8} {'paybatch':>8} "
+        f"{'equal':>6}",
+    ]
+    for row in payload["cases"]:
+        lines.append(
+            f"{row['case']:<14} {row['bids']:>7} "
+            f"{_fmt_ms(row['reference_ms'])} {_fmt_ms(row['fast_ms'])} "
+            f"{_fmt_ms(row['columnar_ms'])} "
+            f"{_fmt_x(row['speedup_columnar'])} "
+            f"{_fmt_x(row['columnar_vs_fast'])} "
+            f"{_fmt_x(row['payment_batch_speedup'])} "
+            f"{str(row['equivalent']):>6}"
+        )
+    msoa = payload.get("msoa")
+    if msoa:
+        lines.append(
+            f"{msoa['case']:<14} {msoa['bids']:>7} x{msoa['rounds']} rounds: "
+            f"incremental {msoa['incremental_ms_per_round']:.1f} ms/round "
+            f"vs cold {msoa['cold_ms_per_round']:.1f} ms/round "
+            f"({_fmt_x(msoa['incremental_speedup']).strip()}), "
+            f"equal {msoa['equivalent']}"
+        )
+    return "\n".join(lines)
+
+
+_SPEEDUP_KEYS = ("speedup_columnar", "columnar_vs_fast", "payment_batch_speedup")
+
+
+def check_scale_regression(
+    payload: dict,
+    baseline: dict,
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> list[str]:
+    """Compare a fresh payload against a committed baseline.
+
+    Returns a (possibly empty) list of human-readable failures.  Only
+    cases present in *both* payloads are compared (the quick tier omits
+    the 10^5-bid case), and only speedup *ratios* are gated — absolute
+    wall-clock shifts with the machine, but a ratio measured within one
+    run is hardware-normalized.  Any non-equivalent case fails outright
+    regardless of timing.
+    """
+    if not 0 <= tolerance < 1:
+        raise ConfigurationError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    failures: list[str] = []
+    baseline_cases = {
+        row["case"]: row for row in baseline.get("cases", [])
+    }
+    for row in payload.get("cases", []):
+        if not row.get("equivalent", True):
+            failures.append(f"{row['case']}: engines diverged")
+        base = baseline_cases.get(row["case"])
+        if base is None:
+            continue
+        for key in _SPEEDUP_KEYS:
+            new, old = row.get(key), base.get(key)
+            if new is None or old is None:
+                continue
+            if new < old * (1.0 - tolerance):
+                failures.append(
+                    f"{row['case']}: {key} regressed "
+                    f"{old:.2f}x -> {new:.2f}x "
+                    f"(floor {old * (1.0 - tolerance):.2f}x)"
+                )
+    msoa, base_msoa = payload.get("msoa"), baseline.get("msoa")
+    if msoa:
+        if not msoa.get("equivalent", True):
+            failures.append(
+                f"{msoa['case']}: incremental and cold-rebuild diverged"
+            )
+        if base_msoa and msoa["case"] == base_msoa["case"]:
+            new = msoa.get("incremental_speedup")
+            old = base_msoa.get("incremental_speedup")
+            if (
+                new is not None
+                and old is not None
+                and new < old * (1.0 - tolerance)
+            ):
+                failures.append(
+                    f"{msoa['case']}: incremental_speedup regressed "
+                    f"{old:.2f}x -> {new:.2f}x "
+                    f"(floor {old * (1.0 - tolerance):.2f}x)"
+                )
+    return failures

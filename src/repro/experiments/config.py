@@ -54,7 +54,8 @@ class ExperimentConfig:
         panels (3a/3b/4a) run; ``"ssam"`` reproduces the paper.
     engine:
         Selection engine every mechanism run of the sweep uses where
-        applicable: ``"fast"`` (default) or ``"reference"``.
+        applicable: ``"fast"`` (default), ``"reference"``, or
+        ``"columnar"`` (numpy-vectorized kernels).
     observability:
         Optional :class:`~repro.obs.ObservabilityConfig`; when set, the
         experiment runner activates tracing/metrics before dispatching
@@ -96,9 +97,10 @@ class ExperimentConfig:
         from repro.core.engine import validate_parallelism
 
         validate_parallelism(self.parallelism)
-        if self.engine not in ("fast", "reference"):
+        if self.engine not in ("fast", "reference", "columnar"):
             raise ConfigurationError(
-                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+                "engine must be 'fast', 'reference' or 'columnar', "
+                f"got {self.engine!r}"
             )
         if self.observability is not None and not isinstance(
             self.observability, ObservabilityConfig

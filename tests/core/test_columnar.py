@@ -1,0 +1,294 @@
+"""Unit tests for the columnar numerical core (repro.core.columnar).
+
+The end-to-end bit-identity contract lives in
+``tests/properties/test_columnar_equivalence.py``; these tests pin the
+layer underneath it: the layout construction, the re-pricing path's
+structural sharing, state-fork independence, the batched payment
+kernel against per-winner scalar replays (including shuffled, subset,
+duplicate, and non-winner probe lists), the engine-dispatch validation,
+and the observability counters the new kernels emit.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.columnar import (
+    ColumnarInstance,
+    ColumnarState,
+    columnar_critical_payments,
+    columnar_greedy_selection,
+    structure_fingerprint,
+)
+from repro.core.engine import fast_critical_payment
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
+
+
+def tiny_instance():
+    """A handcrafted market small enough to verify the layout by hand.
+
+    Sellers 100/101/102; buyer 0 needs 2 units, buyer 1 needs 1, buyer 2
+    has zero demand (stays in the map, contributes no utility).
+    """
+    bids = (
+        Bid(seller=100, index=0, covered=frozenset({0, 1}), price=10.0),
+        Bid(seller=100, index=1, covered=frozenset({0}), price=6.0),
+        Bid(seller=101, index=0, covered=frozenset({0, 2}), price=8.0),
+        Bid(seller=102, index=0, covered=frozenset({1}), price=5.0),
+    )
+    demand = {0: 2, 1: 1, 2: 0}
+    return WSPInstance.from_bids(list(bids), demand, price_ceiling=50.0)
+
+
+class TestBuild:
+    def test_layout_matches_the_bids(self):
+        instance = tiny_instance()
+        inst = ColumnarInstance.build(instance.bids, instance.demand)
+        assert inst.n_bids == 4
+        assert inst.buyers == [0, 1, 2]
+        assert inst.demand.tolist() == [2, 1, 0]
+        assert inst.prices.tolist() == [10.0, 6.0, 8.0, 5.0]
+        assert inst.seller_ids.tolist() == [100, 100, 101, 102]
+        # Dense mask row i == bid i's covered set (buyer-column order).
+        assert inst.cover.tolist() == [
+            [True, True, False],
+            [True, False, False],
+            [True, False, True],
+            [False, True, False],
+        ]
+        # Utilities count *positive-demand* buyers only (buyer 2 is 0).
+        assert inst.initial_utilities.tolist() == [2, 1, 1, 1]
+        # Suppliers: distinct sellers covering each buyer.
+        assert inst.initial_suppliers.tolist() == [2, 2, 1]
+        assert inst.row_of[(101, 0)] == 2
+
+    def test_csr_and_dense_masks_agree(self, make_instance):
+        instance = make_instance(3)
+        inst = ColumnarInstance.build(instance.bids, instance.demand)
+        for row in range(inst.n_bids):
+            cols = inst.cover_cols[
+                inst.cover_indptr[row] : inst.cover_indptr[row + 1]
+            ]
+            assert sorted(np.flatnonzero(inst.cover[row])) == sorted(cols)
+
+    def test_fingerprint_ignores_prices_only(self):
+        instance = tiny_instance()
+        repriced = [bid.with_price(bid.price + 1.0) for bid in instance.bids]
+        assert structure_fingerprint(
+            instance.bids, instance.demand
+        ) == structure_fingerprint(repriced, instance.demand)
+        recovered = list(instance.bids)
+        recovered[0] = Bid(
+            seller=100, index=0, covered=frozenset({0}), price=10.0
+        )
+        assert structure_fingerprint(
+            instance.bids, instance.demand
+        ) != structure_fingerprint(recovered, instance.demand)
+        assert structure_fingerprint(
+            instance.bids, instance.demand
+        ) != structure_fingerprint(instance.bids, {0: 1, 1: 1, 2: 0})
+
+
+class TestWithBids:
+    def test_shares_structure_and_swaps_prices(self):
+        instance = tiny_instance()
+        inst = ColumnarInstance.build(instance.bids, instance.demand)
+        repriced = inst.with_bids(
+            [bid.with_price(bid.price * 2) for bid in instance.bids]
+        )
+        assert repriced.prices.tolist() == [20.0, 12.0, 16.0, 10.0]
+        # Structural arrays are the *same objects*, not copies.
+        assert repriced.cover is inst.cover
+        assert repriced.seller_cov is inst.seller_cov
+        assert repriced.initial_utilities is inst.initial_utilities
+        assert repriced.row_of is inst.row_of
+        assert repriced.fingerprint == inst.fingerprint
+
+    def test_rejects_length_and_key_mismatches(self):
+        instance = tiny_instance()
+        inst = ColumnarInstance.build(instance.bids, instance.demand)
+        with pytest.raises(ValueError, match="expected 4 bids"):
+            inst.with_bids(instance.bids[:2])
+        reordered = (instance.bids[1], instance.bids[0]) + instance.bids[2:]
+        with pytest.raises(ValueError, match="key mismatch"):
+            inst.with_bids(reordered)
+
+
+class TestStateFork:
+    def test_fork_is_independent(self):
+        instance = tiny_instance()
+        inst = ColumnarInstance.build(instance.bids, instance.demand)
+        state = ColumnarState(inst)
+        fork = state.fork()
+        fork.apply_win(0)
+        fork.remove_seller(int(inst.seller_rows[0]))
+        assert state.granted.tolist() == [0, 0, 0]
+        assert state.active.all()
+        assert state.utilities.tolist() == [2, 1, 1, 1]
+        assert state.unmet == 3
+        assert not fork.active[0] and not fork.active[1]
+        assert fork.unmet == 1
+
+    def test_apply_win_mirrors_reference_semantics(self):
+        instance = tiny_instance()
+        inst = ColumnarInstance.build(instance.bids, instance.demand)
+        state = ColumnarState(inst)
+        # Bid 3 covers buyer 1 (demand 1): buyer saturates, every bid
+        # covering it loses a utility point, and the gain is 1 unit.
+        assert state.apply_win(3) == 1
+        assert state.utilities.tolist() == [1, 1, 1, 0]
+        # Winning bid 2 again grants buyer 0 (buyer 2 has no demand).
+        assert state.apply_win(2) == 1
+        # Bid 0 now only gains on buyer 0; buyer 1 is saturated, so the
+        # overshoot grant counts zero for it.
+        assert state.apply_win(0) == 1
+        assert state.satisfied
+
+
+class TestEngineDispatch:
+    def test_unknown_engine_rejected(self, make_instance):
+        with pytest.raises(ConfigurationError, match="columnar"):
+            run_ssam(make_instance(), engine="vectorised")
+
+    def test_mismatched_layout_rejected(self, make_instance):
+        other = make_instance(1, n_sellers=6)
+        layout = ColumnarInstance.build(other.bids, other.demand)
+        with pytest.raises(ConfigurationError, match="does not match"):
+            run_ssam(make_instance(2), engine="columnar", columnar=layout)
+
+    def test_prebuilt_layout_is_used(self, make_instance):
+        instance = make_instance(3)
+        demand = {b: u for b, u in instance.demand.items() if u > 0}
+        layout = ColumnarInstance.build(instance.bids, demand)
+        with_layout = run_ssam(
+            instance, engine="columnar", columnar=layout
+        )
+        without = run_ssam(instance, engine="columnar")
+        assert with_layout.to_dict() == without.to_dict()
+
+    def test_pay_as_bid_engine_validation(self, make_instance):
+        from repro.baselines.pay_as_bid import run_pay_as_bid
+
+        with pytest.raises(ConfigurationError, match="engine"):
+            run_pay_as_bid(make_instance(), engine="nope")
+
+
+class TestBatchedPayments:
+    def _selection(self, instance):
+        demand = {b: u for b, u in instance.demand.items() if u > 0}
+        return columnar_greedy_selection(instance.bids, demand)
+
+    def test_matches_scalar_replay_for_winners(self, make_instance):
+        for seed in range(10):
+            instance = make_instance(seed)
+            winners = [step.bid for step in self._selection(instance)]
+            batched = columnar_critical_payments(instance, winners)
+            scalar = [
+                fast_critical_payment(instance, winner)
+                for winner in winners
+            ]
+            assert batched == scalar, f"seed {seed}"
+
+    def test_order_subsets_and_duplicates(self, make_instance):
+        instance = make_instance(4)
+        winners = [step.bid for step in self._selection(instance)]
+        if len(winners) < 2:
+            pytest.skip("needs at least two winners")
+        probe = [winners[-1], winners[0], winners[-1]]
+        batched = columnar_critical_payments(instance, probe)
+        scalar = [fast_critical_payment(instance, bid) for bid in probe]
+        assert batched == scalar
+        assert batched[0] == batched[2]  # deduped rows share one replay
+
+    def test_non_winner_bids_are_priced_too(self, make_instance):
+        # The kernel generalizes to arbitrary bids (losers replay the
+        # whole main trajectory, with the sibling-seller early exit).
+        instance = make_instance(5)
+        winner_keys = {
+            step.bid.key for step in self._selection(instance)
+        }
+        losers = [
+            bid for bid in instance.bids if bid.key not in winner_keys
+        ][:4]
+        if not losers:
+            pytest.skip("every bid won")
+        batched = columnar_critical_payments(instance, losers)
+        scalar = [fast_critical_payment(instance, bid) for bid in losers]
+        assert batched == scalar
+
+    def test_empty_winner_list(self, make_instance):
+        assert columnar_critical_payments(make_instance(), []) == []
+
+    def test_payments_are_finite_and_above_price(self, make_instance):
+        instance = make_instance(6)
+        outcome = run_ssam(
+            instance,
+            payment_rule=PaymentRule.CRITICAL_RERUN,
+            engine="columnar",
+        )
+        for winner in outcome.winners:
+            assert math.isfinite(winner.payment)
+            assert winner.payment >= winner.bid.price - 1e-9
+
+
+class TestObservabilityCounters:
+    def test_columnar_run_emits_counters_and_phases(self, make_instance):
+        from repro.obs.runtime import STATE, _reset_for_tests, configure
+
+        instance = make_instance(7)
+        _reset_for_tests()
+        try:
+            configure()
+            run_ssam(
+                instance,
+                payment_rule=PaymentRule.CRITICAL_RERUN,
+                engine="columnar",
+            )
+            metrics = STATE.metrics
+            assert metrics.counter("engine.columnar.builds").value >= 1
+            assert (
+                metrics.counter("engine.columnar.candidates_scanned").value
+                > 0
+            )
+            assert (
+                metrics.counter("engine.columnar.payment_batches").value == 1
+            )
+            assert (
+                metrics.counter("engine.columnar.payment_forks").value >= 1
+            )
+            assert (
+                metrics.counter(
+                    "engine.columnar.payment_prefix_iterations"
+                ).value
+                >= 1
+            )
+            # @profiled phases on the new kernels.
+            assert metrics.counter("phase.columnar.build.calls").value >= 1
+            assert (
+                metrics.counter("phase.columnar.payments.calls").value == 1
+            )
+        finally:
+            _reset_for_tests()
+
+    def test_with_bids_counts_price_refreshes(self, make_instance):
+        from repro.obs.runtime import STATE, _reset_for_tests, configure
+
+        instance = make_instance(8)
+        demand = {b: u for b, u in instance.demand.items() if u > 0}
+        layout = ColumnarInstance.build(instance.bids, demand)
+        _reset_for_tests()
+        try:
+            configure()
+            layout.with_bids(instance.bids)
+            assert (
+                STATE.metrics.counter(
+                    "engine.columnar.price_refreshes"
+                ).value
+                == 1
+            )
+        finally:
+            _reset_for_tests()

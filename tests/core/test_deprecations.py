@@ -1,10 +1,12 @@
 """Tests for the deprecation shims kept through the mechanism refactor.
 
-Two families: positional ``payment_rule`` on :func:`run_ssam` /
-:func:`run_msoa` (now keyword-only, with a warning-and-forward shim), and
+Three families: positional ``payment_rule`` on :func:`run_ssam` /
+:func:`run_msoa` (now keyword-only, with a warning-and-forward shim),
 the old per-baseline result dataclasses (now aliases of the uniform
-outcome types, warning at attribute access).  Both must keep old call
-sites working bit-for-bit while announcing the new spelling.
+outcome types, warning at attribute access), and direct
+:class:`~repro.edge.platform.EdgePlatform` wiring (now routed through
+:func:`repro.api.serve`, warning at construction).  All must keep old
+call sites working bit-for-bit while announcing the new spelling.
 """
 
 import warnings
@@ -109,3 +111,61 @@ class TestDeprecatedResultAliases:
         with pytest.warns(DeprecationWarning):
             from repro.baselines.pay_as_bid import PayAsBidResult
         assert isinstance(outcome, PayAsBidResult)
+
+
+class TestDirectPlatformWiring:
+    """Direct ``EdgePlatform(...)`` warns; ``_create`` (the facade's
+    path, which every non-deprecation test now uses) stays silent."""
+
+    def _pieces(self):
+        import numpy as np
+
+        from repro.demand.estimator import DemandEstimator, DemandWeights
+        from repro.demand.indicators import RequestRateIndicator
+        from repro.edge.cloud import EdgeCloud
+        from repro.edge.network import build_backhaul
+        from repro.edge.users import build_user_population
+
+        rng = np.random.default_rng(5)
+        clouds = [EdgeCloud(0, capacity=40.0), EdgeCloud(1, capacity=40.0)]
+        network = build_backhaul(rng, n_clouds=2)
+        users = build_user_population(
+            rng,
+            n_users=10,
+            access_points=2,
+            services=(1, 2),
+            sensitive_rate=0.25,
+            tolerant_rate=0.5,
+        )
+        estimator = DemandEstimator(
+            weights=DemandWeights(
+                waiting=2.0, processing=1.0, request_rate=1.0
+            ),
+            request_rate=RequestRateIndicator(
+                delta=0.5, neighbour_density=8.0
+            ),
+            max_units=3,
+        )
+        return clouds, network, users, estimator, rng
+
+    def test_direct_wiring_warns_but_works(self):
+        from repro.edge.platform import EdgePlatform
+
+        clouds, network, users, estimator, rng = self._pieces()
+        with pytest.warns(DeprecationWarning, match="serve"):
+            platform = EdgePlatform(
+                clouds, network, users, estimator, rng=rng, horizon_rounds=2
+            )
+        reports = platform.run(1)  # deprecated, not broken
+        assert len(reports) == 1
+
+    def test_create_classmethod_is_silent(self):
+        from repro.edge.platform import EdgePlatform
+
+        clouds, network, users, estimator, rng = self._pieces()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            platform = EdgePlatform._create(
+                clouds, network, users, estimator, rng=rng, horizon_rounds=2
+            )
+        assert platform.horizon_rounds == 2

@@ -114,13 +114,17 @@ class TestDeprecatedWiring:
         )
         return clouds, network, users, estimator, rng
 
-    def test_direct_platform_wiring_warns_but_works(self):
+    def test_create_path_is_silent_and_works(self):
+        # The direct-wiring DeprecationWarning itself is covered in
+        # tests/core/test_deprecations.py; here we assert the facade's
+        # construction path (_create) runs the same loop without one.
         clouds, network, users, estimator, rng = self._direct_pieces()
-        with pytest.warns(DeprecationWarning, match="serve"):
-            platform = EdgePlatform(
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            platform = EdgePlatform._create(
                 clouds, network, users, estimator, rng=rng, horizon_rounds=2
             )
-        reports = platform.run(2)  # deprecated, not broken
+        reports = platform.run(2)
         assert len(reports) == 2
 
     def test_facade_paths_do_not_warn(self):

@@ -1,0 +1,203 @@
+"""Unit tests for the columnar scale-bench tier and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.bench_scale import (
+    MsoaScaleCase,
+    ScaleBenchCase,
+    check_scale_regression,
+    default_scale_cases,
+    load_scale_bench,
+    render_scale_bench,
+    run_scale_bench,
+    write_scale_bench,
+)
+from repro.workload.bidgen import MarketConfig
+
+TINY = ScaleBenchCase(
+    name="tiny",
+    config=MarketConfig(n_sellers=10, n_buyers=3),
+    repeats=1,
+)
+TINY_NO_REF = ScaleBenchCase(
+    name="tiny_no_ref",
+    config=MarketConfig(n_sellers=10, n_buyers=3),
+    repeats=1,
+    time_reference=False,
+)
+TINY_MSOA = MsoaScaleCase(
+    name="tiny_msoa",
+    config=MarketConfig(n_sellers=10, n_buyers=3),
+    rounds=3,
+    repeats=1,
+)
+
+
+def tiny_payload() -> dict:
+    return run_scale_bench(
+        cases=[TINY, TINY_NO_REF], msoa_case=TINY_MSOA
+    )
+
+
+class TestCases:
+    def test_quick_drops_only_the_largest_case(self):
+        quick_cases, quick_msoa = default_scale_cases(quick=True)
+        full_cases, full_msoa = default_scale_cases()
+        assert {c.name for c in quick_cases} == {"scale_10k"}
+        assert {c.name for c in full_cases} == {"scale_10k", "scale_100k"}
+        # The shared cases must be configured identically so the CI
+        # regression gate compares like with like.
+        assert quick_cases[0] == full_cases[0]
+        assert quick_msoa == full_msoa
+
+    def test_full_tier_reaches_the_target_scales(self):
+        full_cases, _ = default_scale_cases()
+        by_name = {c.name: c for c in full_cases}
+        ten_k = by_name["scale_10k"]
+        hundred_k = by_name["scale_100k"]
+        assert ten_k.config.n_sellers * ten_k.config.bids_per_seller == 10_000
+        assert (
+            hundred_k.config.n_sellers * hundred_k.config.bids_per_seller
+            == 100_000
+        )
+        assert ten_k.time_reference and not hundred_k.time_reference
+
+
+class TestRun:
+    def test_payload_schema_and_equivalence(self):
+        payload = tiny_payload()
+        assert payload["bench"] == "scale"
+        ref_row, no_ref_row = payload["cases"]
+        assert ref_row["equivalent"] is True
+        assert ref_row["reference_ms"] > 0
+        assert ref_row["speedup_columnar"] > 0
+        assert ref_row["fast_payment_ms"] > 0
+        assert ref_row["batched_payment_ms"] > 0
+        assert no_ref_row["reference_ms"] is None
+        assert no_ref_row["speedup_columnar"] is None
+        assert no_ref_row["columnar_vs_fast"] > 0
+        msoa = payload["msoa"]
+        assert msoa["equivalent"] is True
+        assert msoa["incremental_ms_per_round"] > 0
+        assert msoa["cold_ms_per_round"] > 0
+        assert msoa["rounds"] == 3
+
+    def test_write_load_roundtrip_and_render(self, tmp_path):
+        payload = tiny_payload()
+        target = write_scale_bench(payload, tmp_path / "scale.json")
+        assert load_scale_bench(target) == json.loads(json.dumps(payload))
+        rendered = render_scale_bench(payload)
+        assert "tiny" in rendered and "tiny_msoa" in rendered
+        # The reference-free case renders a placeholder, not a crash.
+        assert "-" in rendered
+
+    def test_load_rejects_non_scale_payloads(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"bench": "engine"}))
+        with pytest.raises(ConfigurationError):
+            load_scale_bench(path)
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_scale_bench(path)
+        with pytest.raises(ConfigurationError):
+            load_scale_bench(tmp_path / "missing.json")
+
+
+class TestRegressionGate:
+    def _payloads(self):
+        payload = tiny_payload()
+        baseline = json.loads(json.dumps(payload))
+        return payload, baseline
+
+    def test_identical_payloads_pass(self):
+        payload, baseline = self._payloads()
+        assert check_scale_regression(payload, baseline) == []
+
+    def test_within_tolerance_passes(self):
+        payload, baseline = self._payloads()
+        row = payload["cases"][0]
+        row["speedup_columnar"] = (
+            baseline["cases"][0]["speedup_columnar"] * 0.85
+        )
+        assert check_scale_regression(payload, baseline) == []
+
+    def test_speedup_regression_fails(self):
+        payload, baseline = self._payloads()
+        row = payload["cases"][0]
+        row["speedup_columnar"] = (
+            baseline["cases"][0]["speedup_columnar"] * 0.5
+        )
+        failures = check_scale_regression(payload, baseline)
+        assert len(failures) == 1
+        assert "speedup_columnar" in failures[0]
+
+    def test_msoa_incrementality_regression_fails(self):
+        payload, baseline = self._payloads()
+        payload["msoa"]["incremental_speedup"] = (
+            baseline["msoa"]["incremental_speedup"] * 0.5
+        )
+        failures = check_scale_regression(payload, baseline)
+        assert len(failures) == 1
+        assert "incremental_speedup" in failures[0]
+
+    def test_divergence_fails_regardless_of_timing(self):
+        payload, baseline = self._payloads()
+        payload["cases"][0]["equivalent"] = False
+        payload["msoa"]["equivalent"] = False
+        failures = check_scale_regression(payload, baseline)
+        assert any("diverged" in f for f in failures)
+        assert any("cold-rebuild" in f for f in failures)
+
+    def test_cases_missing_from_baseline_are_skipped(self):
+        payload, baseline = self._payloads()
+        baseline["cases"] = []
+        baseline["msoa"] = None
+        assert check_scale_regression(payload, baseline) == []
+
+    def test_bad_tolerance_rejected(self):
+        payload, baseline = self._payloads()
+        with pytest.raises(ConfigurationError):
+            check_scale_regression(payload, baseline, tolerance=1.5)
+
+
+class TestSlowParallelFlag:
+    def test_render_engine_bench_flags_sub_1x_parallel(self):
+        from repro.experiments.bench_engine import render_engine_bench
+
+        payload = {
+            "parallelism": 8,
+            "quick": True,
+            "cases": [
+                {
+                    "case": "healthy",
+                    "bids": 50,
+                    "equivalent": True,
+                    "reference_ms": 10.0,
+                    "fast_ms": 2.0,
+                    "fast_parallel_ms": 5.0,
+                    "speedup_fast": 5.0,
+                    "speedup_parallel": 2.0,
+                },
+                {
+                    "case": "pool_overhead",
+                    "bids": 50,
+                    "equivalent": True,
+                    "reference_ms": 10.0,
+                    "fast_ms": 2.0,
+                    "fast_parallel_ms": 25.0,
+                    "speedup_fast": 5.0,
+                    "speedup_parallel": 0.4,
+                },
+            ],
+        }
+        rendered = render_engine_bench(payload)
+        assert "[SLOWER than reference]" in rendered
+        assert "WARNING" in rendered and "pool_overhead" in rendered
+        # The healthy row stays unflagged.
+        healthy_line = next(
+            line for line in rendered.splitlines() if "healthy" in line
+        )
+        assert "SLOWER" not in healthy_line

@@ -44,7 +44,16 @@ class TestParser:
         assert args.quick is True
         assert args.parallelism == 2
         assert args.out == "x.json"
-        assert build_parser().parse_args(["bench"]).out == "BENCH_engine.json"
+        # --out defaults to None; _cmd_bench resolves it per tier
+        # (BENCH_engine.json, or BENCH_scale.json under --scale).
+        bare = build_parser().parse_args(["bench"])
+        assert bare.out is None
+        assert bare.scale is False and bare.against is None
+        scaled = build_parser().parse_args(
+            ["bench", "--scale", "--against", "base.json"]
+        )
+        assert scaled.scale is True
+        assert scaled.against == "base.json"
 
     def test_all_figures_registered(self):
         assert set(FIGURES) == {"3a", "3b", "4a", "4b", "5a", "6a", "6b"}

@@ -63,7 +63,7 @@ def build_platform(
         request_rate=RequestRateIndicator(delta=0.5, neighbour_density=8.0),
         max_units=3,
     )
-    return EdgePlatform(
+    return EdgePlatform._create(
         clouds,
         network,
         users,

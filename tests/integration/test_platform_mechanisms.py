@@ -22,7 +22,7 @@ def build_platform_with(mechanism, seed=5):
     import repro.edge.platform as platform_mod
 
     base = build_platform(seed=seed)
-    return platform_mod.EdgePlatform(
+    return platform_mod.EdgePlatform._create(
         list(base.clouds.values()),
         base.network,
         list(base.users),

@@ -50,7 +50,7 @@ def build_platform(policy, seed=5):
         request_rate=RequestRateIndicator(delta=0.5, neighbour_density=8.0),
         max_units=3,
     )
-    return EdgePlatform(
+    return EdgePlatform._create(
         clouds,
         build_backhaul(rng, n_clouds=2),
         users,
