@@ -151,6 +151,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         horizon_rounds=args.rounds,
         mechanism=args.mechanism,
         engine=args.engine,
+        shards=args.shards,
+        shard_strategy=args.shard_strategy,
         faults=faults,
     )
     service = serve(scenario, grace_window=args.grace)
@@ -379,27 +381,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _run_scale_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench_scale import (
         check_scale_regression,
+        default_shard_case,
         load_scale_bench,
         render_scale_bench,
         run_scale_bench,
         write_scale_bench,
     )
 
-    payload = run_scale_bench(quick=args.quick)
-    print(render_scale_bench(payload))
+    shard_case = default_shard_case(
+        quick=args.quick,
+        shards=args.shards,
+        strategy=args.shard_strategy,
+    )
+    baseline = load_scale_bench(args.against) if args.against else None
+    payload = run_scale_bench(quick=args.quick, shard_case=shard_case)
+    print(render_scale_bench(payload, baseline=baseline))
     target = write_scale_bench(payload, args.out or "BENCH_scale.json")
     print(f"\nwrote {target}")
     ok = True
-    if not all(row["equivalent"] for row in payload["cases"]) or not payload[
-        "msoa"
-    ]["equivalent"]:
+    # shard["equivalent"] is None when the unsharded twin was skipped
+    # (full tier); only an explicit False is a divergence.
+    if (
+        not all(row["equivalent"] for row in payload["cases"])
+        or not payload["msoa"]["equivalent"]
+        or payload["shard"]["equivalent"] is False
+    ):
         print(
             "ERROR: columnar engine diverged from the fast/reference oracle",
             file=sys.stderr,
         )
         ok = False
-    if args.against:
-        baseline = load_scale_bench(args.against)
+    if baseline is not None:
         failures = check_scale_regression(payload, baseline)
         if failures:
             print(
@@ -614,6 +626,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="clearing engine for mechanisms that accept one (default fast)",
     )
     serve.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="clear each round through K geographic shards "
+        "(repro.shard; MSOA only, default 1 = unsharded)",
+    )
+    serve.add_argument(
+        "--shard-strategy",
+        choices=("hash", "region", "locality"),
+        default="hash",
+        help="with --shards > 1: buyer partitioning strategy "
+        "(region maps each microservice to its edge cloud; default hash)",
+    )
+    serve.add_argument(
         "--check", action="store_true",
         help="after serving, replay the scenario synchronously and verify "
         "the outcomes are bit-identical",
@@ -645,6 +669,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="--scale only: compare speedups against this committed "
         "BENCH_scale.json and fail on a >20%% regression",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="--scale only: shard count for the streaming shard case "
+        "(default: one shard per stream region)",
+    )
+    bench.add_argument(
+        "--shard-strategy",
+        choices=("region", "hash", "locality"),
+        default="region",
+        help="--scale only: shard plan for the streaming shard case "
+        "(default region)",
     )
     bench.add_argument(
         "--parallelism",

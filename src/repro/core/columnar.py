@@ -240,6 +240,87 @@ class ColumnarInstance:
         fields["prices"] = prices
         return ColumnarInstance(**fields)
 
+    @profiled("columnar.subset")
+    def subset(
+        self, rows: Sequence[int], buyers: Sequence[int]
+    ) -> "ColumnarInstance":
+        """Fork a shard-local layout by slicing this one.
+
+        ``rows`` selects bid rows (ascending, preserving the original
+        bid order) and ``buyers`` selects demand-map keys (in this
+        instance's buyer order).  The sliced layout is exactly what
+        :meth:`build` would produce for the sub-market, but derived with
+        vectorized slicing instead of a per-bid Python walk — this is
+        the per-round fork the sharded clearing path
+        (:mod:`repro.shard`) uses to hand each shard its own columnar
+        view of one shared parent build.
+        """
+        if _OBS.enabled:
+            _OBS.metrics.counter("engine.columnar.subsets").inc()
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size > 1 and not np.all(np.diff(rows) > 0):
+            raise ValueError("subset: rows must be strictly ascending")
+        buyer_pos = {buyer: j for j, buyer in enumerate(self.buyers)}
+        try:
+            cols = np.fromiter(
+                (buyer_pos[int(b)] for b in buyers),
+                dtype=np.int64,
+                count=len(buyers),
+            )
+        except KeyError as exc:  # buyer not in the parent demand map
+            raise ValueError(f"subset: unknown buyer {exc.args[0]}") from exc
+        bids = tuple(self.bids[i] for i in rows)
+        n = len(bids)
+        n_buyers = cols.size
+        demand_arr = self.demand[cols].copy()
+        seller_ids = self.seller_ids[rows]
+        sellers, seller_rows = np.unique(seller_ids, return_inverse=True)
+        seller_rows = seller_rows.astype(np.int64)
+        cover = (
+            self.cover[np.ix_(rows, cols)]
+            if n and n_buyers
+            else np.zeros((n, n_buyers), dtype=bool)
+        )
+        counts = cover.sum(axis=1, dtype=np.int64)
+        cover_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=cover_indptr[1:])
+        # np.nonzero walks row-major: columns arrive grouped by row in
+        # ascending column order — the CSR layout build() produces.
+        cover_cols = np.nonzero(cover)[1].astype(np.int64)
+        covering_rows = [np.flatnonzero(cover[:, j]) for j in range(n_buyers)]
+        seller_bid_rows = [
+            np.flatnonzero(seller_rows == s) for s in range(sellers.size)
+        ]
+        seller_cov = np.zeros((sellers.size, n_buyers), dtype=bool)
+        np.logical_or.at(seller_cov, seller_rows, cover)
+        positive = demand_arr > 0
+        initial_utilities = (cover & positive[None, :]).sum(
+            axis=1, dtype=np.int64
+        )
+        initial_suppliers = seller_cov.sum(axis=0, dtype=np.int64)
+        demand_map = {int(b): int(self.demand_map[int(b)]) for b in buyers}
+        return ColumnarInstance(
+            bids=bids,
+            demand_map=demand_map,
+            buyers=[int(b) for b in buyers],
+            demand=demand_arr,
+            prices=self.prices[rows].copy(),
+            seller_ids=seller_ids,
+            bid_indices=self.bid_indices[rows],
+            seller_rows=seller_rows,
+            sellers=sellers,
+            cover=cover,
+            cover_indptr=cover_indptr,
+            cover_cols=cover_cols,
+            covering_rows=covering_rows,
+            seller_bid_rows=seller_bid_rows,
+            seller_cov=seller_cov,
+            initial_utilities=initial_utilities,
+            initial_suppliers=initial_suppliers,
+            row_of={bid.key: i for i, bid in enumerate(bids)},
+            fingerprint=structure_fingerprint(bids, demand_map),
+        )
+
 
 class ColumnarState:
     """Mutable greedy-run state over a :class:`ColumnarInstance`.

@@ -105,6 +105,14 @@ class MultiStageOnlineAuction:
         carryover when ``faults`` is active.  Defaults to
         :data:`~repro.faults.policies.DEFAULT_POLICY`; rejected without
         ``faults``.
+    retain_rounds:
+        Whether :meth:`process_round` keeps every :class:`RoundResult`
+        (default ``True``, required by :meth:`finalize`'s horizon view).
+        ``False`` is the bounded-memory streaming mode: ψ/χ state still
+        evolves normally and each call still returns its result, but
+        nothing is retained — a 10^6-demand-unit horizon holds one round
+        of bids in memory at a time.  :attr:`rounds` stays empty and
+        :meth:`finalize` sees an empty horizon in this mode.
     """
 
     def __init__(
@@ -120,6 +128,7 @@ class MultiStageOnlineAuction:
         on_infeasible: str = "raise",
         faults: "FaultPlan | FaultInjector | None" = None,
         resilience: "ResiliencePolicy | None" = None,
+        retain_rounds: bool = True,
     ) -> None:
         for seller, capacity in capacities.items():
             if capacity <= 0:
@@ -149,7 +158,9 @@ class MultiStageOnlineAuction:
         self._carry: dict[int, int] = {}
         self._psi: dict[int, float] = {seller: 0.0 for seller in capacities}
         self._chi: dict[int, int] = {seller: 0 for seller in capacities}
+        self._retain_rounds = bool(retain_rounds)
         self._rounds: list[RoundResult] = []
+        self._round_count = 0
         self._beta_observed = math.inf
 
     # ------------------------------------------------------------------
@@ -172,8 +183,17 @@ class MultiStageOnlineAuction:
 
     @property
     def rounds(self) -> tuple[RoundResult, ...]:
-        """Results of all rounds processed so far."""
+        """Results of all rounds processed so far.
+
+        Always empty with ``retain_rounds=False`` (streaming mode); use
+        :attr:`round_count` for the number of rounds processed.
+        """
         return tuple(self._rounds)
+
+    @property
+    def round_count(self) -> int:
+        """Rounds processed so far (retained or not)."""
+        return self._round_count
 
     def remaining_capacity(self, seller: int) -> int | None:
         """Units seller may still commit; ``None`` if unconstrained."""
@@ -231,10 +251,35 @@ class MultiStageOnlineAuction:
         self._columnar_cache = prepared
         return {"columnar": prepared}
 
+    def _execute_ssam(
+        self,
+        instance: WSPInstance,
+        *,
+        original_prices: Mapping[tuple[int, int], float] | None = None,
+    ):
+        """The single seam through which every round's clearing flows.
+
+        All of MSOA's round paths — the normal path, the fault-recovery
+        runner, best-effort clamping, and the empty-round fallbacks —
+        call this method instead of :func:`~repro.core.ssam.run_ssam`
+        directly, so a subclass can swap the clearing strategy (e.g. the
+        sharded decomposition in :mod:`repro.shard`) without touching
+        the admissibility/ψ/χ/fault machinery around it.
+        """
+        return run_ssam(
+            instance,
+            payment_rule=self._payment_rule,
+            original_prices=(
+                dict(original_prices) if original_prices is not None else None
+            ),
+            **self._ssam_options,
+            **self._columnar_kwargs(instance),
+        )
+
     @profiled("msoa.round")
     def process_round(self, instance: WSPInstance) -> RoundResult:
         """Run one auction round online and update ψ/χ for the winners."""
-        round_index = len(self._rounds)
+        round_index = self._round_count
         pre_events: list = []
         if self._injector is not None:
             from repro.faults.resilience import apply_pre_round_faults
@@ -309,15 +354,12 @@ class MultiStageOnlineAuction:
                         self._carry[buyer] = self._carry.get(buyer, 0) + units
             else:
                 try:
-                    outcome = run_ssam(
+                    outcome = self._execute_ssam(
                         scaled_instance,
-                        payment_rule=self._payment_rule,
                         original_prices={
                             key: original_by_key[key].price
                             for key in scaled_prices
                         },
-                        **self._ssam_options,
-                        **self._columnar_kwargs(scaled_instance),
                     )
                 except InfeasibleInstanceError:
                     if self._on_infeasible == "raise":
@@ -327,12 +369,10 @@ class MultiStageOnlineAuction:
                             scaled_instance, original_by_key
                         )
                     else:
-                        outcome = run_ssam(
+                        outcome = self._execute_ssam(
                             WSPInstance(
                                 bids=scaled_bids, demand={}, price_ceiling=None
-                            ),
-                            payment_rule=self._payment_rule,
-                            **self._ssam_options,
+                            )
                         )
             self._beta_observed = min(
                 self._beta_observed, capacity_margin(self._capacities, admissible)
@@ -362,7 +402,9 @@ class MultiStageOnlineAuction:
                 total_payment=result.total_payment,
                 winners=len(outcome.winners),
             )
-            self._rounds.append(result)
+            self._round_count += 1
+            if self._retain_rounds:
+                self._rounds.append(result)
             return result
 
     def _resilient_round(
@@ -383,15 +425,12 @@ class MultiStageOnlineAuction:
         from repro.faults.resilience import execute_with_resilience
 
         def runner(inst: WSPInstance):
-            return run_ssam(
+            return self._execute_ssam(
                 inst,
-                payment_rule=self._payment_rule,
                 original_prices={
                     bid.key: original_by_key[bid.key].price
                     for bid in inst.bids
                 },
-                **self._ssam_options,
-                **self._columnar_kwargs(inst),
             )
 
         try:
@@ -411,14 +450,12 @@ class MultiStageOnlineAuction:
                     scaled_instance, original_by_key
                 )
             else:
-                outcome = run_ssam(
+                outcome = self._execute_ssam(
                     WSPInstance(
                         bids=scaled_instance.bids,
                         demand={},
                         price_ceiling=None,
-                    ),
-                    payment_rule=self._payment_rule,
-                    **self._ssam_options,
+                    )
                 )
             report = (
                 RoundResilience(events=tuple(pre_events))
@@ -460,23 +497,18 @@ class MultiStageOnlineAuction:
             price_ceiling=scaled_instance.price_ceiling,
         )
         try:
-            return run_ssam(
+            return self._execute_ssam(
                 clamped_instance,
-                payment_rule=self._payment_rule,
                 original_prices={
                     key: original_by_key[key].price
                     for key in (bid.key for bid in scaled_instance.bids)
                 },
-                **self._ssam_options,
-                **self._columnar_kwargs(clamped_instance),
             )
         except InfeasibleInstanceError:
-            return run_ssam(
+            return self._execute_ssam(
                 WSPInstance(
                     bids=scaled_instance.bids, demand={}, price_ceiling=None
-                ),
-                payment_rule=self._payment_rule,
-                **self._ssam_options,
+                )
             )
 
     def _apply_win(self, bid: Bid) -> None:

@@ -73,6 +73,8 @@ class DistScenario:
     unit_cost_range: tuple[float, float] = (10.0, 35.0)
     mechanism: str | None = None
     engine: str = "fast"
+    shards: int = 1
+    shard_strategy: str = "hash"
     faults: object | None = None
     resilience: object | None = None
 
@@ -88,6 +90,11 @@ class DistScenario:
             raise ConfigurationError("n_services must be at least 1")
         if self.horizon_rounds < 1:
             raise ConfigurationError("horizon_rounds must be at least 1")
+        if self.shards > 1 and self.mechanism is not None:
+            raise ConfigurationError(
+                "sharded clearing is an MSOA decomposition; shards > 1 "
+                "requires mechanism=None"
+            )
 
     def platform_config(self) -> PlatformConfig:
         """The :class:`PlatformConfig` every build of this scenario uses."""
@@ -97,6 +104,8 @@ class DistScenario:
             bids_per_seller=self.bids_per_seller,
             unit_cost_range=self.unit_cost_range,
             engine=self.engine,
+            shards=self.shards,
+            shard_strategy=self.shard_strategy,
         )
 
     def policy_factory(self) -> Callable[[], BiddingPolicy]:

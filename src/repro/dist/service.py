@@ -195,6 +195,18 @@ class AuctionService:
         """The platform's money-flow ledger."""
         return self.platform.ledger
 
+    @property
+    def shard_stats(self):
+        """Per-shard clearing stats when the scenario shards its rounds.
+
+        With ``scenario.shards > 1`` the orchestrator's single
+        ``complete_round`` path fans out into per-shard SSAM executions
+        (:class:`~repro.shard.msoa.ShardedOnlineAuction`); this surfaces
+        their :class:`~repro.shard.ssam.ShardRoundStats`.  Empty tuple
+        for unsharded scenarios.
+        """
+        return tuple(getattr(self.platform.auction, "shard_stats", ()))
+
     def finalize(self):
         """Finalize the underlying online auction (competitive-ratio view)."""
         return self.platform.finalize()

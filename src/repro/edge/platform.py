@@ -66,12 +66,23 @@ class PlatformConfig:
     work_mean: float = 1.0
     payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN
     engine: str = "fast"
+    shards: int = 1
+    shard_strategy: str = "hash"
 
     def __post_init__(self) -> None:
         if self.engine not in ("fast", "reference", "columnar"):
             raise ConfigurationError(
                 "engine must be 'fast', 'reference' or 'columnar', "
                 f"got {self.engine!r}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be a positive integer, got {self.shards}"
+            )
+        if self.shard_strategy not in ("hash", "region", "locality"):
+            raise ConfigurationError(
+                "shard_strategy must be 'hash', 'region' or 'locality', "
+                f"got {self.shard_strategy!r}"
             )
         if self.round_length <= 0:
             raise ConfigurationError("round_length must be positive")
@@ -383,14 +394,42 @@ class EdgePlatform:
             if s.share_capacity is not None
         }
         if mechanism is None:
-            self.auction: OnlineMechanism = MultiStageOnlineAuction(
-                capacities,
-                payment_rule=self.config.payment_rule,
-                engine=self.config.engine,
-                on_infeasible="skip",
-                faults=faults,
-                resilience=resilience,
-            )
+            if self.config.shards > 1:
+                from repro.shard.msoa import ShardedOnlineAuction
+                from repro.shard.plan import RegionShardPlan, make_plan
+
+                if self.config.shard_strategy == "region":
+                    # A microservice's geographic region is its edge
+                    # cloud — co-located buyers clear in one shard.
+                    plan = RegionShardPlan(
+                        regions={
+                            sid: s.cloud
+                            for sid, s in self._services.items()
+                        },
+                        n_shards=self.config.shards,
+                    )
+                else:
+                    plan = make_plan(
+                        self.config.shard_strategy, self.config.shards
+                    )
+                self.auction: OnlineMechanism = ShardedOnlineAuction(
+                    capacities,
+                    plan=plan,
+                    payment_rule=self.config.payment_rule,
+                    engine=self.config.engine,
+                    on_infeasible="skip",
+                    faults=faults,
+                    resilience=resilience,
+                )
+            else:
+                self.auction = MultiStageOnlineAuction(
+                    capacities,
+                    payment_rule=self.config.payment_rule,
+                    engine=self.config.engine,
+                    on_infeasible="skip",
+                    faults=faults,
+                    resilience=resilience,
+                )
         elif isinstance(mechanism, str):
             # Forward the platform's payment rule and engine only to
             # mechanisms that understand them (per the registry spec);

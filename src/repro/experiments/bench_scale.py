@@ -12,11 +12,22 @@ orders of magnitude past the paper's sweeps:
   pass);
 * an MSOA horizon with stable round structure and ample capacities,
   timing the incremental layout carry (price-column refresh on cache
-  hit) against a cold rebuild every round.
+  hit) against a cold rebuild every round;
+* a *sharded streaming* MSOA horizon (:mod:`repro.shard`): a lazy
+  region-structured bid stream cleared by
+  :class:`~repro.shard.msoa.ShardedOnlineAuction` in bounded memory.
+  The full tier runs 10^6 demand units and reports auctions/sec and
+  p99 round latency; the quick tier times the same pipeline against an
+  unsharded run of the identical horizon and gates the throughput
+  *ratio* (hardware-normalized, like every other gated metric).
 
 Every timed pair is checked for outcome equivalence through
 ``AuctionOutcome.to_dict()`` — the columnar contract is bit-identity,
-so a speedup that moves any winner, payment, or dual is a bug.
+so a speedup that moves any winner, payment, or dual is a bug.  The
+sharded quick case checks per-round winner *sets* instead: with no
+cross-region bids the shard decomposition provably preserves the
+selected winners, while critical payments are scoped to each shard's
+own market (see ``docs/scaling.md``).
 
 The payload is written to ``BENCH_scale.json`` (tracked at the repo
 root) and CI re-runs the quick tier against the committed artifact,
@@ -25,7 +36,7 @@ failing on a >20% speedup regression via
 
 Run from the CLI::
 
-    repro-edge-auction bench --scale            # full tier (10^5 case)
+    repro-edge-auction bench --scale            # full tier (10^5 + 10^6 cases)
     repro-edge-auction bench --scale --quick    # CI-sized tier
     repro-edge-auction bench --scale --quick --against BENCH_scale.json
 """
@@ -42,11 +53,14 @@ import numpy as np
 
 from repro.core.ssam import PaymentRule, run_ssam
 from repro.errors import ConfigurationError
+from repro.shard.streaming import StreamConfig
 from repro.workload.bidgen import MarketConfig, generate_round
 
 __all__ = [
     "ScaleBenchCase",
+    "ShardScaleCase",
     "default_scale_cases",
+    "default_shard_case",
     "run_scale_bench",
     "write_scale_bench",
     "render_scale_bench",
@@ -132,6 +146,70 @@ def default_scale_cases(
         ),
     )
     return cases, msoa
+
+
+@dataclass(frozen=True)
+class ShardScaleCase:
+    """The sharded streaming case: a lazy bid stream through
+    :class:`~repro.shard.msoa.ShardedOnlineAuction`.
+
+    ``shards=None`` gives one shard per stream region (the natural
+    geographic plan); an explicit count folds regions round-robin.
+    ``compare_unsharded`` additionally times the identical horizon
+    through plain MSOA and checks per-round winner-set equality —
+    affordable on the quick tier, prohibitive at 10^6 demand units
+    (exactly like the reference engine at 10^5 bids).
+    """
+
+    name: str
+    config: StreamConfig
+    shards: int | None = None
+    strategy: str = "region"
+    seed: int = 2019
+    repeats: int = 1
+    compare_unsharded: bool = True
+
+
+def default_shard_case(
+    *, quick: bool = False, shards: int | None = None, strategy: str = "region"
+) -> ShardScaleCase:
+    """The shard tier's default case.
+
+    Full tier: 1000 rounds × 16 regions × 25 buyers × mean demand 2.5 =
+    10^6 expected demand units, sharded-only (streamed, bounded
+    memory).  Quick tier: a small horizon with no cross-region bids,
+    timed sharded *and* unsharded so the committed artifact carries a
+    hardware-normalized ``sharded_speedup`` ratio for the CI gate.
+    """
+    if quick:
+        return ShardScaleCase(
+            name="shard_quick",
+            config=StreamConfig(
+                rounds=5,
+                regions=4,
+                buyers_per_region=40,
+                sellers_per_region=120,
+                demand_range=(2, 3),
+                cross_region_fraction=0.0,
+            ),
+            shards=shards,
+            strategy=strategy,
+            compare_unsharded=True,
+        )
+    return ShardScaleCase(
+        name="shard_1m",
+        config=StreamConfig(
+            rounds=1000,
+            regions=16,
+            buyers_per_region=25,
+            sellers_per_region=75,
+            demand_range=(2, 3),
+            cross_region_fraction=0.05,
+        ),
+        shards=shards,
+        strategy=strategy,
+        compare_unsharded=False,
+    )
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -301,11 +379,105 @@ def _run_msoa_case(case: MsoaScaleCase) -> dict:
     }
 
 
+def _shard_plan(case: ShardScaleCase):
+    from repro.shard import make_plan
+    from repro.shard.streaming import region_plan
+
+    if case.strategy == "region":
+        return region_plan(case.config, case.shards)
+    n_shards = case.shards if case.shards is not None else case.config.regions
+    return make_plan(case.strategy, n_shards)
+
+
+def _run_shard_case(case: ShardScaleCase) -> dict:
+    from repro.core.msoa import MultiStageOnlineAuction
+    from repro.shard import ShardedOnlineAuction
+    from repro.shard.streaming import stream_capacities, stream_rounds
+
+    config = case.config
+    plan = _shard_plan(case)
+    capacities = stream_capacities(config)
+    collect_keys = case.compare_unsharded
+
+    def _horizon(auction):
+        """One streamed pass; per-round clearing times (generation
+        excluded on both sides, so the speedup ratio compares clearing
+        with clearing)."""
+        rng = np.random.default_rng(case.seed)
+        times: list[float] = []
+        totals = {"demand_units": 0, "bids": 0, "winners": 0}
+        keys: list[frozenset] = []
+        for instance in stream_rounds(config, rng):
+            start = time.perf_counter()
+            result = auction.process_round(instance)
+            times.append(time.perf_counter() - start)
+            totals["demand_units"] += instance.total_demand
+            totals["bids"] += len(instance.bids)
+            totals["winners"] += len(result.outcome.winners)
+            if collect_keys:
+                keys.append(
+                    frozenset(w.bid.key for w in result.outcome.winners)
+                )
+        return times, totals, keys
+
+    best_times = totals = sharded_keys = stats = None
+    for _ in range(max(1, case.repeats)):
+        auction = ShardedOnlineAuction(
+            capacities,
+            plan=plan,
+            engine="columnar",
+            on_infeasible="best_effort",
+            retain_rounds=False,
+        )
+        times, totals, sharded_keys = _horizon(auction)
+        if best_times is None or sum(times) < sum(best_times):
+            best_times, stats = times, auction.shard_stats
+    total_s = sum(best_times)
+    times_ms = np.asarray(best_times) * 1000.0
+
+    unsharded_s = sharded_speedup = equivalent = None
+    if case.compare_unsharded:
+        best_unsharded = unsharded_keys = None
+        for _ in range(max(1, case.repeats)):
+            auction = MultiStageOnlineAuction(
+                capacities,
+                engine="columnar",
+                on_infeasible="best_effort",
+                retain_rounds=False,
+            )
+            times, _, unsharded_keys = _horizon(auction)
+            if best_unsharded is None or sum(times) < best_unsharded:
+                best_unsharded = sum(times)
+        unsharded_s = best_unsharded
+        sharded_speedup = unsharded_s / total_s if total_s > 0 else None
+        equivalent = sharded_keys == unsharded_keys
+
+    return {
+        "case": case.name,
+        "rounds": config.rounds,
+        "shards": plan.n_shards,
+        "strategy": case.strategy,
+        "bids": totals["bids"],
+        "demand_units": totals["demand_units"],
+        "winners": totals["winners"],
+        "cross_bids": sum(s.cross_bids for s in stats),
+        "clamped_shards": sum(s.clamped_shards for s in stats),
+        "total_s": total_s,
+        "auctions_per_sec": config.rounds / total_s if total_s > 0 else None,
+        "mean_round_ms": float(np.mean(times_ms)),
+        "p99_round_ms": float(np.percentile(times_ms, 99)),
+        "unsharded_s": unsharded_s,
+        "sharded_speedup": sharded_speedup,
+        "equivalent": equivalent,
+    }
+
+
 def run_scale_bench(
     *,
     quick: bool = False,
     cases: list[ScaleBenchCase] | None = None,
     msoa_case: MsoaScaleCase | None = None,
+    shard_case: ShardScaleCase | None = None,
 ) -> dict:
     """Time the scale tier and return the bench payload."""
     default_cases, default_msoa = default_scale_cases(quick=quick)
@@ -313,6 +485,8 @@ def run_scale_bench(
         cases = default_cases
     if msoa_case is None:
         msoa_case = default_msoa
+    if shard_case is None:
+        shard_case = default_shard_case(quick=quick)
     return {
         "bench": "scale",
         "quick": quick,
@@ -320,6 +494,7 @@ def run_scale_bench(
         "machine": platform.machine(),
         "cases": [_run_single_case(case) for case in cases],
         "msoa": _run_msoa_case(msoa_case),
+        "shard": _run_shard_case(shard_case),
     }
 
 
@@ -365,8 +540,39 @@ def _fmt_x(value: float | None) -> str:
     return f"{value:>7.1f}x" if value is not None else f"{'-':>8}"
 
 
-def render_scale_bench(payload: dict) -> str:
-    """A terminal-friendly summary of one scale-bench payload."""
+def _gated_ratios(payload: dict) -> dict[str, dict[str, float | None]]:
+    """Every gated ratio in a payload, keyed case name → metric → value.
+
+    This is the single source of truth for which cases exist — the
+    ``--against`` comparison table iterates the *union* of these names
+    from both payloads, so a case unknown to one side (e.g. a freshly
+    added shard case) is surfaced as new/absent instead of silently
+    skipped.
+    """
+    ratios: dict[str, dict[str, float | None]] = {}
+    for row in payload.get("cases", []):
+        ratios[row["case"]] = {key: row.get(key) for key in _SPEEDUP_KEYS}
+    msoa = payload.get("msoa")
+    if msoa:
+        ratios[msoa["case"]] = {
+            "incremental_speedup": msoa.get("incremental_speedup")
+        }
+    shard = payload.get("shard")
+    if shard:
+        ratios[shard["case"]] = {
+            "sharded_speedup": shard.get("sharded_speedup")
+        }
+    return ratios
+
+
+def render_scale_bench(payload: dict, baseline: dict | None = None) -> str:
+    """A terminal-friendly summary of one scale-bench payload.
+
+    With ``baseline`` (the ``--against`` artifact) a comparison table of
+    every gated ratio follows, covering the union of case names from
+    both payloads: cases only in the fresh payload are marked ``(new)``,
+    cases only in the baseline ``absent``.
+    """
     lines = [
         f"scale bench (quick={payload['quick']})",
         f"{'case':<14} {'bids':>7} {'ref ms':>10} {'fast ms':>10} "
@@ -392,6 +598,35 @@ def render_scale_bench(payload: dict) -> str:
             f"({_fmt_x(msoa['incremental_speedup']).strip()}), "
             f"equal {msoa['equivalent']}"
         )
+    shard = payload.get("shard")
+    if shard:
+        throughput = shard.get("auctions_per_sec")
+        lines.append(
+            f"{shard['case']:<14} {shard['bids']:>7} x{shard['rounds']} "
+            f"rounds, {shard['shards']} shards "
+            f"({shard['demand_units']} demand units): "
+            f"{throughput:.1f} auctions/sec, "
+            f"p99 {shard['p99_round_ms']:.1f} ms/round"
+            + (
+                f", vs unsharded {_fmt_x(shard['sharded_speedup']).strip()}"
+                f", winners equal {shard['equivalent']}"
+                if shard.get("sharded_speedup") is not None
+                else ""
+            )
+        )
+    if baseline is not None:
+        fresh, base = _gated_ratios(payload), _gated_ratios(baseline)
+        lines.append("")
+        lines.append("vs baseline (gated ratios):")
+        lines.append(f"{'case':<18} {'metric':<22} {'base':>8} {'now':>8}")
+        for name in [*fresh, *(n for n in base if n not in fresh)]:
+            metrics = {**base.get(name, {}), **fresh.get(name, {})}
+            for metric in metrics:
+                old = base.get(name, {}).get(metric)
+                new = fresh.get(name, {}).get(metric)
+                old_s = _fmt_x(old) if name in base else f"{'(new)':>8}"
+                new_s = _fmt_x(new) if name in fresh else f"{'absent':>8}"
+                lines.append(f"{name:<18} {metric:<22} {old_s} {new_s}")
     return "\n".join(lines)
 
 
@@ -453,6 +688,27 @@ def check_scale_regression(
             ):
                 failures.append(
                     f"{msoa['case']}: incremental_speedup regressed "
+                    f"{old:.2f}x -> {new:.2f}x "
+                    f"(floor {old * (1.0 - tolerance):.2f}x)"
+                )
+    shard, base_shard = payload.get("shard"), baseline.get("shard")
+    if shard:
+        # `equivalent` is None when the unsharded twin was not run (the
+        # 10^6-unit full tier); only an explicit False is a divergence.
+        if shard.get("equivalent") is False:
+            failures.append(
+                f"{shard['case']}: sharded winners diverged from unsharded"
+            )
+        if base_shard and shard["case"] == base_shard["case"]:
+            new = shard.get("sharded_speedup")
+            old = base_shard.get("sharded_speedup")
+            if (
+                new is not None
+                and old is not None
+                and new < old * (1.0 - tolerance)
+            ):
+                failures.append(
+                    f"{shard['case']}: sharded_speedup regressed "
                     f"{old:.2f}x -> {new:.2f}x "
                     f"(floor {old * (1.0 - tolerance):.2f}x)"
                 )

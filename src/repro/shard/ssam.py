@@ -1,0 +1,449 @@
+"""Sharded single-round clearing: per-shard SSAM + deterministic reconciliation.
+
+One round's market is decomposed by a :class:`~repro.shard.plan.ShardPlan`
+(:func:`~repro.shard.plan.partition_round`) and cleared in two passes:
+
+1. **Local pass** — every shard with positive demand runs plain
+   :func:`~repro.core.ssam.run_ssam` on its sub-market, concurrently
+   when shard workers are available.  A locally infeasible shard (its
+   buyers need cross-shard supply) clamps demand to what its own bids
+   can cover — the remainder becomes *residual*.
+2. **Reconciliation pass** — cross-shard bids (cover spanning shards, or
+   seller-coupled across shards) are cleared against the merged residual
+   demand, excluding sellers that already won locally, so the global
+   one-bid-per-seller rule survives the decomposition.
+
+Merging is deterministic: winners are concatenated in shard order, then
+reconciliation order, with iterations renumbered sequentially; dual unit
+tags merge the same way.  When the whole market lands in one shard the
+runner short-circuits to a single ``run_ssam`` call on the *original*
+instance — which makes "1 shard ≡ unsharded" a structural identity, not
+a numerical coincidence (``tests/properties/test_shard_equivalence.py``
+still certifies it bit-for-bit).
+
+Known semantic trade-off, by design: the two-pass decomposition is not
+feasibility-complete.  A market that is globally feasible only through a
+joint local+cross allocation can come up short after reconciliation; the
+runner then raises :class:`~repro.errors.InfeasibleInstanceError` exactly
+like an unsharded infeasible round, deferring to MSOA's ``on_infeasible``
+policy.  See ``docs/scaling.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.duals import DualSolution
+from repro.core.outcomes import AuctionOutcome, WinningBid
+from repro.core.ratios import ssam_ratio_bound
+from repro.core.ssam import PaymentRule, run_ssam
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError, InfeasibleInstanceError
+from repro.obs.profiler import profiled
+from repro.obs.runtime import STATE as _OBS
+from repro.shard.plan import ShardPartition, ShardPlan, partition_round
+
+__all__ = [
+    "ShardRoundStats",
+    "ShardedRoundOutcome",
+    "run_sharded_ssam",
+    "resolve_shard_workers",
+]
+
+
+@dataclass(frozen=True)
+class ShardRoundStats:
+    """Observability summary of one sharded round."""
+
+    n_shards: int
+    active_shards: int
+    local_bids: int
+    cross_bids: int
+    local_winners: int
+    cross_winners: int
+    clamped_shards: int
+    fast_path: bool
+    shard_ms: tuple[float, ...]
+    reconcile_ms: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "active_shards": self.active_shards,
+            "local_bids": self.local_bids,
+            "cross_bids": self.cross_bids,
+            "local_winners": self.local_winners,
+            "cross_winners": self.cross_winners,
+            "clamped_shards": self.clamped_shards,
+            "fast_path": self.fast_path,
+            "shard_ms": list(self.shard_ms),
+            "reconcile_ms": self.reconcile_ms,
+        }
+
+
+@dataclass(frozen=True)
+class ShardedRoundOutcome:
+    """A merged round outcome plus its per-shard provenance."""
+
+    outcome: AuctionOutcome
+    shard_outcomes: tuple[AuctionOutcome | None, ...]
+    cross_outcome: AuctionOutcome | None
+    partition: ShardPartition
+    stats: ShardRoundStats
+
+
+def resolve_shard_workers(shard_workers: int | str, active: int) -> int:
+    """Worker threads for the local pass (1 = serial, deterministic order
+    either way).  ``"auto"`` sizes from CPUs, capped at active shards;
+    tracing forces serial so span/event order stays reproducible."""
+    if shard_workers == "auto":
+        import os
+
+        workers = min(os.cpu_count() or 1, active)
+    elif isinstance(shard_workers, int) and shard_workers >= 1:
+        workers = min(shard_workers, max(1, active))
+    else:
+        raise ConfigurationError(
+            "shard_workers must be 'auto' or a positive integer, "
+            f"got {shard_workers!r}"
+        )
+    if _OBS.enabled:
+        return 1
+    return workers
+
+
+def _clamp_to_local_supply(sub: WSPInstance) -> dict[int, int]:
+    """Clamp each buyer to the distinct local sellers covering it."""
+    sellers_covering: dict[int, set[int]] = {}
+    for bid in sub.bids:
+        for buyer in bid.covered:
+            sellers_covering.setdefault(buyer, set()).add(bid.seller)
+    return {
+        buyer: min(units, len(sellers_covering.get(buyer, ())))
+        for buyer, units in sub.demand.items()
+    }
+
+
+def _empty_outcome(
+    bids: tuple, payment_rule: PaymentRule, **options
+) -> AuctionOutcome:
+    return run_ssam(
+        WSPInstance(bids=bids, demand={}, price_ceiling=None),
+        payment_rule=payment_rule,
+        **options,
+    )
+
+
+def _clear_local(
+    sub: WSPInstance,
+    *,
+    payment_rule: PaymentRule,
+    original_prices: Mapping | None,
+    columnar,
+    **options,
+) -> tuple[AuctionOutcome, bool]:
+    """Clear one shard; never raises — unmet demand becomes residual."""
+    try:
+        return (
+            run_ssam(
+                sub,
+                payment_rule=payment_rule,
+                original_prices=original_prices,
+                columnar=columnar,
+                **options,
+            ),
+            False,
+        )
+    except InfeasibleInstanceError:
+        pass
+    clamped = _clamp_to_local_supply(sub)
+    if clamped != dict(sub.demand):
+        try:
+            return (
+                run_ssam(
+                    WSPInstance(
+                        bids=sub.bids,
+                        demand=clamped,
+                        price_ceiling=sub.price_ceiling,
+                    ),
+                    payment_rule=payment_rule,
+                    original_prices=original_prices,
+                    # Clamping changes the demand vector, so a prebuilt
+                    # layout no longer matches; rebuild inside run_ssam.
+                    **options,
+                ),
+                True,
+            )
+        except InfeasibleInstanceError:
+            pass
+    return _empty_outcome(sub.bids, payment_rule, **options), True
+
+
+@profiled("shard.round")
+def run_sharded_ssam(
+    instance: WSPInstance,
+    plan: ShardPlan,
+    *,
+    payment_rule: PaymentRule = PaymentRule.CRITICAL_RERUN,
+    parallelism: int | str = "auto",
+    guard: bool = True,
+    engine: str = "fast",
+    original_prices: Mapping[tuple[int, int], float] | None = None,
+    shard_workers: int | str = "auto",
+    require_feasible: bool = True,
+) -> ShardedRoundOutcome:
+    """Clear one round through the sharded two-pass pipeline.
+
+    Parameters mirror :func:`~repro.core.ssam.run_ssam`; ``plan`` picks
+    the decomposition and ``shard_workers`` the local-pass concurrency.
+    With ``require_feasible=False`` a post-reconciliation shortfall
+    yields a partial (degraded) outcome instead of raising.
+    """
+    partition = partition_round(instance, plan)
+    active = partition.active_shards
+    stats_common = {
+        "n_shards": partition.n_shards,
+        "active_shards": len(active),
+        "local_bids": sum(len(b) for b in partition.local_bids),
+        "cross_bids": len(partition.cross_bids),
+    }
+    options = {"parallelism": parallelism, "guard": guard, "engine": engine}
+    if len(active) <= 1 and not partition.cross_bids:
+        # Degenerate decomposition: the whole market lives in one shard.
+        # Clear the ORIGINAL instance with plain run_ssam — the sharded
+        # and unsharded paths are literally the same call here, which is
+        # what the 1-shard ≡ unsharded bit-identity property pins down.
+        started = time.perf_counter()
+        outcome = run_ssam(
+            instance,
+            payment_rule=payment_rule,
+            original_prices=(
+                dict(original_prices) if original_prices is not None else None
+            ),
+            **options,
+        )
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        stats = ShardRoundStats(
+            **stats_common,
+            local_winners=len(outcome.winners),
+            cross_winners=0,
+            clamped_shards=0,
+            fast_path=True,
+            shard_ms=(elapsed_ms,),
+            reconcile_ms=0.0,
+        )
+        _record_stats(stats)
+        placed: list[AuctionOutcome | None] = [None] * partition.n_shards
+        if active:
+            placed[active[0]] = outcome
+        return ShardedRoundOutcome(
+            outcome=outcome,
+            shard_outcomes=tuple(placed),
+            cross_outcome=None,
+            partition=partition,
+            stats=stats,
+        )
+
+    original = dict(original_prices) if original_prices is not None else None
+    demand = {b: u for b, u in instance.demand.items() if u > 0}
+
+    # Shared columnar layout: one parent build, per-shard slices.
+    columnar_views: dict[int, object] = {}
+    if engine == "columnar" and demand:
+        from repro.core.columnar import ColumnarInstance
+
+        parent = ColumnarInstance.build(instance.bids, demand)
+        for shard in active:
+            columnar_views[shard] = parent.subset(
+                partition.local_rows[shard],
+                list(partition.shard_demand[shard]),
+            )
+
+    inner = dict(options)
+    workers = resolve_shard_workers(shard_workers, len(active))
+    if workers > 1:
+        # The payment replays may use a process pool; never nest one
+        # inside the shard thread pool.
+        inner["parallelism"] = 1
+
+    def clear(shard: int) -> tuple[AuctionOutcome, bool, float]:
+        started = time.perf_counter()
+        outcome, clamped = _clear_local(
+            partition.sub_instance(shard),
+            payment_rule=payment_rule,
+            original_prices=original,
+            columnar=columnar_views.get(shard),
+            **inner,
+        )
+        return outcome, clamped, (time.perf_counter() - started) * 1e3
+
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            cleared = list(pool.map(clear, active))
+    else:
+        cleared = [clear(shard) for shard in active]
+
+    shard_outcomes: list[AuctionOutcome | None] = [None] * partition.n_shards
+    clamped_shards = 0
+    shard_ms: list[float] = []
+    for shard, (outcome, clamped, elapsed) in zip(active, cleared):
+        shard_outcomes[shard] = outcome
+        clamped_shards += int(clamped)
+        shard_ms.append(elapsed)
+
+    # Residual demand after the local pass.
+    granted: dict[int, int] = dict.fromkeys(demand, 0)
+    local_winner_sellers: set[int] = set()
+    local_winners = 0
+    for outcome in shard_outcomes:
+        if outcome is None:
+            continue
+        local_winners += len(outcome.winners)
+        for winner in outcome.winners:
+            local_winner_sellers.add(winner.bid.seller)
+            for buyer in winner.bid.covered:
+                if buyer in granted:
+                    granted[buyer] += 1
+    residual = {
+        b: u - granted[b] for b, u in demand.items() if u - granted[b] > 0
+    }
+
+    cross_outcome: AuctionOutcome | None = None
+    reconcile_ms = 0.0
+    if residual or partition.cross_bids:
+        started = time.perf_counter()
+        eligible = tuple(
+            bid
+            for bid in partition.cross_bids
+            if bid.seller not in local_winner_sellers
+        )
+        if residual:
+            recon_instance = WSPInstance(
+                bids=eligible,
+                demand=residual,
+                price_ceiling=partition.price_ceiling,
+            )
+            try:
+                cross_outcome = run_ssam(
+                    recon_instance,
+                    payment_rule=payment_rule,
+                    original_prices=original,
+                    **inner,
+                )
+            except InfeasibleInstanceError:
+                if require_feasible:
+                    raise InfeasibleInstanceError(
+                        "sharded reconciliation cannot cover "
+                        f"{sum(residual.values())} residual demand units "
+                        f"with {len(eligible)} eligible cross-shard bids"
+                    ) from None
+                cross_outcome, _ = _clear_local(
+                    recon_instance,
+                    payment_rule=payment_rule,
+                    original_prices=original,
+                    columnar=None,
+                    **inner,
+                )
+        elif eligible:
+            # Nothing left to serve: cross-shard bids all lose.
+            cross_outcome = _empty_outcome(eligible, payment_rule, **inner)
+        reconcile_ms = (time.perf_counter() - started) * 1e3
+
+    merged = _merge_outcomes(
+        instance,
+        [o for o in shard_outcomes if o is not None],
+        cross_outcome,
+        payment_rule=payment_rule,
+    )
+    stats = ShardRoundStats(
+        **stats_common,
+        local_winners=local_winners,
+        cross_winners=(
+            len(cross_outcome.winners) if cross_outcome is not None else 0
+        ),
+        clamped_shards=clamped_shards,
+        fast_path=False,
+        shard_ms=tuple(shard_ms),
+        reconcile_ms=reconcile_ms,
+    )
+    _record_stats(stats)
+    return ShardedRoundOutcome(
+        outcome=merged,
+        shard_outcomes=tuple(shard_outcomes),
+        cross_outcome=cross_outcome,
+        partition=partition,
+        stats=stats,
+    )
+
+
+def _merge_outcomes(
+    instance: WSPInstance,
+    shard_outcomes: list[AuctionOutcome],
+    cross_outcome: AuctionOutcome | None,
+    *,
+    payment_rule: PaymentRule,
+) -> AuctionOutcome:
+    """Deterministic merge: shard order, then reconciliation, with the
+    greedy iteration counter renumbered sequentially."""
+    parts = list(shard_outcomes)
+    if cross_outcome is not None:
+        parts.append(cross_outcome)
+    winners: list[WinningBid] = []
+    duals = DualSolution(instance=instance)
+    iteration = 0
+    for part in parts:
+        for winner in part.winners:
+            winners.append(
+                WinningBid(
+                    bid=winner.bid,
+                    payment=winner.payment,
+                    iteration=iteration,
+                    marginal_utility=winner.marginal_utility,
+                    average_price=winner.average_price,
+                    original_price=winner.original_price,
+                )
+            )
+            iteration += 1
+        for buyer, prices in part.duals.unit_prices.items():
+            duals.unit_prices.setdefault(buyer, []).extend(prices)
+    return AuctionOutcome(
+        instance=instance,
+        winners=tuple(winners),
+        duals=duals,
+        ratio_bound=ssam_ratio_bound(instance.total_demand, instance.bids),
+        payment_rule=payment_rule.value,
+        iterations=iteration,
+        mechanism="ssam",
+    )
+
+
+def _record_stats(stats: ShardRoundStats) -> None:
+    if not _OBS.enabled:
+        return
+    metrics = _OBS.metrics
+    metrics.counter("shard.rounds").inc()
+    if stats.fast_path:
+        metrics.counter("shard.fast_path_rounds").inc()
+    metrics.counter("shard.local_bids").inc(stats.local_bids)
+    metrics.counter("shard.cross_bids").inc(stats.cross_bids)
+    metrics.counter("shard.local_winners").inc(stats.local_winners)
+    metrics.counter("shard.cross_winners").inc(stats.cross_winners)
+    metrics.counter("shard.clamped_shards").inc(stats.clamped_shards)
+    for elapsed in stats.shard_ms:
+        metrics.histogram("shard.round_ms").observe(elapsed)
+    if stats.reconcile_ms:
+        metrics.histogram("shard.reconcile_ms").observe(stats.reconcile_ms)
+    _OBS.tracer.event(
+        "shard-round",
+        n_shards=stats.n_shards,
+        active_shards=stats.active_shards,
+        local_bids=stats.local_bids,
+        cross_bids=stats.cross_bids,
+        local_winners=stats.local_winners,
+        cross_winners=stats.cross_winners,
+        clamped_shards=stats.clamped_shards,
+        fast_path=stats.fast_path,
+    )

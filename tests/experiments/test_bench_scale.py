@@ -8,13 +8,16 @@ from repro.errors import ConfigurationError
 from repro.experiments.bench_scale import (
     MsoaScaleCase,
     ScaleBenchCase,
+    ShardScaleCase,
     check_scale_regression,
     default_scale_cases,
+    default_shard_case,
     load_scale_bench,
     render_scale_bench,
     run_scale_bench,
     write_scale_bench,
 )
+from repro.shard.streaming import StreamConfig
 from repro.workload.bidgen import MarketConfig
 
 TINY = ScaleBenchCase(
@@ -34,12 +37,34 @@ TINY_MSOA = MsoaScaleCase(
     rounds=3,
     repeats=1,
 )
+TINY_SHARD = ShardScaleCase(
+    name="tiny_shard",
+    config=StreamConfig(
+        rounds=2,
+        regions=2,
+        buyers_per_region=4,
+        sellers_per_region=12,
+        demand_range=(1, 2),
+        cross_region_fraction=0.0,
+    ),
+    repeats=1,
+)
+
+_BASE_PAYLOAD: dict = {}
 
 
 def tiny_payload() -> dict:
-    return run_scale_bench(
-        cases=[TINY, TINY_NO_REF], msoa_case=TINY_MSOA
-    )
+    # The tiny bench is deterministic; run it once and hand each test
+    # its own deep copy (tests mutate their payloads).
+    if not _BASE_PAYLOAD:
+        _BASE_PAYLOAD.update(
+            run_scale_bench(
+                cases=[TINY, TINY_NO_REF],
+                msoa_case=TINY_MSOA,
+                shard_case=TINY_SHARD,
+            )
+        )
+    return json.loads(json.dumps(_BASE_PAYLOAD))
 
 
 class TestCases:
@@ -65,6 +90,23 @@ class TestCases:
         )
         assert ten_k.time_reference and not hundred_k.time_reference
 
+    def test_default_shard_case_hits_one_million_units(self):
+        full = default_shard_case()
+        assert full.name == "shard_1m"
+        assert full.config.expected_demand_units == 1_000_000
+        # The full tier skips the unsharded twin (it would double an
+        # already long run); the quick tier keeps it for the CI
+        # equivalence check.
+        assert not full.compare_unsharded
+        quick = default_shard_case(quick=True)
+        assert quick.name == "shard_quick"
+        assert quick.compare_unsharded
+
+    def test_default_shard_case_forwards_overrides(self):
+        case = default_shard_case(quick=True, shards=4, strategy="hash")
+        assert case.shards == 4
+        assert case.strategy == "hash"
+
 
 class TestRun:
     def test_payload_schema_and_equivalence(self):
@@ -85,14 +127,48 @@ class TestRun:
         assert msoa["cold_ms_per_round"] > 0
         assert msoa["rounds"] == 3
 
+    def test_shard_payload_schema(self):
+        shard = tiny_payload()["shard"]
+        assert shard["case"] == "tiny_shard"
+        assert shard["rounds"] == 2
+        assert shard["shards"] == 2
+        assert shard["strategy"] == "region"
+        assert shard["demand_units"] > 0
+        assert shard["auctions_per_sec"] > 0
+        assert shard["p99_round_ms"] >= shard["mean_round_ms"] > 0
+        assert shard["clamped_shards"] == 0
+        # compare_unsharded=True: the twin ran and winner sets matched.
+        assert shard["equivalent"] is True
+        assert shard["sharded_speedup"] > 0
+
     def test_write_load_roundtrip_and_render(self, tmp_path):
         payload = tiny_payload()
         target = write_scale_bench(payload, tmp_path / "scale.json")
         assert load_scale_bench(target) == json.loads(json.dumps(payload))
         rendered = render_scale_bench(payload)
         assert "tiny" in rendered and "tiny_msoa" in rendered
+        assert "tiny_shard" in rendered
+        assert "auctions/sec" in rendered
         # The reference-free case renders a placeholder, not a crash.
         assert "-" in rendered
+
+    def test_render_against_baseline_covers_every_case(self):
+        # The comparison table must be the *union* of gated case names:
+        # cases new to the payload are marked, retired baseline cases
+        # still show up as absent — nothing is silently skipped.
+        payload = tiny_payload()
+        baseline = json.loads(json.dumps(payload))
+        baseline["shard"]["case"] = "retired_shard"
+        rendered = render_scale_bench(payload, baseline=baseline)
+        assert "vs baseline" in rendered
+        for name in ("tiny", "tiny_no_ref", "tiny_msoa"):
+            assert name in rendered
+        assert "tiny_shard" in rendered and "(new)" in rendered
+        assert "retired_shard" in rendered and "absent" in rendered
+
+    def test_render_without_baseline_has_no_comparison(self):
+        rendered = render_scale_bench(tiny_payload())
+        assert "vs baseline" not in rendered
 
     def test_load_rejects_non_scale_payloads(self, tmp_path):
         path = tmp_path / "other.json"
@@ -151,10 +227,39 @@ class TestRegressionGate:
         assert any("diverged" in f for f in failures)
         assert any("cold-rebuild" in f for f in failures)
 
+    def test_shard_divergence_fails(self):
+        payload, baseline = self._payloads()
+        payload["shard"]["equivalent"] = False
+        failures = check_scale_regression(payload, baseline)
+        assert any("sharded winners diverged" in f for f in failures)
+
+    def test_shard_equivalence_none_is_not_a_failure(self):
+        # The full tier doesn't run the unsharded twin: None means
+        # "not compared", only an explicit False is a divergence.
+        payload, baseline = self._payloads()
+        payload["shard"]["equivalent"] = None
+        assert check_scale_regression(payload, baseline) == []
+
+    def test_shard_speedup_regression_fails(self):
+        payload, baseline = self._payloads()
+        payload["shard"]["sharded_speedup"] = (
+            baseline["shard"]["sharded_speedup"] * 0.5
+        )
+        failures = check_scale_regression(payload, baseline)
+        assert len(failures) == 1
+        assert "sharded_speedup" in failures[0]
+
+    def test_shard_case_rename_skips_the_ratio_gate(self):
+        payload, baseline = self._payloads()
+        baseline["shard"]["case"] = "some_retired_case"
+        payload["shard"]["sharded_speedup"] = 0.001
+        assert check_scale_regression(payload, baseline) == []
+
     def test_cases_missing_from_baseline_are_skipped(self):
         payload, baseline = self._payloads()
         baseline["cases"] = []
         baseline["msoa"] = None
+        baseline.pop("shard")
         assert check_scale_regression(payload, baseline) == []
 
     def test_bad_tolerance_rejected(self):

@@ -12,7 +12,12 @@ from hypothesis import strategies as st
 from repro.core.bids import Bid
 from repro.core.wsp import WSPInstance
 
-__all__ = ["wsp_instances", "single_bid_instances"]
+__all__ = [
+    "wsp_instances",
+    "single_bid_instances",
+    "horizons",
+    "sharded_horizons",
+]
 
 
 @st.composite
@@ -90,3 +95,54 @@ def single_bid_instances(**kwargs):
     """
     kwargs.setdefault("max_bids_per_seller", 1)
     return wsp_instances(**kwargs)
+
+
+@st.composite
+def horizons(
+    draw,
+    max_rounds: int = 4,
+    *,
+    max_sellers: int = 6,
+    max_buyers: int = 3,
+    max_demand: int = 2,
+):
+    """A short online horizon over one instance family + ample capacities.
+
+    Capacities are drawn generously (each seller can win most rounds) so
+    the offline problem is feasible by construction; tighter-capacity
+    behaviour is exercised by the unit tests.
+    """
+    rounds = [
+        draw(
+            wsp_instances(
+                max_sellers=max_sellers,
+                max_buyers=max_buyers,
+                max_demand=max_demand,
+            )
+        )
+        for _ in range(draw(st.integers(1, max_rounds)))
+    ]
+    sellers = {bid.seller for instance in rounds for bid in instance.bids}
+    max_size = max(
+        (bid.size for instance in rounds for bid in instance.bids), default=1
+    )
+    capacities = {
+        seller: draw(
+            st.integers(max_size * len(rounds), max_size * len(rounds) + 10)
+        )
+        for seller in sellers
+    }
+    return rounds, capacities
+
+
+@st.composite
+def sharded_horizons(draw, max_rounds: int = 3, max_shards: int = 4):
+    """A :func:`horizons` draw labelled with a shard count.
+
+    The shard equivalence suite feeds these to
+    :func:`repro.shard.run_sharded_msoa`: one shard must be bit-identical
+    to unsharded MSOA, and any count must preserve the ψ/χ invariants.
+    """
+    rounds, capacities = draw(horizons(max_rounds=max_rounds))
+    n_shards = draw(st.integers(1, max_shards))
+    return rounds, capacities, n_shards

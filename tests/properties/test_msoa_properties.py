@@ -13,7 +13,6 @@ import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.core.msoa import run_msoa
 from repro.core.ssam import PaymentRule
@@ -21,7 +20,7 @@ from repro.errors import InfeasibleInstanceError
 from repro.solvers.branch_bound import solve_wsp_branch_bound
 from repro.solvers.milp import solve_horizon_optimal, solve_wsp_optimal
 
-from tests.properties.strategies import wsp_instances
+from tests.properties.strategies import horizons, wsp_instances
 
 #: Hypothesis sweeps are the repo's statistical tier; 'pytest -m
 #: "not slow"' skips them for the quick signal, CI runs them in full.
@@ -32,29 +31,6 @@ COMMON = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
 )
-
-
-@st.composite
-def horizons(draw, max_rounds: int = 4):
-    """A short online horizon over one instance family + ample capacities.
-
-    Capacities are drawn generously (each seller can win most rounds) so
-    the offline problem is feasible by construction; tighter-capacity
-    behaviour is exercised by the unit tests.
-    """
-    rounds = [
-        draw(wsp_instances(max_sellers=6, max_buyers=3, max_demand=2))
-        for _ in range(draw(st.integers(1, max_rounds)))
-    ]
-    sellers = {bid.seller for instance in rounds for bid in instance.bids}
-    max_size = max(
-        (bid.size for instance in rounds for bid in instance.bids), default=1
-    )
-    capacities = {
-        seller: draw(st.integers(max_size * len(rounds), max_size * len(rounds) + 10))
-        for seller in sellers
-    }
-    return rounds, capacities
 
 
 @COMMON

