@@ -9,12 +9,35 @@ rounds clear through the exact same mechanism code as the classic
 synchronous loop — which is why the script can end by replaying the same
 scenario synchronously and asserting the outcomes are bit-identical.
 
+The same session can run over real sockets with the seller fleet in
+separate OS processes (``TcpTransport`` + ``spawn_agents`` — see
+docs/serving.md); pass ``--tcp`` for that variant.
+
 Run with::
 
-    python examples/distributed_serving.py
+    python examples/distributed_serving.py          # in-memory transport
+    python examples/distributed_serving.py --tcp    # loopback TCP, 2 workers
+
+The core of the in-memory variant, as a checked example:
+
+>>> from repro.api import DistScenario, replay_scenario, serve
+>>> scenario = DistScenario(seed=7, horizon_rounds=2)
+>>> service = serve(scenario)
+>>> reports = service.run()
+>>> len(reports)
+2
+>>> service.ledger.is_budget_balanced
+True
+>>> [r.auction.outcome.to_dict() if r.auction else None
+...  for r in reports] == [
+...     r.auction.outcome.to_dict() if r.auction else None
+...     for r in replay_scenario(scenario)]
+True
 """
 
-from repro.api import DistScenario, replay_scenario, serve
+import sys
+
+from repro.api import AuctionService, DistScenario, replay_scenario, serve
 
 
 def main() -> None:
@@ -69,5 +92,37 @@ def main() -> None:
           "synchronous replay")
 
 
+def main_tcp() -> None:
+    """The same session over loopback TCP with multi-process agents."""
+    scenario = DistScenario(seed=7, horizon_rounds=6)
+    service = AuctionService(
+        scenario,
+        listen=("127.0.0.1", 0),   # ephemeral port; printed once bound
+        agent_processes=2,         # seller fleet split across 2 OS processes
+    )
+    service.on_listening = lambda addr: print(
+        f"listening on {addr[0]}:{addr[1]}, waiting for agent workers"
+    )
+    reports = service.run()
+
+    print(f"served {len(reports)} rounds over TCP "
+          f"({len(scenario.seller_ids())} sellers in worker processes)")
+
+    # Same contract as in memory: under the virtual clock, crossing
+    # process and socket boundaries changes nothing about outcomes.
+    sync_reports = replay_scenario(scenario)
+    async_outcomes = [
+        r.auction.outcome.to_dict() if r.auction else None for r in reports
+    ]
+    sync_outcomes = [
+        r.auction.outcome.to_dict() if r.auction else None
+        for r in sync_reports
+    ]
+    assert async_outcomes == sync_outcomes, "determinism contract violated"
+    assert service.ledger.is_budget_balanced
+    print("determinism check: TCP outcomes bit-identical to the "
+          "synchronous replay")
+
+
 if __name__ == "__main__":
-    main()
+    main_tcp() if "--tcp" in sys.argv[1:] else main()

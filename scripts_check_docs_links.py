@@ -1,20 +1,28 @@
-"""Check every Markdown link in docs/ and README.md.
+"""Check every Markdown link in docs/ and the top-level Markdown pages.
 
 Self-contained (stdlib only), so CI and contributors run the exact same
 gate::
 
     python scripts_check_docs_links.py
 
-For each ``[text](target)`` link in the checked files:
+For each inline ``[text](target)`` link, reference definition
+``[label]: target``, and reference usage ``[text][label]`` in the
+checked files:
 
 * relative file targets must exist on disk (checked against the linking
   file's directory);
 * ``#fragment`` anchors — standalone or attached to a relative Markdown
-  target — must match a heading in the target file, using GitHub's
-  slugification (lowercase, punctuation stripped, spaces to dashes);
+  target — must match an anchor in the target file: a heading under
+  GitHub's slugification (lowercase, punctuation stripped, spaces to
+  dashes, duplicate headings numbered ``slug-1``, ``slug-2``, …) or an
+  explicit ``<a id="...">`` / ``<a name="...">`` tag;
+* reference usages must have a matching ``[label]:`` definition in the
+  same file (labels are case-insensitive, per CommonMark);
 * absolute URLs (``http(s)://``, ``mailto:``) are *not* fetched — this
   gate is for repo-internal rot, not for the network — but their syntax
   is validated (a scheme and a host).
+
+Fenced code blocks and inline code spans are ignored throughout.
 
 Exit code 0 iff no broken links; each offender is printed as
 ``file:line: message``.
@@ -27,39 +35,39 @@ import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent
-CHECKED = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+CHECKED = [
+    ROOT / "README.md",
+    ROOT / "DESIGN.md",
+    ROOT / "EXPERIMENTS.md",
+    ROOT / "ROADMAP.md",
+    *sorted((ROOT / "docs").glob("*.md")),
+]
 
 #: Inline links, excluding images' size-hint false positives: capture the
 #: target of ``[...](...)`` while tolerating one level of parentheses.
 LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)?)\)")
+#: Reference definition: ``[label]: target`` at (up to 3-space indented)
+#: line start.
+REF_DEF = re.compile(r"^ {0,3}\[([^\]^][^\]]*)\]:\s*(\S+)")
+#: Reference usage: ``[text][label]`` (full) or ``[text][]`` (collapsed,
+#: where the text doubles as the label).
+REF_USE = re.compile(r"(?<!\!)\[([^\]]+)\]\[([^\]]*)\]")
 CODE_FENCE = re.compile(r"^(```|~~~)")
+CODE_SPAN = re.compile(r"`[^`]*`")
 HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+HTML_ANCHOR = re.compile(r"""<a\s+(?:id|name)\s*=\s*["']([^"']+)["']""", re.I)
 ABSOLUTE = re.compile(r"^[a-z][a-z0-9+.-]*:")
 
 
 def github_slug(heading: str) -> str:
-    """GitHub's anchor slug for a heading line."""
+    """GitHub's anchor slug for a heading line (before duplicate numbering)."""
     text = re.sub(r"[`*_]", "", heading.strip().lower())
     text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
     return re.sub(r" ", "-", text)
 
 
-def anchors_of(path: pathlib.Path) -> set[str]:
-    anchors: set[str] = set()
-    in_fence = False
-    for line in path.read_text(encoding="utf-8").splitlines():
-        if CODE_FENCE.match(line.strip()):
-            in_fence = not in_fence
-            continue
-        if in_fence:
-            continue
-        match = HEADING.match(line)
-        if match:
-            anchors.add(github_slug(match.group(1)))
-    return anchors
-
-
-def iter_links(path: pathlib.Path):
+def _markdown_lines(path: pathlib.Path):
+    """Lines of ``path`` outside fenced code blocks, inline code blanked."""
     in_fence = False
     for lineno, line in enumerate(
         path.read_text(encoding="utf-8").splitlines(), start=1
@@ -69,8 +77,60 @@ def iter_links(path: pathlib.Path):
             continue
         if in_fence:
             continue
-        for match in LINK.finditer(line):
+        yield lineno, line
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    """Every anchor GitHub would render for ``path``.
+
+    Headings slugify as in :func:`github_slug`; the *n*-th duplicate of a
+    slug gets ``-n`` appended (GitHub's disambiguation). Explicit
+    ``<a id=...>`` / ``<a name=...>`` tags anchor verbatim.
+    """
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for _, line in _markdown_lines(path):
+        for tag in HTML_ANCHOR.finditer(line):
+            anchors.add(tag.group(1))
+        match = HEADING.match(line)
+        if match:
+            slug = github_slug(match.group(1))
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def iter_links(path: pathlib.Path):
+    """``(lineno, target)`` for every inline link and reference definition."""
+    for lineno, line in _markdown_lines(path):
+        stripped = CODE_SPAN.sub("", line)
+        definition = REF_DEF.match(stripped)
+        if definition:
+            yield lineno, definition.group(2)
+            continue
+        for match in LINK.finditer(stripped):
             yield lineno, match.group(1)
+
+
+def iter_reference_uses(path: pathlib.Path):
+    """``(lineno, label)`` for every ``[text][label]`` reference usage."""
+    for lineno, line in _markdown_lines(path):
+        stripped = CODE_SPAN.sub("", line)
+        if REF_DEF.match(stripped):
+            continue
+        for match in REF_USE.finditer(stripped):
+            yield lineno, match.group(2) or match.group(1)
+
+
+def reference_labels(path: pathlib.Path) -> set[str]:
+    """Lower-cased labels with a ``[label]: target`` definition in ``path``."""
+    labels: set[str] = set()
+    for _, line in _markdown_lines(path):
+        definition = REF_DEF.match(CODE_SPAN.sub("", line))
+        if definition:
+            labels.add(definition.group(1).strip().lower())
+    return labels
 
 
 def check_file(path: pathlib.Path) -> list[str]:
@@ -99,6 +159,13 @@ def check_file(path: pathlib.Path) -> list[str]:
                     f"{where}: no heading for anchor "
                     f"#{fragment} in {resolved.relative_to(ROOT)}"
                 )
+    defined = reference_labels(path)
+    for lineno, label in iter_reference_uses(path):
+        if label.strip().lower() not in defined:
+            problems.append(
+                f"{path.relative_to(ROOT)}:{lineno}: "
+                f"reference link [{label}] has no definition"
+            )
     return problems
 
 

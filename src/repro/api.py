@@ -22,8 +22,12 @@ Serve live auction rounds    :func:`serve` on a :class:`DistScenario`
                              (message-driven platform; agents submit
                              bids via :meth:`AgentHandle.submit_bid`,
                              rounds run through
-                             :class:`RoundOrchestrator`; CLI:
-                             ``repro-edge-auction serve``)
+                             :class:`RoundOrchestrator`; over sockets
+                             with ``listen=`` / :class:`TcpTransport`
+                             and multi-process agents via
+                             :func:`spawn_agents`; CLI:
+                             ``repro-edge-auction serve
+                             [--transport tcp]``)
 Check serving determinism    :func:`replay_scenario` — the synchronous
                              oracle a seeded :func:`serve` session must
                              match bit for bit
@@ -118,8 +122,10 @@ from repro.dist import (
     DistScenario,
     InMemoryTransport,
     RoundOrchestrator,
+    TcpTransport,
     replay_scenario,
     serve,
+    spawn_agents,
 )
 from repro.errors import (
     ConfigurationError,
@@ -187,6 +193,8 @@ __all__ = [
     "DistScenario",
     "replay_scenario",
     "InMemoryTransport",
+    "TcpTransport",
+    "spawn_agents",
     # references & tooling
     "solve_wsp_optimal",
     "run_engine_bench",

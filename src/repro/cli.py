@@ -11,6 +11,7 @@ Usage::
     repro-edge-auction mechanisms            # list the mechanism registry
     repro-edge-auction run --mechanism vcg   # one mechanism, one market
     repro-edge-auction serve --rounds 6 --check  # async platform + oracle check
+    repro-edge-auction serve --transport tcp --rounds 3  # sockets + worker processes
     repro-edge-auction verify --mechanism ssam   # certify economic claims
 
 (Equivalently: ``python -m repro ...``.)
@@ -138,6 +139,21 @@ def _cmd_compare(_: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` CLI operand."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer port in {text!r}"
+        ) from None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.dist import DistScenario, replay_scenario, serve
 
@@ -155,7 +171,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_strategy=args.shard_strategy,
         faults=faults,
     )
-    service = serve(scenario, grace_window=args.grace)
+    if args.connect is not None:
+        # Agent-worker mode: serve this terminal's share of the seller
+        # fleet against an orchestrator listening elsewhere.
+        from repro.dist import run_agent_worker
+
+        sellers = tuple(args.sellers or scenario.seller_ids())
+        host, port = args.connect
+        print(
+            f"serving sellers {list(sellers)} against {host}:{port} "
+            f"(seed {args.seed})"
+        )
+        run_agent_worker(host, port, sellers, scenario)
+        print("agents shut down")
+        return 0
+    if args.check and args.clock == "wall":
+        print(
+            "error: --check asserts the virtual-clock determinism "
+            "contract; it cannot be combined with --clock wall "
+            "(wall-clock outcomes depend on real peer latency)",
+            file=sys.stderr,
+        )
+        return 2
+    options: dict = {"grace_window": args.grace, "clock": args.clock}
+    if args.transport == "tcp":
+        options["listen"] = args.listen
+        options["agent_processes"] = args.processes
+    service = serve(scenario, **options)
+    if args.transport == "tcp":
+        service.on_listening = lambda addr: print(
+            f"listening on {addr[0]}:{addr[1]} "
+            f"({args.processes} local agent process(es))"
+        )
     reports = service.run()
     print(
         f"served {len(reports)} rounds "
@@ -613,7 +660,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--grace", type=float, default=1.0, metavar="W",
-        help="grace window per round on the virtual clock (default 1.0)",
+        help="grace window per round on the transport clock (default 1.0; "
+        "real seconds under --clock wall)",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("memory", "tcp"),
+        default="memory",
+        help="message fabric: in-process (default) or TCP sockets with "
+        "agents in separate OS processes",
+    )
+    serve.add_argument(
+        "--listen",
+        type=_parse_hostport,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="with --transport tcp: bind the orchestrator here "
+        "(default 127.0.0.1:0 = loopback, ephemeral port)",
+    )
+    serve.add_argument(
+        "--connect",
+        type=_parse_hostport,
+        default=None,
+        metavar="HOST:PORT",
+        help="agent-worker mode: instead of orchestrating, dial an "
+        "orchestrator at HOST:PORT and serve seller agents "
+        "(use --sellers to pick which; seeds must match the server)",
+    )
+    serve.add_argument(
+        "--sellers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="ID",
+        help="with --connect: seller ids this worker serves "
+        "(default: every scenario seller)",
+    )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with --transport tcp: local agent worker processes to spawn "
+        "(default 2; 0 = wait for external --connect workers)",
+    )
+    serve.add_argument(
+        "--clock",
+        choices=("virtual", "wall"),
+        default="virtual",
+        help="deadline clock: 'virtual' (deterministic, default) or "
+        "'wall' (grace window is a real timeout; relaxes the "
+        "determinism contract — see docs/serving.md)",
     )
     serve.add_argument(
         "--mechanism", default=None, metavar="NAME",
@@ -640,7 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--check", action="store_true",
         help="after serving, replay the scenario synchronously and verify "
-        "the outcomes are bit-identical",
+        "the outcomes are bit-identical (virtual clock only)",
     )
     _add_faults_flag(
         serve,

@@ -2,12 +2,17 @@
 
 The message-driven form of the paper's platform: sellers and buyers are
 independent :mod:`asyncio` agents that talk to a long-lived
-:class:`RoundOrchestrator` over a pluggable :class:`Transport`, while
-simulation, demand estimation, and clearing stay on the shared
-:class:`~repro.edge.platform.EdgePlatform` core — which is what makes a
-seeded in-memory run bit-identical to the synchronous replay of the same
-:class:`DistScenario` (see :func:`replay_scenario` and
-``docs/distributed.md`` for the determinism contract).
+:class:`RoundOrchestrator` over a pluggable :class:`Transport` —
+in-process (:class:`InMemoryTransport`) or over real sockets
+(:class:`TcpTransport`, with agents optionally placed in separate OS
+processes via :func:`spawn_agents`) — while simulation, demand
+estimation, and clearing stay on the shared
+:class:`~repro.edge.platform.EdgePlatform` core.  That shared core is
+what makes a seeded ``clock="virtual"`` run bit-identical to the
+synchronous replay of the same :class:`DistScenario` on *either*
+transport (see :func:`replay_scenario`, ``docs/distributed.md`` and
+``docs/serving.md`` for the determinism contract and its ``clock="wall"``
+relaxation).
 
 Entry points: :func:`serve` (also re-exported as :func:`repro.api.serve`)
 builds an :class:`AuctionService`; ``service.run(rounds)`` serves a
@@ -32,13 +37,22 @@ from repro.dist.messages import (
     OutcomeNotice,
     RoundOpen,
     Shutdown,
+    envelope_from_dict,
+    envelope_to_dict,
     message_from_dict,
     message_to_dict,
 )
 from repro.dist.orchestrator import RoundOrchestrator
 from repro.dist.scenario import DistScenario, replay_scenario
 from repro.dist.service import AuctionService, serve
-from repro.dist.transport import InMemoryTransport, Mailbox, Transport
+from repro.dist.tcp import TcpTransport
+from repro.dist.transport import (
+    CLOCK_MODES,
+    InMemoryTransport,
+    Mailbox,
+    Transport,
+)
+from repro.dist.workers import agent_worker, run_agent_worker, spawn_agents
 
 __all__ = [
     "serve",
@@ -56,6 +70,11 @@ __all__ = [
     "ORCHESTRATOR_ENDPOINT",
     "Transport",
     "InMemoryTransport",
+    "TcpTransport",
+    "CLOCK_MODES",
+    "spawn_agents",
+    "run_agent_worker",
+    "agent_worker",
     "Mailbox",
     "Envelope",
     "RoundOpen",
@@ -64,5 +83,7 @@ __all__ = [
     "Shutdown",
     "message_to_dict",
     "message_from_dict",
+    "envelope_to_dict",
+    "envelope_from_dict",
     "MESSAGE_SCHEMA_VERSION",
 ]

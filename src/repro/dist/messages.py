@@ -43,6 +43,8 @@ __all__ = [
     "Envelope",
     "message_to_dict",
     "message_from_dict",
+    "envelope_to_dict",
+    "envelope_from_dict",
 ]
 
 MESSAGE_SCHEMA_VERSION = 1
@@ -243,3 +245,33 @@ class Envelope:
     def delay(self) -> float:
         """The message's in-flight latency on the virtual clock."""
         return self.deliver_at - self.sent_at
+
+
+def envelope_to_dict(envelope: Envelope) -> dict:
+    """Serialize a stamped envelope (message included) for the wire.
+
+    This is the frame body the TCP transport ships: the router's
+    authoritative stamps (``seq``, ``sent_at``, ``deliver_at``) travel
+    with the message, so a receiving client reconstructs exactly the
+    envelope the router delivered.
+    """
+    return {
+        "seq": envelope.seq,
+        "sender": envelope.sender,
+        "recipient": envelope.recipient,
+        "sent_at": envelope.sent_at,
+        "deliver_at": envelope.deliver_at,
+        "message": message_to_dict(envelope.message),
+    }
+
+
+def envelope_from_dict(data: Mapping) -> Envelope:
+    """Inverse of :func:`envelope_to_dict`."""
+    return Envelope(
+        seq=int(data["seq"]),
+        sender=str(data["sender"]),
+        recipient=str(data["recipient"]),
+        sent_at=float(data["sent_at"]),
+        deliver_at=float(data["deliver_at"]),
+        message=message_from_dict(data["message"]),
+    )

@@ -36,9 +36,9 @@ import asyncio
 from repro.core.bids import Bid
 from repro.dist.agents import ORCHESTRATOR_ENDPOINT
 from repro.dist.messages import BidSubmission, OutcomeNotice, RoundOpen, Shutdown
-from repro.dist.transport import Transport
+from repro.dist.transport import CLOCK_MODES, Transport
 from repro.edge.platform import EdgePlatform, PlatformRoundReport, RoundContext
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransportError
 from repro.obs.runtime import STATE as _OBS
 
 __all__ = ["RoundOrchestrator"]
@@ -63,9 +63,20 @@ class RoundOrchestrator:
         :attr:`repro.faults.policies.ResiliencePolicy.bid_timeout`.
     wall_timeout:
         Real-seconds guard per round against agents that never respond
-        at all (crashed tasks, forgotten mailboxes).  Purely a liveness
-        backstop — round outcomes never depend on wall-clock timing,
-        only on virtual delivery times.
+        at all (crashed tasks, forgotten mailboxes).  Under the virtual
+        clock it is purely a liveness backstop — round outcomes never
+        depend on wall-clock timing, only on virtual delivery times.
+        Under ``clock="wall"`` it remains the per-wait ceiling, but the
+        grace window itself is already a real timeout.
+    clock:
+        ``"virtual"`` or ``"wall"``; defaults to the transport's own
+        mode, and a mismatch with the transport is refused.  Under
+        ``"wall"`` the grace window is a real timeout — a round closes
+        at ``opened_at + grace_window`` real seconds whether or not
+        every seller answered, so outcomes depend on actual peer
+        latency and the virtual-clock determinism contract is
+        explicitly relaxed (``serve --check`` only asserts outcome
+        equality for virtual-clock runs; see ``docs/serving.md``).
     """
 
     def __init__(
@@ -75,15 +86,29 @@ class RoundOrchestrator:
         *,
         grace_window: float = 1.0,
         wall_timeout: float = 5.0,
+        clock: str | None = None,
     ) -> None:
         if grace_window <= 0:
             raise ConfigurationError("grace_window must be positive")
         if wall_timeout <= 0:
             raise ConfigurationError("wall_timeout must be positive")
+        transport_clock = getattr(transport, "clock", "virtual")
+        if clock is None:
+            clock = transport_clock
+        if clock not in CLOCK_MODES:
+            raise ConfigurationError(
+                f"clock must be one of {CLOCK_MODES}, got {clock!r}"
+            )
+        if clock != transport_clock:
+            raise ConfigurationError(
+                f"orchestrator clock {clock!r} does not match the "
+                f"transport's clock {transport_clock!r}"
+            )
         self.platform = platform
         self.transport = transport
         self.grace_window = grace_window
         self.wall_timeout = wall_timeout
+        self.clock = clock
         self.mailbox = transport.register(ORCHESTRATOR_ENDPOINT)
         self._sellers: dict[int, str] = {}
         self._shut_down = False
@@ -161,18 +186,30 @@ class RoundOrchestrator:
                         "dist.seller_unattached", seller=sc.seller_id
                     )
                     continue
-                self.transport.send(
-                    endpoint,
-                    RoundOpen(
+                try:
+                    self.transport.send(
+                        endpoint,
+                        RoundOpen(
+                            round_index=context.round_index,
+                            seller_id=sc.seller_id,
+                            local_buyers=sc.local_buyers,
+                            max_units=sc.max_units,
+                            opened_at=opened_at,
+                            deadline=deadline,
+                        ),
+                        sender=ORCHESTRATOR_ENDPOINT,
+                    )
+                except TransportError:
+                    # The agent's connection died: the seller sits this
+                    # round out (like an unattached one), but the round
+                    # must still clear for everyone else.
+                    _OBS.tracer.event(
+                        "dist.seller_disconnected",
+                        seller=sc.seller_id,
                         round_index=context.round_index,
-                        seller_id=sc.seller_id,
-                        local_buyers=sc.local_buyers,
-                        max_units=sc.max_units,
-                        opened_at=opened_at,
-                        deadline=deadline,
-                    ),
-                    sender=ORCHESTRATOR_ENDPOINT,
-                )
+                    )
+                    _OBS.metrics.counter("dist.sellers_disconnected").inc()
+                    continue
                 pending.add(sc.seller_id)
             accepted, latest_delivery = await self._gather(
                 context.round_index, pending, deadline
@@ -180,7 +217,9 @@ class RoundOrchestrator:
             # Close the window on the virtual clock.  The round consumed
             # its grace window; if a straggler's submission was stamped
             # even later, the clock must not run backwards past it.
-            self.transport.advance_to(max(deadline, latest_delivery))
+            # (The wall clock closes itself.)
+            if self.clock == "virtual":
+                self.transport.advance_to(max(deadline, latest_delivery))
             bids = [
                 bid
                 for seller_id in sorted(accepted)
@@ -197,25 +236,44 @@ class RoundOrchestrator:
     async def _gather(
         self, round_index: int, pending: set[int], deadline: float
     ) -> tuple[dict[int, BidSubmission], float]:
-        """Drain the mailbox until every opened seller is accounted for."""
+        """Drain the mailbox until every opened seller is accounted for.
+
+        Under ``clock="wall"`` the wait is additionally bounded by the
+        round deadline itself: once ``deadline`` real seconds pass, the
+        still-pending sellers are timed out (cause ``wall_deadline``)
+        and the round clears without them.  Already-delivered envelopes
+        are always drained first, so a submission that arrived in time
+        is never dropped by the deadline check racing the mailbox.
+        """
         accepted: dict[int, BidSubmission] = {}
         answered: set[int] = set()
         latest_delivery = deadline
         metrics = _OBS.metrics
         while pending:
-            try:
-                envelope = await asyncio.wait_for(
-                    self.mailbox.get(), timeout=self.wall_timeout
-                )
-            except asyncio.TimeoutError:
-                for seller_id in sorted(pending):
-                    _OBS.tracer.event(
-                        "dist.bid_timeout",
-                        seller=seller_id,
-                        round_index=round_index,
+            envelope = self.mailbox.get_nowait()
+            if envelope is None:
+                timeout = self.wall_timeout
+                if self.clock == "wall":
+                    remaining = deadline - self.transport.now
+                    if remaining <= 0:
+                        self._note_timeouts(
+                            pending, round_index, cause="wall_deadline"
+                        )
+                        break
+                    timeout = min(timeout, remaining)
+                try:
+                    envelope = await asyncio.wait_for(
+                        self.mailbox.get(), timeout=timeout
                     )
-                metrics.counter("dist.submissions_timeout").inc(len(pending))
-                break
+                except asyncio.TimeoutError:
+                    cause = "wall_guard"
+                    if (
+                        self.clock == "wall"
+                        and self.transport.now >= deadline
+                    ):
+                        cause = "wall_deadline"
+                    self._note_timeouts(pending, round_index, cause=cause)
+                    break
             message = envelope.message
             if not isinstance(message, BidSubmission):
                 _OBS.tracer.event(
@@ -250,7 +308,7 @@ class RoundOrchestrator:
                 latest_delivery = envelope.deliver_at
             if envelope.deliver_at > deadline:
                 # The real-asynchrony form of a late bid: the message
-                # itself missed the grace window on the virtual clock.
+                # itself missed the grace window on the transport clock.
                 _OBS.tracer.event(
                     "dist.late_bid",
                     seller=seller_id,
@@ -259,10 +317,25 @@ class RoundOrchestrator:
                     deadline=deadline,
                 )
                 metrics.counter("dist.submissions_late").inc()
+                if self.clock == "wall":
+                    metrics.counter("transport.late_wall_clock").inc()
                 continue
             accepted[seller_id] = message
             metrics.counter("dist.submissions_accepted").inc()
         return accepted, latest_delivery
+
+    def _note_timeouts(
+        self, pending: set[int], round_index: int, *, cause: str
+    ) -> None:
+        """Record every still-pending seller as timed out this round."""
+        for seller_id in sorted(pending):
+            _OBS.tracer.event(
+                "dist.bid_timeout",
+                seller=seller_id,
+                round_index=round_index,
+                cause=cause,
+            )
+        _OBS.metrics.counter("dist.submissions_timeout").inc(len(pending))
 
     def _broadcast_outcome(self, report: PlatformRoundReport) -> None:
         if report.auction is None:

@@ -23,6 +23,7 @@ test suite's manual-agent tests).
 from __future__ import annotations
 
 import asyncio
+from collections.abc import Callable
 
 from repro.dist.agents import (
     AgentHandle,
@@ -33,7 +34,9 @@ from repro.dist.agents import (
 )
 from repro.dist.orchestrator import RoundOrchestrator
 from repro.dist.scenario import DistScenario
+from repro.dist.tcp import TcpTransport
 from repro.dist.transport import InMemoryTransport, Transport
+from repro.dist.workers import spawn_agents
 from repro.edge.platform import PlatformRoundReport
 from repro.errors import ConfigurationError
 
@@ -65,6 +68,28 @@ class AuctionService:
         bids genuinely late; this intentionally breaks sync/async parity
         for the delayed sellers, so leave it empty when asserting the
         determinism contract.
+    clock:
+        ``"virtual"`` (the default) or ``"wall"``.  Selects the clock
+        mode of the default transport and of the orchestrator; under
+        ``"wall"`` the grace window is a real timeout and the
+        determinism contract is relaxed (see ``docs/serving.md``).
+        Ignored when an explicit ``transport`` is passed (the transport
+        already carries its mode).
+    listen:
+        ``(host, port)`` to serve over TCP instead of in memory: the
+        service builds a :class:`~repro.dist.tcp.TcpTransport` router,
+        binds it when serving starts, and expects seller agents to
+        connect over the network (spawning ``agent_processes`` local
+        worker processes to provide them, unless it is 0 and external
+        agents will dial in).  Port 0 binds an ephemeral port; read
+        :attr:`address` (or set :attr:`on_listening`) to learn it.
+    agent_processes:
+        With ``listen``: how many local worker OS processes to spawn
+        for the seller fleet (default 2; 0 means agents are external —
+        the service just waits for every seller endpoint to register).
+    spawn_timeout:
+        With ``listen``: real-seconds budget for every seller endpoint
+        to register before serving fails with a ``TransportError``.
     """
 
     def __init__(
@@ -75,9 +100,28 @@ class AuctionService:
         grace_window: float | None = None,
         wall_timeout: float = 5.0,
         seller_delays: dict[int, float] | None = None,
+        clock: str | None = None,
+        listen: tuple[str, int] | None = None,
+        agent_processes: int = 2,
+        spawn_timeout: float = 60.0,
     ) -> None:
         self.scenario = scenario or DistScenario()
-        self.transport = transport if transport is not None else InMemoryTransport()
+        if transport is not None:
+            if listen is not None:
+                raise ConfigurationError(
+                    "pass either an explicit transport or listen=, not both"
+                )
+            self.transport = transport
+        elif listen is not None:
+            self.transport = TcpTransport(clock=clock or "virtual")
+        else:
+            self.transport = InMemoryTransport(clock=clock or "virtual")
+        self._listen = listen
+        self.agent_processes = agent_processes
+        self.spawn_timeout = spawn_timeout
+        self.address: tuple[str, int] | None = None
+        self.on_listening: Callable[[tuple[str, int]], None] | None = None
+        self._workers = []
         if grace_window is None:
             bid_timeout = getattr(
                 self.scenario.resilience, "bid_timeout", None
@@ -89,6 +133,7 @@ class AuctionService:
             self.transport,
             grace_window=grace_window,
             wall_timeout=wall_timeout,
+            clock=clock,
         )
         self._seller_delays = dict(seller_delays or {})
         self.sellers: dict[int, SellerAgent] = {}
@@ -157,12 +202,18 @@ class AuctionService:
     ) -> list[PlatformRoundReport]:
         """Serve ``rounds`` (default: the scenario horizon) inside a loop.
 
-        Spawns the agent fleet as tasks, runs the orchestrator's round
-        loop, then broadcasts shutdown and joins every agent task.  Use
-        this form when composing with other coroutines (e.g. manual
-        agents from :meth:`connect`); use :meth:`run` for the common
-        one-shot session.
+        In-memory mode: spawns the agent fleet as tasks, runs the
+        orchestrator's round loop, then broadcasts shutdown and joins
+        every agent task.  TCP mode (constructed with ``listen=``):
+        binds the router socket, spawns ``agent_processes`` worker
+        processes (if any), waits for every seller endpoint to register,
+        serves, then shuts the fleet and the transport down.  Use this
+        form when composing with other coroutines (e.g. manual agents
+        from :meth:`connect`); use :meth:`run` for the common one-shot
+        session.
         """
+        if self._listen is not None:
+            return await self._serve_remote(rounds)
         self._spawn_sellers()
         agents = list(self.sellers.values()) + list(self.buyers.values())
         tasks = [asyncio.create_task(agent.run()) for agent in agents]
@@ -172,6 +223,62 @@ class AuctionService:
             self.orchestrator.shutdown()
         await asyncio.gather(*tasks)
         return reports
+
+    async def _serve_remote(
+        self, rounds: int | None = None
+    ) -> list[PlatformRoundReport]:
+        """TCP serving: bind, place agents in processes, run, tear down."""
+        self._spawned = True  # no in-process default fleet in TCP mode
+        host, port = self._listen
+        self.address = await self.transport.listen(host, port)
+        if self.on_listening is not None:
+            self.on_listening(self.address)
+        already_attached = set(self.orchestrator.attached_sellers)
+        remote_ids = tuple(
+            sid
+            for sid in self.scenario.seller_ids()
+            if sid not in already_attached
+        )
+        if self.agent_processes > 0 and remote_ids:
+            self._workers = spawn_agents(
+                self.scenario,
+                self.address[0],
+                self.address[1],
+                processes=self.agent_processes,
+                sellers=remote_ids,
+            )
+        try:
+            await self.transport.wait_for_endpoints(
+                [seller_endpoint(sid) for sid in remote_ids],
+                timeout=self.spawn_timeout,
+            )
+            for sid in remote_ids:
+                self.orchestrator.attach_seller(sid, seller_endpoint(sid))
+            buyer_tasks = [
+                asyncio.create_task(agent.run())
+                for agent in self.buyers.values()
+            ]
+            try:
+                reports = await self.orchestrator.run(rounds)
+            finally:
+                self.orchestrator.shutdown()
+            await asyncio.gather(*buyer_tasks)
+            await self._join_workers()
+        finally:
+            self.transport.close()
+        return reports
+
+    async def _join_workers(self, timeout: float = 10.0) -> None:
+        """Join spawned worker processes off the event loop thread."""
+        if not self._workers:
+            return
+        loop = asyncio.get_running_loop()
+        for worker in self._workers:
+            await loop.run_in_executor(None, worker.join, timeout)
+            if worker.is_alive():  # refused the shutdown: don't leak it
+                worker.terminate()
+                await loop.run_in_executor(None, worker.join, 5.0)
+        self._workers = []
 
     def run(self, rounds: int | None = None) -> list[PlatformRoundReport]:
         """One-shot session: serve ``rounds`` and return the reports.
@@ -222,6 +329,7 @@ def serve(
     deployment as a :class:`~repro.dist.scenario.DistScenario` and let
     the service own construction, agents, and the round loop.  Keyword
     options are forwarded to :class:`AuctionService` (``transport``,
-    ``grace_window``, ``wall_timeout``, ``seller_delays``).
+    ``grace_window``, ``wall_timeout``, ``seller_delays``, ``clock``,
+    ``listen``, ``agent_processes``, ``spawn_timeout``).
     """
     return AuctionService(scenario, **options)

@@ -6,31 +6,47 @@ address recipients by endpoint name, and each delivery is an
 :class:`~repro.dist.messages.Envelope` stamped with a transport-wide
 sequence number and virtual send/delivery times.
 
-:class:`InMemoryTransport` is the first implementation: mailboxes are
-``asyncio.Queue`` objects, delivery is immediate on the wall clock, and
-latency is modelled on a *virtual clock* — ``send(..., delay=d)`` stamps
-the envelope ``deliver_at = now + d`` without sleeping, so a grace-window
-deadline is an exact, reproducible comparison instead of a race.  The
-interface is shaped so a socket/HTTP transport can drop in later: nothing
-above this module assumes in-process delivery, only named endpoints,
-ordered envelopes, and the two clock stamps (which a wall-clock transport
-gets for free).
+:class:`InMemoryTransport` is the in-process implementation: mailboxes
+are ``asyncio.Queue`` objects, delivery is immediate on the wall clock,
+and latency is modelled on a *virtual clock* — ``send(..., delay=d)``
+stamps the envelope ``deliver_at = now + d`` without sleeping, so a
+grace-window deadline is an exact, reproducible comparison instead of a
+race.  :class:`~repro.dist.tcp.TcpTransport` is the socket
+implementation of the same interface (length-prefixed JSON envelope
+frames over asyncio streams); nothing above this module assumes
+in-process delivery, only named endpoints, ordered envelopes, and the
+two clock stamps.
 
-Determinism contract: for a fixed sequence of ``send`` calls the envelope
-stream (``seq``, stamps, per-recipient FIFO order) is identical across
-runs — the transport introduces no randomness and reads no wall clock.
+Every transport carries a :attr:`Transport.clock` mode:
+
+* ``"virtual"`` (the default) — ``now`` only moves when the orchestrator
+  calls :meth:`Transport.advance_to`, and ``delay`` is pure bookkeeping.
+  Determinism contract: for a fixed sequence of ``send`` calls the
+  envelope stream (``seq``, stamps, per-recipient FIFO order) is
+  identical across runs — the transport introduces no randomness and
+  reads no wall clock.
+* ``"wall"`` — ``now`` is real elapsed time (``time.monotonic`` since
+  construction), ``advance_to`` is a no-op (the clock advances itself),
+  and a grace-window deadline becomes a genuine timeout.  This trades
+  the virtual-clock determinism contract for real latency tolerance:
+  a slow peer's submission is *actually* late (see
+  ``docs/serving.md``).
 """
 
 from __future__ import annotations
 
 import abc
 import asyncio
+import time
 from collections.abc import Iterable
 
 from repro.dist.messages import Envelope
 from repro.errors import ConfigurationError, TransportError
 
-__all__ = ["Mailbox", "Transport", "InMemoryTransport"]
+__all__ = ["Mailbox", "Transport", "InMemoryTransport", "CLOCK_MODES"]
+
+CLOCK_MODES = ("virtual", "wall")
+"""The two clock modes every transport can run under."""
 
 
 class Mailbox:
@@ -66,10 +82,14 @@ class Mailbox:
 class Transport(abc.ABC):
     """Interface every transport implementation provides.
 
-    Implementations own a monotone virtual clock (:attr:`now`) and a
-    monotone envelope sequence; both are what round orchestration keys
-    its determinism on.
+    Implementations own a monotone clock (:attr:`now`) and a monotone
+    envelope sequence; both are what round orchestration keys its
+    determinism on.  :attr:`clock` declares which clock mode the stamps
+    are on — the orchestrator inherits it and refuses a mismatch.
     """
+
+    clock: str = "virtual"
+    """Clock mode of this transport's envelope stamps (see module docs)."""
 
     @abc.abstractmethod
     def register(self, endpoint: str) -> Mailbox:
@@ -108,12 +128,24 @@ class InMemoryTransport(Transport):
     how a late bid becomes an *actually late message* without real-time
     sleeps — the orchestrator compares ``envelope.deliver_at`` against
     the round deadline.
+
+    With ``clock="wall"`` the same transport stamps envelopes with real
+    elapsed time instead: ``deliver_at = monotonic-now + delay``, and
+    :meth:`advance_to` becomes a no-op.  Useful for exercising wall-clock
+    deadline semantics without sockets — an agent that really sleeps past
+    the grace window is genuinely late.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, clock: str = "virtual") -> None:
+        if clock not in CLOCK_MODES:
+            raise ConfigurationError(
+                f"clock must be one of {CLOCK_MODES}, got {clock!r}"
+            )
+        self.clock = clock
         self._mailboxes: dict[str, Mailbox] = {}
         self._seq = 0
         self._now = 0.0
+        self._t0 = time.monotonic()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -153,12 +185,13 @@ class InMemoryTransport(Transport):
                 f"delay must be non-negative, got {delay}"
             )
         self._seq += 1
+        now = self.now
         envelope = Envelope(
             seq=self._seq,
             sender=sender,
             recipient=recipient,
-            sent_at=self._now,
-            deliver_at=self._now + delay,
+            sent_at=now,
+            deliver_at=now + delay,
             message=message,
         )
         mailbox.put(envelope)
@@ -179,9 +212,13 @@ class InMemoryTransport(Transport):
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
+        if self.clock == "wall":
+            return time.monotonic() - self._t0
         return self._now
 
     def advance_to(self, when: float) -> None:
+        if self.clock == "wall":
+            return  # the wall clock advances itself
         if when < self._now:
             raise ConfigurationError(
                 f"cannot move the virtual clock backward "

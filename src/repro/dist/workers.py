@@ -1,0 +1,155 @@
+"""Multi-process agent placement for TCP serving sessions.
+
+One orchestrator process listens on a :class:`~repro.dist.tcp.
+TcpTransport` router; seller agents live in separate OS processes, each
+running :func:`agent_worker` — dial the router, register one endpoint per
+assigned seller, then serve :class:`~repro.dist.agents.SellerAgent`
+loops until the platform broadcasts shutdown (or the connection dies,
+which the client transport converts into a synthetic shutdown so the
+worker exits cleanly).
+
+The determinism contract survives the process boundary because bid
+randomness never leaves the seller: each worker rebuilds its sellers'
+private streams from ``(scenario.seed, seller_id)`` alone
+(:func:`~repro.dist.agents.seller_stream`), and policies are rebuilt
+from the scenario's frozen config — so *which* process a seller lands in
+(and the round-robin partition below) cannot change a single draw.
+
+Workers are started with the ``spawn`` start method — a fork would
+duplicate the parent's event loop and observability state.  ``spawn``
+re-imports :mod:`repro` in the child, so :func:`spawn_agents` makes the
+package importable there by prepending its source directory to the
+child's ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+from pathlib import Path
+
+import repro
+from repro.dist.agents import (
+    AgentHandle,
+    SellerAgent,
+    seller_endpoint,
+    seller_stream,
+)
+from repro.dist.scenario import DistScenario
+from repro.dist.tcp import TcpTransport
+from repro.errors import ConfigurationError
+
+__all__ = ["spawn_agents", "run_agent_worker", "agent_worker"]
+
+
+async def agent_worker(
+    host: str,
+    port: int,
+    seller_ids: tuple[int, ...],
+    scenario: DistScenario,
+    *,
+    connect_timeout: float = 30.0,
+) -> None:
+    """Serve one process's share of the seller fleet over TCP.
+
+    Dials the router at ``host:port`` (retrying until
+    ``connect_timeout``), registers the canonical endpoint of every
+    assigned seller, and runs their agent loops concurrently until
+    shutdown.  Raises :class:`~repro.errors.TransportError` if the
+    router cannot be reached or rejects a registration (e.g. a seller
+    already served elsewhere).
+    """
+    # Clients never stamp envelopes authoritatively (the router does),
+    # so a worker's own clock mode is immaterial; the default is fine.
+    transport = TcpTransport()
+    await transport.dial(host, port, timeout=connect_timeout)
+    try:
+        factory = scenario.policy_factory()
+        agents = []
+        for sid in seller_ids:
+            handle = AgentHandle(
+                transport, seller_endpoint(sid), seller_id=sid
+            )
+            await transport.wait_registered(
+                handle.endpoint, timeout=connect_timeout
+            )
+            agents.append(
+                SellerAgent(
+                    handle,
+                    policy=factory(),
+                    rng=seller_stream(scenario.seed, sid),
+                )
+            )
+        await asyncio.gather(*(agent.run() for agent in agents))
+    finally:
+        transport.close()
+
+
+def run_agent_worker(
+    host: str,
+    port: int,
+    seller_ids: tuple[int, ...],
+    scenario: DistScenario,
+    *,
+    connect_timeout: float = 30.0,
+) -> None:
+    """Synchronous process entrypoint: run :func:`agent_worker` to completion."""
+    asyncio.run(
+        agent_worker(
+            host,
+            port,
+            tuple(seller_ids),
+            scenario,
+            connect_timeout=connect_timeout,
+        )
+    )
+
+
+def spawn_agents(
+    scenario: DistScenario,
+    host: str,
+    port: int,
+    *,
+    processes: int = 2,
+    sellers: tuple[int, ...] | None = None,
+    mp_context: str = "spawn",
+) -> list[multiprocessing.Process]:
+    """Start worker processes serving the scenario's sellers over TCP.
+
+    The seller ids (default: all of ``scenario.seller_ids()``) are
+    partitioned round-robin across ``processes`` workers; each worker is
+    a daemon :class:`multiprocessing.Process` running
+    :func:`run_agent_worker` against the router at ``host:port``.
+    Returns the started (already-running) processes; the caller joins
+    them after the serving session ends.
+    """
+    if processes < 1:
+        raise ConfigurationError(
+            f"processes must be at least 1, got {processes}"
+        )
+    ids = tuple(sellers) if sellers is not None else scenario.seller_ids()
+    groups = [ids[i::processes] for i in range(processes)]
+    groups = [group for group in groups if group]
+    ctx = multiprocessing.get_context(mp_context)
+    # ``spawn`` children import ``repro`` afresh; make sure they can.
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    old_path = os.environ.get("PYTHONPATH")
+    parts = [src_dir] + ([old_path] if old_path else [])
+    os.environ["PYTHONPATH"] = os.pathsep.join(parts)
+    try:
+        workers = []
+        for group in groups:
+            process = ctx.Process(
+                target=run_agent_worker,
+                args=(host, port, group, scenario),
+                daemon=True,
+            )
+            process.start()
+            workers.append(process)
+    finally:
+        if old_path is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = old_path
+    return workers

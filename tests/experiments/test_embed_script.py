@@ -105,7 +105,8 @@ class TestDocsLinkChecker:
         page = tmp_path / "page.md"
         page.write_text(
             "# T\n\n```\n[not a link](nowhere.md)\n```\n"
-            "[ext](https://example.com/x) [mail](mailto:a@b.c)\n",
+            "[ext](https://example.com/x) [mail](mailto:a@b.c)\n"
+            "and `[inline code](also-not-a-link.md)` stays out too\n",
             encoding="utf-8",
         )
         old_root = checker.ROOT
@@ -115,3 +116,60 @@ class TestDocsLinkChecker:
         finally:
             checker.ROOT = old_root
         assert problems == []
+
+    def test_duplicate_headings_get_numbered_anchors(self, tmp_path):
+        checker = load_script("scripts_check_docs_links")
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# Setup\n\n## Setup\n\n"
+            "[first](#setup) [second](#setup-1) [gone](#setup-2)\n",
+            encoding="utf-8",
+        )
+        old_root = checker.ROOT
+        checker.ROOT = tmp_path
+        try:
+            problems = checker.check_file(page)
+        finally:
+            checker.ROOT = old_root
+        assert len(problems) == 1
+        assert "setup-2" in problems[0]
+
+    def test_html_anchors_count(self, tmp_path):
+        checker = load_script("scripts_check_docs_links")
+        page = tmp_path / "page.md"
+        page.write_text(
+            '# T\n\n<a id="pinned"></a>\n<a name="named">x</a>\n\n'
+            "[a](#pinned) [b](#named) [c](#unpinned)\n",
+            encoding="utf-8",
+        )
+        old_root = checker.ROOT
+        checker.ROOT = tmp_path
+        try:
+            problems = checker.check_file(page)
+        finally:
+            checker.ROOT = old_root
+        assert len(problems) == 1
+        assert "unpinned" in problems[0]
+
+    def test_reference_style_links(self, tmp_path):
+        checker = load_script("scripts_check_docs_links")
+        (tmp_path / "real.md").write_text("# Real\n", encoding="utf-8")
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# T\n\nSee [the page][ok], [case][OK], [itself][], "
+            "and [nothing][undefined].\n\n"
+            "[ok]: real.md\n[itself]: #t\n[rotten]: missing.md\n",
+            encoding="utf-8",
+        )
+        old_root = checker.ROOT
+        checker.ROOT = tmp_path
+        try:
+            problems = checker.check_file(page)
+        finally:
+            checker.ROOT = old_root
+        # Two offenders: the dangling [undefined] usage and the rotten
+        # definition target; defined labels match case-insensitively and
+        # collapsed [itself][] resolves through its own text.
+        assert len(problems) == 2
+        assert any("undefined" in p for p in problems)
+        assert any("missing.md" in p for p in problems)
